@@ -1,0 +1,295 @@
+(* riq-sim: command-line driver for the simulator and the experiments.
+
+   Subcommands:
+     run    — simulate one benchmark (or an assembly file) on a chosen
+              configuration and print statistics
+     bench  — list the built-in benchmarks
+     fig    — regenerate one of the paper's tables/figures
+     disasm — print the compiled RIQ32 code of a benchmark *)
+
+open Cmdliner
+open Riq_util
+open Riq_asm
+open Riq_power
+open Riq_ooo
+open Riq_core
+open Riq_workloads
+open Riq_harness
+
+let load_program bench file optimized =
+  match (bench, file) with
+  | Some name, None ->
+      let w = Workloads.find name in
+      if optimized then Workloads.optimized w else Workloads.program w
+  | None, Some path ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let src = really_input_string ic len in
+      close_in ic;
+      Parse.program_exn src
+  | Some _, Some _ -> failwith "give either --bench or --file, not both"
+  | None, None -> failwith "one of --bench or --file is required"
+
+let print_stats cfg (r : Run.result) breakdown_requested account =
+  let s = r.Run.stats in
+  Printf.printf "cycles              %d\n" s.Processor.cycles;
+  Printf.printf "instructions        %d\n" s.Processor.committed;
+  Printf.printf "IPC                 %.3f\n" s.Processor.ipc;
+  Printf.printf "branches            %d (%d mispredicted)\n" s.Processor.branches
+    s.Processor.mispredicts;
+  Printf.printf "loads / stores      %d / %d\n" s.Processor.loads s.Processor.stores;
+  Printf.printf "icache accesses     %d (%d misses)\n" s.Processor.icache_accesses
+    s.Processor.icache_misses;
+  Printf.printf "dcache accesses     %d (%d misses)\n" s.Processor.dcache_accesses
+    s.Processor.dcache_misses;
+  Printf.printf "avg power           %.2f units/cycle\n" s.Processor.avg_power;
+  if cfg.Config.reuse_enabled then begin
+    Printf.printf "gated cycles        %d (%.1f%%)\n" s.Processor.gated_cycles
+      (100. *. s.Processor.gated_fraction);
+    Printf.printf "reuse dispatches    %d\n" s.Processor.reuse_dispatches;
+    Printf.printf "buffering           %d attempts, %d revokes, %d promotions, %d exits\n"
+      s.Processor.buffer_attempts s.Processor.revokes s.Processor.promotions
+      s.Processor.reuse_exits
+  end;
+  if breakdown_requested then begin
+    Printf.printf "\nPower breakdown:\n";
+    Array.iter
+      (fun (c, frac) ->
+        if frac > 0.002 then Printf.printf "  %-12s %5.1f%%\n" (Component.name c) (100. *. frac))
+      (Account.breakdown account)
+  end
+
+let run_cmd =
+  let bench =
+    Arg.(value & opt (some string) None & info [ "bench"; "b" ] ~docv:"NAME"
+           ~doc:"Built-in benchmark to simulate (see $(b,riq-sim bench)).")
+  in
+  let file =
+    Arg.(value & opt (some file) None & info [ "file"; "f" ] ~docv:"FILE"
+           ~doc:"RIQ32 assembly file to simulate instead of a benchmark.")
+  in
+  let iq =
+    Arg.(value & opt int 64 & info [ "iq" ] ~docv:"N"
+           ~doc:"Issue queue size (ROB scales with it, LSQ to half).")
+  in
+  let reuse =
+    Arg.(value & flag & info [ "reuse"; "r" ]
+           ~doc:"Enable the reusable-instruction issue queue.")
+  in
+  let optimized =
+    Arg.(value & flag & info [ "optimized"; "O" ]
+           ~doc:"Apply loop distribution before code generation.")
+  in
+  let breakdown =
+    Arg.(value & flag & info [ "power-breakdown"; "p" ] ~doc:"Print the power breakdown.")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Validate the final architectural state against the reference simulator.")
+  in
+  let action bench file iq reuse optimized breakdown check =
+    let program = load_program bench file optimized in
+    let cfg = Config.with_iq_size (if reuse then Config.reuse else Config.baseline) iq in
+    let p = Processor.create cfg program in
+    (match Processor.run p with
+    | Processor.Halted -> ()
+    | Processor.Cycle_limit -> failwith "cycle limit exceeded");
+    if check then begin
+      let m = Riq_interp.Machine.create program in
+      match Riq_interp.Machine.run m with
+      | Riq_interp.Machine.Halted ->
+          if
+            not
+              (Riq_interp.Machine.equal_arch
+                 (Riq_interp.Machine.arch_state m)
+                 (Processor.arch_state p))
+          then failwith "architectural state mismatch vs reference simulator"
+          else print_endline "differential check: architectural state matches"
+      | Riq_interp.Machine.Insn_limit | Riq_interp.Machine.Bad_pc _ ->
+          failwith "reference simulator did not halt"
+    end;
+    let acct = Processor.account p in
+    let result =
+      {
+        Run.stats = Processor.stats p;
+        icache_power = Account.group_power acct Component.G_icache;
+        bpred_power = Account.group_power acct Component.G_bpred;
+        iq_power = Account.group_power acct Component.G_iq;
+        overhead_power = Account.group_power acct Component.G_overhead;
+        total_power = Account.avg_power acct;
+        arch_ok = None;
+      }
+    in
+    print_stats cfg result breakdown acct
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate a benchmark or an assembly file")
+    Term.(const action $ bench $ file $ iq $ reuse $ optimized $ breakdown $ check)
+
+let bench_cmd =
+  let action () =
+    List.iter
+      (fun w ->
+        Printf.printf "%-8s %-14s %s\n" w.Workloads.name w.Workloads.source
+          w.Workloads.description)
+      Workloads.all
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"List the built-in benchmarks") Term.(const action $ const ())
+
+let fig_cmd =
+  let which =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE"
+           ~doc:"One of: table1 table2 fig5 fig6 fig7 fig8 fig9 nblt strategy related predictor unroll all")
+  in
+  let no_check =
+    Arg.(value & flag & info [ "no-check" ]
+           ~doc:"Skip the per-run differential validation (faster).")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values instead of a table.")
+  in
+  let action which no_check csv =
+    let check = not no_check in
+    let progress label = Printf.eprintf "[riq] %s\n%!" label in
+    let sweep = lazy (Sweep.run ~check ~progress ()) in
+    let emit t = if csv then print_string (Table.to_csv t) else Table.print t in
+    let print_fig = function
+      | "table1" -> print_string (Figures.table1 ())
+      | "table2" -> emit (Figures.table2 ())
+      | "fig5" -> emit (Figures.fig5 (Lazy.force sweep))
+      | "fig6" -> emit (Figures.fig6 (Lazy.force sweep))
+      | "fig7" -> emit (Figures.fig7 (Lazy.force sweep))
+      | "fig8" -> emit (Figures.fig8 (Lazy.force sweep))
+      | "fig9" -> emit (Figures.fig9 ~check ())
+      | "nblt" -> emit (Figures.nblt_ablation ~check ())
+      | "strategy" -> emit (Figures.strategy_ablation ~check ())
+      | "related" -> emit (Figures.related_work ~check ())
+      | "predictor" -> emit (Figures.predictor_ablation ~check ())
+      | "unroll" -> emit (Figures.unroll_ablation ~check ())
+      | other -> failwith ("unknown figure: " ^ other)
+    in
+    if which = "all" then
+      List.iter
+        (fun f ->
+          print_fig f;
+          print_newline ())
+        [
+          "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "nblt"; "strategy";
+          "related"; "predictor"; "unroll";
+        ]
+    else print_fig which
+  in
+  Cmd.v
+    (Cmd.info "fig" ~doc:"Regenerate a table or figure of the paper")
+    Term.(const action $ which $ no_check $ csv)
+
+let trace_cmd =
+  let bench =
+    Arg.(value & opt (some string) None & info [ "bench"; "b" ] ~docv:"NAME"
+           ~doc:"Built-in benchmark to trace.")
+  in
+  let file =
+    Arg.(value & opt (some file) None & info [ "file"; "f" ] ~docv:"FILE"
+           ~doc:"RIQ32 assembly file to trace.")
+  in
+  let limit =
+    Arg.(value & opt int 200 & info [ "n" ] ~docv:"N"
+           ~doc:"Number of instructions to trace (from the start).")
+  in
+  let action bench file limit =
+    let program = load_program bench file false in
+    let m = Riq_interp.Machine.create program in
+    let continue_ = ref true in
+    while !continue_ && Riq_interp.Machine.insn_count m < limit do
+      let pc = Riq_interp.Machine.pc m in
+      match Program.insn_at program pc with
+      | None -> continue_ := false
+      | Some insn ->
+          let dest = Riq_isa.Insn.dest insn in
+          (match Riq_interp.Machine.step m with
+          | Some _ -> continue_ := false
+          | None -> ());
+          let written =
+            match dest with
+            | Some d when Riq_isa.Reg.is_fp d ->
+                Printf.sprintf "  %s <- %g" (Riq_isa.Reg.to_string d)
+                  (Riq_interp.Machine.freg m d)
+            | Some d ->
+                Printf.sprintf "  %s <- %d" (Riq_isa.Reg.to_string d)
+                  (Riq_interp.Machine.reg m d)
+            | None -> ""
+          in
+          Printf.printf "%08x  %-28s%s\n" pc (Riq_isa.Insn.to_string insn) written
+    done
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Architectural commit log from the reference simulator")
+    Term.(const action $ bench $ file $ limit)
+
+let pipeview_cmd =
+  let bench =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Benchmark name.")
+  in
+  let reuse =
+    Arg.(value & flag & info [ "reuse"; "r" ] ~doc:"Enable the reusable issue queue.")
+  in
+  let cycles =
+    Arg.(value & opt int 200 & info [ "n" ] ~docv:"N" ~doc:"Cycles to display.")
+  in
+  let skip =
+    Arg.(value & opt int 0 & info [ "skip" ] ~docv:"N" ~doc:"Cycles to skip first.")
+  in
+  let action bench reuse cycles skip =
+    let program = load_program (Some bench) None false in
+    let cfg = if reuse then Config.reuse else Config.baseline in
+    let p = Processor.create cfg program in
+    for _ = 1 to skip do
+      if not (Processor.halted p) then Processor.step_cycle p
+    done;
+    Printf.printf "%8s  %-14s %4s %4s %4s  %s\n" "cycle" "iq-state" "iq" "rob" "lsq"
+      "committed";
+    let state_name () =
+      match (Processor.reuse_state p).Reuse_state.state with
+      | Reuse_state.Normal -> "normal"
+      | Reuse_state.Buffering -> "buffering"
+      | Reuse_state.Reusing -> "code-reuse"
+    in
+    let continue_ = ref true in
+    let shown = ref 0 in
+    while !continue_ && !shown < cycles do
+      if Processor.halted p then continue_ := false
+      else begin
+        Processor.step_cycle p;
+        incr shown;
+        let iq, rob, lsq = Processor.occupancy p in
+        Printf.printf "%8d  %-14s %4d %4d %4d  %d\n" (Processor.cycles p) (state_name ()) iq
+          rob lsq (Processor.committed p)
+      end
+    done
+  in
+  Cmd.v
+    (Cmd.info "pipeview" ~doc:"Per-cycle pipeline occupancy and issue-queue state")
+    Term.(const action $ bench $ reuse $ cycles $ skip)
+
+let disasm_cmd =
+  let bench =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Benchmark name.")
+  in
+  let optimized =
+    Arg.(value & flag & info [ "optimized"; "O" ] ~doc:"Disassemble the loop-distributed code.")
+  in
+  let action bench optimized =
+    let w = Workloads.find bench in
+    let program = if optimized then Workloads.optimized w else Workloads.program w in
+    Format.printf "%a" Program.pp_listing program
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Print the compiled RIQ32 code of a benchmark")
+    Term.(const action $ bench $ optimized)
+
+let () =
+  let doc = "Reusable-instruction issue queue simulator (Hu et al., DATE 2004)" in
+  let info = Cmd.info "riq-sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; bench_cmd; fig_cmd; disasm_cmd; trace_cmd; pipeview_cmd ]))

@@ -1,0 +1,1 @@
+examples/compiler_opt.ml: Codegen Config List Printf Processor Riq_core Riq_loopir Riq_ooo Riq_workloads Workloads

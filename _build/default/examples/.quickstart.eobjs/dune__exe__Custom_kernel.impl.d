@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Codegen Config Distribute Ir List Machine Printf Processor Riq_core Riq_interp Riq_loopir Riq_ooo Unroll

@@ -1,0 +1,1 @@
+examples/loop_gating.ml: Config Parse Printf Processor Reuse_state Riq_asm Riq_core Riq_ooo

@@ -1,0 +1,1 @@
+examples/loop_gating.mli:

@@ -1,0 +1,1 @@
+examples/power_report.ml: Account Array Component Config Float Printf Processor Riq_core Riq_ooo Riq_power Riq_workloads Sys Workloads

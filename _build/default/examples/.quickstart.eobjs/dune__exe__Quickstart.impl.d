@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config List Machine Option Parse Printf Processor Program Riq_asm Riq_core Riq_interp Riq_mem Riq_ooo Store

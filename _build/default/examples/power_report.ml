@@ -1,0 +1,49 @@
+(* Power report: side-by-side per-component power of the conventional and
+   reusable issue queues on one benchmark, in the style of the paper's
+   Figure 6 discussion — showing where the savings come from (gated
+   instruction cache, predictor lookups and decoder; partially-updated
+   issue queue) and what the reuse hardware costs (LRL, NBLT, detector).
+
+   Run with: dune exec examples/power_report.exe [bench] *)
+
+open Riq_power
+open Riq_ooo
+open Riq_core
+open Riq_workloads
+
+let () =
+  let bench = if Array.length Sys.argv > 1 then Sys.argv.(1) else "tsf" in
+  let w = Workloads.find bench in
+  let program = Workloads.program w in
+  let run cfg =
+    let p = Processor.create cfg program in
+    (match Processor.run p with
+    | Processor.Halted -> ()
+    | Processor.Cycle_limit -> failwith "cycle limit");
+    p
+  in
+  let base = run Config.baseline in
+  let reuse = run Config.reuse in
+  let ab = Processor.account base and ar = Processor.account reuse in
+  let per_cycle acct c =
+    Account.energy_of acct c /. float_of_int (Account.cycles acct)
+  in
+  Printf.printf "%s: baseline %.1f units/cycle, reuse %.1f units/cycle (%.1f%% reduction)\n"
+    bench (Account.avg_power ab) (Account.avg_power ar)
+    (100. *. (1. -. (Account.avg_power ar /. Account.avg_power ab)));
+  Printf.printf "front-end gated %.1f%% of cycles\n\n"
+    (100. *. (Processor.stats reuse).Processor.gated_fraction);
+  Printf.printf "%-12s %10s %10s %10s\n" "component" "baseline" "reuse" "delta";
+  Array.iter
+    (fun c ->
+      let b = per_cycle ab c and r = per_cycle ar c in
+      if b > 0.05 || r > 0.05 then
+        Printf.printf "%-12s %10.2f %10.2f %+9.1f%%\n" (Component.name c) b r
+          (if b = 0. then Float.infinity else 100. *. ((r -. b) /. b)))
+    Component.all;
+  Printf.printf "\ngroups (per cycle):\n";
+  Array.iter
+    (fun g ->
+      Printf.printf "  %-12s %8.2f -> %8.2f\n" (Component.group_name g)
+        (Account.group_power ab g) (Account.group_power ar g))
+    Component.groups

@@ -1,0 +1,1 @@
+lib/asm/builder.ml: Array Encode Hashtbl Insn List Option Printf Program Reg Riq_isa

@@ -1,0 +1,1 @@
+lib/asm/builder.mli: Insn Program Reg Riq_isa

@@ -1,0 +1,1 @@
+lib/asm/parse.ml: Array Buffer Builder Insn List Option Printf Reg Riq_isa String

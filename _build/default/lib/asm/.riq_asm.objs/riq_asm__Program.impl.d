@@ -1,0 +1,1 @@
+lib/asm/program.ml: Array Encode Format Hashtbl Insn Int32 List Option Riq_isa

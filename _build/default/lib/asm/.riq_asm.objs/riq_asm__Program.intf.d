@@ -1,0 +1,1 @@
+lib/asm/program.mli: Format Insn Riq_isa

@@ -1,0 +1,148 @@
+open Riq_isa
+
+type item =
+  | Fixed of Insn.t
+  | Branch of Insn.cond * Reg.t * Reg.t * string
+  | Jump of bool * string (* link?, label *)
+  | Addr_hi of Reg.t * string (* lui rd, hi16(label) *)
+  | Addr_lo of Reg.t * string (* ori rd, rd, lo16(label) *)
+
+type t = {
+  text_base : int;
+  mutable items : item list; (* reversed *)
+  mutable n_items : int;
+  labels : (string, [ `Text of int (* item index *) | `Data of int (* byte addr *) ]) Hashtbl.t;
+  mutable data : Program.data_init list; (* reversed *)
+  mutable data_cursor : int;
+  mutable fresh : int;
+  pool : (float, string) Hashtbl.t; (* float constant pool *)
+}
+
+let data_base_default = 0x0010_0000
+
+let create ?(text_base = 0x1000) () =
+  if text_base land 3 <> 0 then invalid_arg "Builder.create: misaligned text base";
+  {
+    text_base;
+    items = [];
+    n_items = 0;
+    labels = Hashtbl.create 64;
+    data = [];
+    data_cursor = data_base_default;
+    fresh = 0;
+    pool = Hashtbl.create 16;
+  }
+
+let here t = t.text_base + (4 * t.n_items)
+
+let define t name binding =
+  if Hashtbl.mem t.labels name then
+    invalid_arg (Printf.sprintf "Builder: label %S redefined" name);
+  Hashtbl.replace t.labels name binding
+
+let label t name = define t name (`Text t.n_items)
+
+let fresh_label t stem =
+  t.fresh <- t.fresh + 1;
+  Printf.sprintf ".L%s_%d" stem t.fresh
+
+let push t item =
+  t.items <- item :: t.items;
+  t.n_items <- t.n_items + 1
+
+let emit t insn = push t (Fixed insn)
+let br t cond rs rt name = push t (Branch (cond, rs, rt, name))
+let j t name = push t (Jump (false, name))
+let jal t name = push t (Jump (true, name))
+
+let li t rd v =
+  if Encode.imm_fits ~signed:true v then emit t (Insn.Alui (Add, rd, Reg.zero, v))
+  else begin
+    let u = v land 0xFFFFFFFF in
+    let hi = (u lsr 16) land 0xFFFF in
+    let lo = u land 0xFFFF in
+    emit t (Insn.Lui (rd, hi));
+    if lo <> 0 then emit t (Insn.Alui (Or, rd, rd, lo))
+  end
+
+let la t rd name =
+  push t (Addr_hi (rd, name));
+  push t (Addr_lo (rd, name))
+
+let alloc_data t name nbytes =
+  define t name (`Data t.data_cursor);
+  let base = t.data_cursor in
+  t.data_cursor <- t.data_cursor + nbytes;
+  (* Keep every block word-aligned and leave a guard word between blocks so
+     an off-by-one in a kernel shows up as a wrong value, not silent overlap. *)
+  t.data_cursor <- (t.data_cursor + 7) land lnot 3;
+  base
+
+let data_word t name values =
+  let base = alloc_data t name (4 * Array.length values) in
+  t.data <- Program.Words { base; values = Array.copy values } :: t.data
+
+let data_float t name values =
+  let base = alloc_data t name (4 * Array.length values) in
+  t.data <- Program.Floats { base; values = Array.copy values } :: t.data
+
+let data_space t name n =
+  let base = alloc_data t name (4 * n) in
+  t.data <- Program.Words { base; values = Array.make n 0 } :: t.data
+
+let lf t fd v =
+  let name =
+    match Hashtbl.find_opt t.pool v with
+    | Some name -> name
+    | None ->
+        let name = fresh_label t "fconst" in
+        data_float t name [| v |];
+        Hashtbl.replace t.pool v name;
+        name
+  in
+  la t (Reg.r 1) name;
+  emit t (Insn.Lwf (fd, Reg.r 1, 0))
+
+let finish ?entry_label t =
+  let resolve name =
+    match Hashtbl.find_opt t.labels name with
+    | Some (`Text idx) -> t.text_base + (4 * idx)
+    | Some (`Data addr) -> addr
+    | None -> failwith (Printf.sprintf "Builder.finish: undefined label %S" name)
+  in
+  let items = Array.of_list (List.rev t.items) in
+  let code =
+    Array.mapi
+      (fun i item ->
+        let pc = t.text_base + (4 * i) in
+        match item with
+        | Fixed insn -> insn
+        | Branch (cond, rs, rt, name) ->
+            let target = resolve name in
+            let off = (target - (pc + 4)) / 4 in
+            if not (Encode.imm_fits ~signed:true off) then
+              failwith
+                (Printf.sprintf "Builder.finish: branch to %S out of range (%d words)" name off);
+            Insn.Br (cond, rs, rt, off)
+        | Jump (link, name) ->
+            let target = resolve name / 4 in
+            if link then Insn.Jal target else Insn.J target
+        | Addr_hi (rd, name) ->
+            let addr = resolve name in
+            Insn.Lui (rd, (addr lsr 16) land 0xFFFF)
+        | Addr_lo (rd, name) ->
+            let addr = resolve name in
+            Insn.Alui (Or, rd, rd, addr land 0xFFFF))
+      items
+  in
+  let symbols =
+    Hashtbl.fold
+      (fun name binding acc ->
+        let addr =
+          match binding with `Text idx -> t.text_base + (4 * idx) | `Data addr -> addr
+        in
+        (name, addr) :: acc)
+      t.labels []
+  in
+  let entry = Option.map resolve entry_label in
+  Program.make ~text_base:t.text_base ~data:(List.rev t.data) ?entry ~symbols code

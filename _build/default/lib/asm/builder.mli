@@ -1,0 +1,58 @@
+open Riq_isa
+
+(** Program construction with symbolic labels.
+
+    The builder accumulates instructions; control transfers may name labels
+    that are defined before or after the reference. [finish] resolves every
+    label into branch offsets / jump targets and returns the program image.
+    This is the interface the loop-nest code generator and the workloads
+    target. *)
+
+type t
+
+val create : ?text_base:int -> unit -> t
+
+val here : t -> int
+(** Byte address of the next instruction to be emitted. *)
+
+val label : t -> string -> unit
+(** Define [name] at the current position. Raises on redefinition. *)
+
+val fresh_label : t -> string -> string
+(** [fresh_label t stem] returns a unique label name derived from [stem]
+    (not yet defined; pass it to {!label} later). *)
+
+val emit : t -> Insn.t -> unit
+(** Append a fully-resolved instruction. *)
+
+val br : t -> Insn.cond -> Reg.t -> Reg.t -> string -> unit
+(** Conditional branch to a label. *)
+
+val j : t -> string -> unit
+val jal : t -> string -> unit
+
+val li : t -> Reg.t -> int -> unit
+(** Load a 32-bit constant: one [addiu]-style or [lui]+[ori] pair. *)
+
+val la : t -> Reg.t -> string -> unit
+(** Load the address of a (data or text) label; resolved at [finish] into
+    [lui]+[ori], so it always occupies two instructions. *)
+
+val lf : t -> Reg.t -> float -> unit
+(** Load a single-precision float constant into an FP register. The
+    constant is placed in an automatically-allocated constant pool in the
+    data segment and loaded with [lui]+[ori]+[l.s]; integer register [r1]
+    is clobbered as the address temporary. *)
+
+val data_word : t -> string -> int array -> unit
+(** Define a labelled block of integer words in the data segment. *)
+
+val data_float : t -> string -> float array -> unit
+(** Define a labelled block of single-precision floats. *)
+
+val data_space : t -> string -> int -> unit
+(** Reserve [n] words of zero-initialised data under a label. *)
+
+val finish : ?entry_label:string -> t -> Program.t
+(** Resolve labels and produce the image. Raises [Failure] on undefined
+    labels or on branch offsets that do not fit 16 bits. *)

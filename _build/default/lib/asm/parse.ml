@@ -1,0 +1,218 @@
+open Riq_isa
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Parse_error (line, msg))) fmt
+
+let strip_comment line =
+  let cut c s = match String.index_opt s c with Some i -> String.sub s 0 i | None -> s in
+  cut '#' (cut ';' line)
+
+let tokenize s =
+  (* Split on whitespace and commas; keep "off(base)" as one token. *)
+  let buf = Buffer.create 16 in
+  let toks = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      toks := Buffer.contents buf :: !toks;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | ',' -> flush ()
+      | _ -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !toks
+
+let reg line s =
+  match Reg.of_string s with Some r -> r | None -> fail line "bad register %S" s
+
+let int_tok line s =
+  match int_of_string_opt s with Some v -> v | None -> fail line "bad integer %S" s
+
+let float_tok line s =
+  match float_of_string_opt s with Some v -> v | None -> fail line "bad float %S" s
+
+(* "off(base)" -> (off, base) *)
+let mem_operand line s =
+  match String.index_opt s '(' with
+  | Some i when String.length s > i + 1 && s.[String.length s - 1] = ')' ->
+      let off = String.sub s 0 i in
+      let base = String.sub s (i + 1) (String.length s - i - 2) in
+      let off = if off = "" then 0 else int_tok line off in
+      (off, reg line base)
+  | Some _ | None -> fail line "bad memory operand %S (expected off(base))" s
+
+let alu_of_name = function
+  | "add" -> Some Insn.Add
+  | "sub" -> Some Insn.Sub
+  | "and" -> Some Insn.And
+  | "or" -> Some Insn.Or
+  | "xor" -> Some Insn.Xor
+  | "nor" -> Some Insn.Nor
+  | "slt" -> Some Insn.Slt
+  | "sltu" -> Some Insn.Sltu
+  | _ -> None
+
+let alui_of_name = function
+  | "addi" -> Some Insn.Add
+  | "andi" -> Some Insn.And
+  | "ori" -> Some Insn.Or
+  | "xori" -> Some Insn.Xor
+  | "slti" -> Some Insn.Slt
+  | "sltiu" -> Some Insn.Sltu
+  | _ -> None
+
+let shift_of_name = function
+  | "sll" -> Some Insn.Sll
+  | "srl" -> Some Insn.Srl
+  | "sra" -> Some Insn.Sra
+  | _ -> None
+
+let shiftv_of_name = function
+  | "sllv" -> Some Insn.Sll
+  | "srlv" -> Some Insn.Srl
+  | "srav" -> Some Insn.Sra
+  | _ -> None
+
+let fpu_of_name = function
+  | "fadd" -> Some Insn.Fadd
+  | "fsub" -> Some Insn.Fsub
+  | "fmul" -> Some Insn.Fmul
+  | "fdiv" -> Some Insn.Fdiv
+  | "fsqrt" -> Some Insn.Fsqrt
+  | "fneg" -> Some Insn.Fneg
+  | "fabs" -> Some Insn.Fabs
+  | "fmov" -> Some Insn.Fmov
+  | _ -> None
+
+let fcmp_of_name = function
+  | "feq" -> Some Insn.Feq
+  | "flt" -> Some Insn.Flt
+  | "fle" -> Some Insn.Fle
+  | _ -> None
+
+let cond_of_name = function
+  | "beq" -> Some Insn.Beq
+  | "bne" -> Some Insn.Bne
+  | "blez" -> Some Insn.Blez
+  | "bgtz" -> Some Insn.Bgtz
+  | "bltz" -> Some Insn.Bltz
+  | "bgez" -> Some Insn.Bgez
+  | _ -> None
+
+let is_label_tok s =
+  String.length s > 0
+  &&
+  match s.[0] with
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | '.' -> int_of_string_opt s = None
+  | '0' .. '9' | '-' | '+' -> false
+  | _ -> false
+
+let parse_line b line_no raw =
+  let line = String.trim (strip_comment raw) in
+  if line = "" then ()
+  else if String.length line > 1 && line.[String.length line - 1] = ':' then
+    Builder.label b (String.sub line 0 (String.length line - 1))
+  else begin
+    match tokenize line with
+    | [] -> ()
+    | ".word" :: name :: vals when vals <> [] ->
+        Builder.data_word b name (Array.of_list (List.map (int_tok line_no) vals))
+    | ".float" :: name :: vals when vals <> [] ->
+        Builder.data_float b name (Array.of_list (List.map (float_tok line_no) vals))
+    | [ ".space"; name; n ] -> Builder.data_space b name (int_tok line_no n)
+    | [ "li"; rd; v ] -> Builder.li b (reg line_no rd) (int_tok line_no v)
+    | [ "la"; rd; name ] -> Builder.la b (reg line_no rd) name
+    | [ "nop" ] -> Builder.emit b Insn.Nop
+    | [ "halt" ] -> Builder.emit b Insn.Halt
+    | [ "j"; tgt ] ->
+        if is_label_tok tgt then Builder.j b tgt
+        else Builder.emit b (Insn.J (int_tok line_no tgt))
+    | [ "jal"; tgt ] ->
+        if is_label_tok tgt then Builder.jal b tgt
+        else Builder.emit b (Insn.Jal (int_tok line_no tgt))
+    | [ "jr"; r1 ] -> Builder.emit b (Insn.Jr (reg line_no r1))
+    | [ "jalr"; rd; r1 ] -> Builder.emit b (Insn.Jalr (reg line_no rd, reg line_no r1))
+    | [ "lui"; rt; imm ] -> Builder.emit b (Insn.Lui (reg line_no rt, int_tok line_no imm))
+    | [ "mul"; rd; r1; r2 ] ->
+        Builder.emit b (Insn.Mul (reg line_no rd, reg line_no r1, reg line_no r2))
+    | [ "div"; rd; r1; r2 ] ->
+        Builder.emit b (Insn.Div (reg line_no rd, reg line_no r1, reg line_no r2))
+    | [ "cvtsw"; fd; r1 ] -> Builder.emit b (Insn.Cvtsw (reg line_no fd, reg line_no r1))
+    | [ "cvtws"; rd; f1 ] -> Builder.emit b (Insn.Cvtws (reg line_no rd, reg line_no f1))
+    | [ ("lw" | "lb" | "lbu" | "lh" | "lhu") as op; rt; memop ] ->
+        let off, base = mem_operand line_no memop in
+        let rt = reg line_no rt in
+        Builder.emit b
+          (match op with
+          | "lw" -> Insn.Lw (rt, base, off)
+          | "lb" -> Insn.Lb (rt, base, off)
+          | "lbu" -> Insn.Lbu (rt, base, off)
+          | "lh" -> Insn.Lh (rt, base, off)
+          | _ -> Insn.Lhu (rt, base, off))
+    | [ ("sw" | "sb" | "sh") as op; rt; memop ] ->
+        let off, base = mem_operand line_no memop in
+        let rt = reg line_no rt in
+        Builder.emit b
+          (match op with
+          | "sw" -> Insn.Sw (rt, base, off)
+          | "sb" -> Insn.Sb (rt, base, off)
+          | _ -> Insn.Sh (rt, base, off))
+    | [ "l.s"; ft; memop ] ->
+        let off, base = mem_operand line_no memop in
+        Builder.emit b (Insn.Lwf (reg line_no ft, base, off))
+    | [ "s.s"; ft; memop ] ->
+        let off, base = mem_operand line_no memop in
+        Builder.emit b (Insn.Swf (reg line_no ft, base, off))
+    | [ op; rd; r1; r2 ] when alu_of_name op <> None && Reg.of_string r2 <> None ->
+        let aop = Option.get (alu_of_name op) in
+        Builder.emit b (Insn.Alu (aop, reg line_no rd, reg line_no r1, reg line_no r2))
+    | [ op; rt; r1; imm ] when alui_of_name op <> None ->
+        let aop = Option.get (alui_of_name op) in
+        Builder.emit b (Insn.Alui (aop, reg line_no rt, reg line_no r1, int_tok line_no imm))
+    | [ op; rd; rt; sh ] when shift_of_name op <> None ->
+        let sop = Option.get (shift_of_name op) in
+        Builder.emit b (Insn.Shift (sop, reg line_no rd, reg line_no rt, int_tok line_no sh))
+    | [ op; rd; rt; r1 ] when shiftv_of_name op <> None ->
+        let sop = Option.get (shiftv_of_name op) in
+        Builder.emit b (Insn.Shiftv (sop, reg line_no rd, reg line_no rt, reg line_no r1))
+    | [ op; fd; f1 ] when fpu_of_name op <> None && Insn.fpu_unary (Option.get (fpu_of_name op))
+      ->
+        let fop = Option.get (fpu_of_name op) in
+        Builder.emit b (Insn.Fpu (fop, reg line_no fd, reg line_no f1, Reg.f 0))
+    | [ op; fd; f1; f2 ] when fpu_of_name op <> None ->
+        let fop = Option.get (fpu_of_name op) in
+        Builder.emit b (Insn.Fpu (fop, reg line_no fd, reg line_no f1, reg line_no f2))
+    | [ op; rd; f1; f2 ] when fcmp_of_name op <> None ->
+        let cop = Option.get (fcmp_of_name op) in
+        Builder.emit b (Insn.Fcmp (cop, reg line_no rd, reg line_no f1, reg line_no f2))
+    | [ op; r1; r2; tgt ] when cond_of_name op <> None ->
+        let cond = Option.get (cond_of_name op) in
+        if is_label_tok tgt then Builder.br b cond (reg line_no r1) (reg line_no r2) tgt
+        else
+          Builder.emit b
+            (Insn.Br (cond, reg line_no r1, reg line_no r2, int_tok line_no tgt))
+    | [ op; r1; tgt ] when cond_of_name op <> None ->
+        let cond = Option.get (cond_of_name op) in
+        if is_label_tok tgt then Builder.br b cond (reg line_no r1) Reg.zero tgt
+        else Builder.emit b (Insn.Br (cond, reg line_no r1, Reg.zero, int_tok line_no tgt))
+    | op :: _ -> fail line_no "unrecognised instruction %S" op
+  end
+
+let program ?text_base src =
+  let b = Builder.create ?text_base () in
+  try
+    String.split_on_char '\n' src |> List.iteri (fun i l -> parse_line b (i + 1) l);
+    Ok (Builder.finish b)
+  with
+  | Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  | Failure msg | Invalid_argument msg -> Error msg
+
+let program_exn ?text_base src =
+  match program ?text_base src with
+  | Ok p -> p
+  | Error msg -> failwith ("Parse.program_exn: " ^ msg)

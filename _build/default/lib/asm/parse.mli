@@ -1,0 +1,28 @@
+(** Textual RIQ32 assembler.
+
+    Accepts the syntax printed by [Insn.to_string] plus labels, comments
+    ([#] or [;] to end of line), the pseudo-instructions [li]/[la], and data
+    directives. Branch and jump operands may be label names instead of
+    numeric offsets. Supported directives:
+
+    {v
+    .word  name v1 v2 ...     integer words under label `name`
+    .float name v1 v2 ...     single-precision floats
+    .space name n             n zero words
+    v}
+
+    Example:
+    {v
+    start:
+        li   r2, 10
+    loop:
+        addi r3, r3, 1
+        addi r2, r2, -1
+        bgtz r2, loop
+        halt
+    v} *)
+
+val program : ?text_base:int -> string -> (Program.t, string) result
+(** Assemble a whole source text. Errors carry a line number. *)
+
+val program_exn : ?text_base:int -> string -> Program.t

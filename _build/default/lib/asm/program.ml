@@ -1,0 +1,61 @@
+open Riq_isa
+
+type data_init =
+  | Words of { base : int; values : int array }
+  | Floats of { base : int; values : float array }
+
+type t = {
+  text_base : int;
+  code : Insn.t array;
+  data : data_init list;
+  entry : int;
+  symbols : (string * int) list;
+}
+
+let make ?(text_base = 0x1000) ?(data = []) ?entry ?(symbols = []) code =
+  if Array.length code = 0 then invalid_arg "Program.make: empty code";
+  if text_base land 3 <> 0 then invalid_arg "Program.make: misaligned text base";
+  List.iter
+    (fun init ->
+      let base = match init with Words { base; _ } | Floats { base; _ } -> base in
+      if base land 3 <> 0 then invalid_arg "Program.make: misaligned data base")
+    data;
+  let entry = Option.value entry ~default:text_base in
+  { text_base; code; data; entry; symbols }
+
+let size_bytes t = 4 * Array.length t.code
+
+let insn_at t pc =
+  let idx = (pc - t.text_base) / 4 in
+  if pc land 3 <> 0 || idx < 0 || idx >= Array.length t.code then None
+  else Some t.code.(idx)
+
+let address_of t name = List.assoc_opt name t.symbols
+
+let float_word f = Int32.to_int (Int32.bits_of_float f) land 0xFFFFFFFF
+
+let load t ~write_word =
+  Array.iteri (fun i insn -> write_word (t.text_base + (4 * i)) (Encode.encode insn)) t.code;
+  List.iter
+    (fun init ->
+      match init with
+      | Words { base; values } ->
+          Array.iteri (fun i v -> write_word (base + (4 * i)) (v land 0xFFFFFFFF)) values
+      | Floats { base; values } ->
+          Array.iteri (fun i v -> write_word (base + (4 * i)) (float_word v)) values)
+    t.data
+
+let pp_listing ppf t =
+  let label_at =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun (name, addr) -> Hashtbl.replace tbl addr name) t.symbols;
+    Hashtbl.find_opt tbl
+  in
+  Array.iteri
+    (fun i insn ->
+      let addr = t.text_base + (4 * i) in
+      (match label_at addr with
+      | Some name -> Format.fprintf ppf "%s:@." name
+      | None -> ());
+      Format.fprintf ppf "  %08x:  %s@." addr (Insn.to_string insn))
+    t.code

@@ -1,0 +1,46 @@
+open Riq_isa
+
+(** An executable RIQ32 program image.
+
+    A program is a contiguous text segment (instructions), a set of data
+    initialisers, and an entry point. Simulators load the image into their
+    own memory model via {!load}. *)
+
+type data_init =
+  | Words of { base : int; values : int array }
+      (** 32-bit integer words starting at byte address [base]. *)
+  | Floats of { base : int; values : float array }
+      (** Single-precision floats, one word each, starting at [base]. *)
+
+type t = {
+  text_base : int; (** byte address of [code.(0)]; word-aligned *)
+  code : Insn.t array;
+  data : data_init list;
+  entry : int; (** initial PC, usually [text_base] *)
+  symbols : (string * int) list; (** label name -> byte address *)
+}
+
+val make :
+  ?text_base:int -> ?data:data_init list -> ?entry:int ->
+  ?symbols:(string * int) list -> Insn.t array -> t
+(** [make code] builds a program; [text_base] defaults to [0x1000], [entry]
+    to [text_base]. Raises [Invalid_argument] on a misaligned base or empty
+    code. *)
+
+val size_bytes : t -> int
+(** Length of the text segment in bytes. *)
+
+val insn_at : t -> int -> Insn.t option
+(** [insn_at p pc] fetches the instruction at byte address [pc], or [None]
+    when [pc] is outside the text segment. *)
+
+val address_of : t -> string -> int option
+(** Look up a label. *)
+
+val load : t -> write_word:(int -> int -> unit) -> unit
+(** Materialise the image: encodes each instruction into the text segment
+    and writes every data initialiser. [write_word addr word] stores a
+    32-bit word at byte address [addr]. *)
+
+val pp_listing : Format.formatter -> t -> unit
+(** Disassembly listing with addresses and labels. *)

@@ -1,0 +1,1 @@
+lib/branch/bimod.ml: Bits Bytes Char Riq_util

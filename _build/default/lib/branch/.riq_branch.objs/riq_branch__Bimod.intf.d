@@ -1,0 +1,1 @@
+lib/branch/bimod.mli:

@@ -1,0 +1,1 @@
+lib/branch/btb.ml: Array Bits Riq_util

@@ -1,0 +1,1 @@
+lib/branch/gshare.ml: Bits Bytes Char Riq_util

@@ -1,0 +1,1 @@
+lib/branch/predictor.ml: Bimod Btb Gshare Insn Ras Riq_isa

@@ -1,0 +1,1 @@
+lib/branch/predictor.mli: Insn Riq_isa

@@ -1,0 +1,78 @@
+open Riq_util
+
+type entry = { mutable tag : int; mutable target : int; mutable valid : bool; mutable lru : int }
+
+type t = {
+  sets : int;
+  ways : int;
+  table : entry array;
+  mutable clock : int;
+  mutable n_lookup : int;
+  mutable n_hit : int;
+  mutable n_update : int;
+}
+
+let create ~sets ~ways =
+  if not (Bits.is_pow2 sets) then invalid_arg "Btb.create: sets must be a power of two";
+  if ways < 1 then invalid_arg "Btb.create: ways must be >= 1";
+  {
+    sets;
+    ways;
+    table =
+      Array.init (sets * ways) (fun _ -> { tag = 0; target = 0; valid = false; lru = 0 });
+    clock = 0;
+    n_lookup = 0;
+    n_hit = 0;
+    n_update = 0;
+  }
+
+let set_and_tag t ~pc =
+  let idx = pc lsr 2 in
+  (idx land (t.sets - 1), idx / t.sets)
+
+let find t ~pc =
+  let set, tag = set_and_tag t ~pc in
+  let base = set * t.ways in
+  let found = ref None in
+  for w = 0 to t.ways - 1 do
+    let e = t.table.(base + w) in
+    if e.valid && e.tag = tag then found := Some e
+  done;
+  !found
+
+let lookup t ~pc =
+  t.n_lookup <- t.n_lookup + 1;
+  t.clock <- t.clock + 1;
+  match find t ~pc with
+  | Some e ->
+      t.n_hit <- t.n_hit + 1;
+      e.lru <- t.clock;
+      Some e.target
+  | None -> None
+
+let update t ~pc ~target =
+  t.n_update <- t.n_update + 1;
+  t.clock <- t.clock + 1;
+  match find t ~pc with
+  | Some e ->
+      e.target <- target;
+      e.lru <- t.clock
+  | None ->
+      let set, tag = set_and_tag t ~pc in
+      let base = set * t.ways in
+      let victim = ref t.table.(base) in
+      for w = 1 to t.ways - 1 do
+        let e = t.table.(base + w) in
+        let v = !victim in
+        if (not e.valid) && v.valid then victim := e
+        else if v.valid && e.valid && e.lru < v.lru then victim := e
+      done;
+      let v = !victim in
+      v.tag <- tag;
+      v.target <- target;
+      v.valid <- true;
+      v.lru <- t.clock
+
+let lookups t = t.n_lookup
+let hits t = t.n_hit
+let updates t = t.n_update

@@ -1,0 +1,1 @@
+lib/core/detector.ml: Insn Riq_isa

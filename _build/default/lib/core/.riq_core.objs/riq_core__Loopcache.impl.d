@@ -1,0 +1,1 @@
+lib/core/loopcache.ml: Insn Riq_isa

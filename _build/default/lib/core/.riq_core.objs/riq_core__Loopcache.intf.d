@@ -1,0 +1,1 @@
+lib/core/loopcache.mli: Insn Riq_isa

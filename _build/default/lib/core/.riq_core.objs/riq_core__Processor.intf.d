@@ -1,0 +1,1 @@
+lib/core/processor.mli: Config Hierarchy Loopcache Machine Nblt Program Reuse_state Riq_asm Riq_interp Riq_mem Riq_ooo Riq_power

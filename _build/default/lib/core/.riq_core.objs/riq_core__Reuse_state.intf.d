@@ -1,0 +1,1 @@
+lib/core/reuse_state.mli:

@@ -1,0 +1,19 @@
+open Riq_isa
+
+type verdict =
+  | Not_a_loop
+  | Too_large of int
+  | Capturable of { head : int; tail : int; span : int }
+
+let examine ~iq_size ~pc insn =
+  let candidate =
+    match Insn.kind insn with
+    | Insn.K_branch | K_jump -> Insn.ctrl_target insn ~pc
+    | K_call | K_return | K_ijump | K_int | K_fp | K_load | K_store | K_nop | K_halt -> None
+  in
+  match candidate with
+  | Some target when target <= pc ->
+      let span = ((pc - target) / 4) + 1 in
+      if span <= iq_size then Capturable { head = target; tail = pc; span }
+      else Too_large span
+  | Some _ | None -> Not_a_loop

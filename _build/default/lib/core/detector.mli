@@ -1,0 +1,21 @@
+open Riq_isa
+
+(** Loop-structure detector (Section 2.1).
+
+    The paper performs detection at the decode stage: for every conditional
+    branch and direct jump it checks (1) whether the transfer is backward
+    and (2) whether the static span from the target (the loop head) to the
+    instruction itself (the loop tail) fits in the issue queue. Indirect
+    jumps have no statically-known target at decode and are never loop
+    ends. *)
+
+type verdict =
+  | Not_a_loop (** not a backward branch/jump *)
+  | Too_large of int (** backward, but the body exceeds the queue; carries the span *)
+  | Capturable of { head : int; tail : int; span : int }
+      (** [head]/[tail] are byte addresses of the first and last
+          instructions of an iteration; [span] the body size in
+          instructions. *)
+
+val examine : iq_size:int -> pc:int -> Insn.t -> verdict
+(** Decode-stage check of the instruction at [pc]. *)

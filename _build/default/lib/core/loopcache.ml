@@ -1,0 +1,73 @@
+open Riq_isa
+
+type state = Idle | Fill | Active
+
+type t = {
+  cap : int;
+  mutable st : state;
+  mutable head : int;
+  mutable tail : int;
+  mutable filled : int;
+  mutable n_fill : int;
+  mutable n_supply : int;
+  mutable n_activate : int;
+}
+
+let create cap =
+  if cap < 4 then invalid_arg "Loopcache.create: capacity must be >= 4";
+  { cap; st = Idle; head = 0; tail = 0; filled = 0; n_fill = 0; n_supply = 0; n_activate = 0 }
+
+let capacity t = t.cap
+let state t = t.st
+
+let in_loop t pc = pc >= t.head && pc <= t.tail
+
+let serving t ~pc = t.st = Active && in_loop t pc
+
+(* A short backward branch: conditional branch or direct jump whose taken
+   target is behind it by at most the cache capacity. *)
+let sbb_target t ~pc insn =
+  match Insn.kind insn with
+  | Insn.K_branch | K_jump -> (
+      match Insn.ctrl_target insn ~pc with
+      | Some target when target <= pc && ((pc - target) / 4) + 1 <= t.cap -> Some target
+      | Some _ | None -> None)
+  | K_call | K_return | K_ijump | K_int | K_fp | K_load | K_store | K_nop | K_halt -> None
+
+let to_idle t =
+  t.st <- Idle;
+  t.filled <- 0
+
+let on_fetch t ~pc ~insn ~pred_npc =
+  match t.st with
+  | Idle -> (
+      match sbb_target t ~pc insn with
+      | Some target when pred_npc = target ->
+          t.st <- Fill;
+          t.head <- target;
+          t.tail <- pc;
+          t.filled <- 0
+      | Some _ | None -> ())
+  | Fill ->
+      if in_loop t pc then begin
+        t.filled <- t.filled + 1;
+        t.n_fill <- t.n_fill + 1;
+        if pc = t.tail then
+          if pred_npc = t.head && t.filled >= ((t.tail - t.head) / 4) + 1 then begin
+            t.st <- Active;
+            t.n_activate <- t.n_activate + 1
+          end
+          else to_idle t
+      end
+      else to_idle t (* left the loop while filling *)
+  | Active ->
+      if in_loop t pc then begin
+        t.n_supply <- t.n_supply + 1;
+        if pc = t.tail && pred_npc <> t.head then to_idle t
+      end
+      else to_idle t
+
+let reset t = to_idle t
+let fills t = t.n_fill
+let supplies t = t.n_supply
+let activations t = t.n_activate

@@ -1,0 +1,1017 @@
+open Riq_util
+open Riq_isa
+open Riq_asm
+open Riq_mem
+open Riq_branch
+open Riq_power
+open Riq_ooo
+open Riq_interp
+
+(* Instruction fetched but not yet dispatched. *)
+type fetched = {
+  f_pc : int;
+  f_insn : Insn.t;
+  f_pred_npc : int; (* -1: unknown target, fetch stalls until resolution *)
+  f_ras_ck : Predictor.checkpoint;
+  mutable f_buffered : bool; (* classification decided at decode *)
+}
+
+type ev_kind = Complete | Agen
+
+type ev = {
+  ev_seq : int;
+  ev_rob : int;
+  ev_kind : ev_kind;
+  ev_addr : int; (* memory ops: effective address *)
+  ev_di : int; (* stores: integer data *)
+  ev_df : float; (* stores: FP data *)
+  ev_dtag : int; (* stores: ROB index the data waits on, or -1 *)
+}
+
+type replay = { rp_seq : int; rp_rob : int; rp_addr : int }
+
+type t = {
+  cfg : Config.t;
+  program : Program.t;
+  memory : Store.t;
+  hier : Hierarchy.t;
+  pred : Predictor.t;
+  rob : Rob.t;
+  iq : Iq.t;
+  lsq : Lsq.t;
+  fu : Fu.t;
+  acct : Account.t;
+  reuse : Reuse_state.t;
+  nblt : Nblt.t;
+  lc : Loopcache.t option; (* related-work baseline, Config.loop_cache *)
+  arch_i : int array;
+  arch_f : float array;
+  map : int array; (* logical register -> ROB index, -1 = architectural *)
+  mutable fetch_pc : int; (* -1: blocked until redirect *)
+  mutable fetch_stall_until : int;
+  fetch_q : fetched Queue.t;
+  decode_latch : fetched Queue.t;
+  mutable now : int;
+  mutable seq_ctr : int;
+  events : (int, ev list ref) Hashtbl.t;
+  mutable replays : replay list;
+  mutable halted : bool;
+  mutable halt_pc : int;
+  mutable committed : int;
+  mutable gated_cycles : int;
+  mutable n_branches : int;
+  mutable n_mispredicts : int;
+  mutable n_loads : int;
+  mutable n_stores : int;
+  mutable n_reuse_dispatch : int;
+}
+
+type stop = Halted | Cycle_limit
+
+let create cfg program =
+  Config.validate cfg;
+  let memory = Store.create () in
+  Program.load program ~write_word:(Store.write_word memory);
+  let arch_i = Array.make 32 0 in
+  arch_i.(Reg.sp) <- Machine.default_sp;
+  {
+    cfg;
+    program;
+    memory;
+    hier = Hierarchy.create cfg.Config.mem;
+    pred = Predictor.create cfg.Config.bpred;
+    rob = Rob.create cfg.Config.rob_entries;
+    iq = Iq.create cfg.Config.iq_entries;
+    lsq = Lsq.create cfg.Config.lsq_entries;
+    fu =
+      Fu.create ~n_ialu:cfg.Config.n_ialu ~n_imult:cfg.Config.n_imult
+        ~n_fpalu:cfg.Config.n_fpalu ~n_fpmult:cfg.Config.n_fpmult
+        ~n_memport:cfg.Config.n_memport;
+    acct = Account.create (Model.create (Config.power_geometry cfg));
+    reuse = Reuse_state.create ();
+    nblt = Nblt.create cfg.Config.nblt_entries;
+    lc =
+      (if cfg.Config.loop_cache_entries > 0 then
+         Some (Loopcache.create cfg.Config.loop_cache_entries)
+       else None);
+    arch_i;
+    arch_f = Array.make 32 0.;
+    map = Array.make Reg.count (-1);
+    fetch_pc = program.Program.entry;
+    fetch_stall_until = 0;
+    fetch_q = Queue.create ();
+    decode_latch = Queue.create ();
+    now = 0;
+    seq_ctr = 0;
+    events = Hashtbl.create 64;
+    replays = [];
+    halted = false;
+    halt_pc = 0;
+    committed = 0;
+    gated_cycles = 0;
+    n_branches = 0;
+    n_mispredicts = 0;
+    n_loads = 0;
+    n_stores = 0;
+    n_reuse_dispatch = 0;
+  }
+
+let charge t c n = Account.add t.acct c n
+let charge1 t c = Account.add t.acct c 1.
+
+let schedule t ~cycle ev =
+  match Hashtbl.find_opt t.events cycle with
+  | Some l -> l := ev :: !l
+  | None -> Hashtbl.replace t.events cycle (ref [ ev ])
+
+let next_seq t =
+  t.seq_ctr <- t.seq_ctr + 1;
+  t.seq_ctr
+
+(* Memory hierarchy wrappers that charge the power account, including the
+   L2 accesses triggered by L1 misses. *)
+let fetch_latency t addr =
+  let l1_before = Cache.accesses (Hierarchy.l1i t.hier) in
+  let l2_before = Cache.accesses (Hierarchy.l2 t.hier) in
+  let lat = Hierarchy.fetch t.hier ~now:t.now ~addr () in
+  (* With a filter cache, an L0 hit never reaches the L1I; charging by
+     access deltas attributes the energy to the structure actually used. *)
+  (match Hierarchy.l0i t.hier with
+  | Some _ -> charge1 t Component.L0cache
+  | None -> ());
+  let d1 = Cache.accesses (Hierarchy.l1i t.hier) - l1_before in
+  if d1 > 0 then charge t Component.Icache (float_of_int d1);
+  charge1 t Component.Itlb;
+  let dl2 = Cache.accesses (Hierarchy.l2 t.hier) - l2_before in
+  if dl2 > 0 then charge t Component.L2 (float_of_int dl2);
+  lat
+
+let data_latency t ~addr ~write =
+  let l2_before = Cache.accesses (Hierarchy.l2 t.hier) in
+  let lat = Hierarchy.data t.hier ~now:t.now ~addr ~write () in
+  charge1 t Component.Dcache;
+  charge1 t Component.Dtlb;
+  let dl2 = Cache.accesses (Hierarchy.l2 t.hier) - l2_before in
+  if dl2 > 0 then charge t Component.L2 (float_of_int dl2);
+  lat
+
+(* The two register-source operands of an instruction, as logical register
+   numbers (-1 = none). For stores src1 is the base and src2 the data. *)
+let operand_regs insn =
+  let z r = if r = Reg.zero then -1 else r in
+  match insn with
+  | Insn.Alu (_, _, rs, rt) | Mul (_, rs, rt) | Div (_, rs, rt) -> (z rs, z rt)
+  | Alui (_, _, rs, _) -> (z rs, -1)
+  | Shift (_, _, rt, _) -> (z rt, -1)
+  | Shiftv (_, _, rt, rs) -> (z rt, z rs)
+  | Lui _ -> (-1, -1)
+  | Fpu (op, _, fs, ft) -> if Insn.fpu_unary op then (fs, -1) else (fs, ft)
+  | Fcmp (_, _, fs, ft) -> (fs, ft)
+  | Cvtsw (_, rs) -> (z rs, -1)
+  | Cvtws (_, fs) -> (fs, -1)
+  | Lw (_, base, _) | Lb (_, base, _) | Lbu (_, base, _) | Lh (_, base, _)
+  | Lhu (_, base, _) | Lwf (_, base, _) ->
+      (z base, -1)
+  | Sw (rt, base, _) | Sb (rt, base, _) | Sh (rt, base, _) -> (z base, z rt)
+  | Swf (ft, base, _) -> (z base, ft)
+  | Br (cond, rs, rt, _) -> (
+      match cond with
+      | Beq | Bne -> (z rs, z rt)
+      | Blez | Bgtz | Bltz | Bgez -> (z rs, -1))
+  | Jr rs | Jalr (_, rs) -> (z rs, -1)
+  | J _ | Jal _ | Nop | Halt -> (-1, -1)
+
+(* Resolve one source operand through the map table: (tag, value_i,
+   value_f); tag = -1 when the value is available now. *)
+let read_operand t r =
+  if r < 0 then (-1, 0, 0.)
+  else begin
+    charge1 t Component.Regfile;
+    match t.map.(r) with
+    | -1 ->
+        if Reg.is_fp r then (-1, 0, t.arch_f.(Reg.index r))
+        else (-1, t.arch_i.(Reg.index r), 0.)
+    | idx ->
+        let e = Rob.entry t.rob idx in
+        if e.Rob.completed then (-1, e.Rob.value_i, e.Rob.value_f) else (idx, 0, 0.)
+  end
+
+(* Execute an instruction given its operand values; returns
+   (value_i, value_f, taken, next_pc). Memory operations are handled
+   separately (address generation + cache access). *)
+let compute insn ~pc ~s1i ~s1f ~s2i ~s2f =
+  let next = pc + 4 in
+  match insn with
+  | Insn.Alu (op, _, _, _) -> (Semantics.alu op s1i s2i, 0., false, next)
+  | Alui (op, _, _, imm) -> (Semantics.alu op s1i (Semantics.alui_imm op imm), 0., false, next)
+  | Shift (op, _, _, sh) -> (Semantics.shift op s1i sh, 0., false, next)
+  | Shiftv (op, _, _, _) -> (Semantics.shift op s1i s2i, 0., false, next)
+  | Lui (_, imm) -> (Bits.of_i32 (imm lsl 16), 0., false, next)
+  | Mul (_, _, _) -> (Semantics.mul s1i s2i, 0., false, next)
+  | Div (_, _, _) -> (Semantics.div s1i s2i, 0., false, next)
+  | Fpu (op, _, _, _) -> (0, Semantics.fpu op s1f s2f, false, next)
+  | Fcmp (op, _, _, _) -> (Semantics.fcmp op s1f s2f, 0., false, next)
+  | Cvtsw (_, _) -> (0, Semantics.cvt_s_w s1i, false, next)
+  | Cvtws (_, _) -> (Semantics.cvt_w_s s1f, 0., false, next)
+  | Br (cond, _, _, off) ->
+      let taken = Semantics.branch_taken cond s1i s2i in
+      (0, 0., taken, if taken then pc + 4 + (4 * off) else next)
+  | J tgt -> (0, 0., true, 4 * tgt)
+  | Jal tgt -> (next, 0., true, 4 * tgt)
+  | Jr _ -> (0, 0., true, s1i)
+  | Jalr (_, _) -> (next, 0., true, s1i)
+  | Lw _ | Lb _ | Lbu _ | Lh _ | Lhu _ | Sw _ | Sb _ | Sh _ | Lwf _ | Swf _ | Nop | Halt ->
+      (0, 0., false, next)
+
+let effective_addr insn ~base =
+  match insn with
+  | Insn.Lw (_, _, off) | Lb (_, _, off) | Lbu (_, _, off) | Lh (_, _, off)
+  | Lhu (_, _, off) | Sw (_, _, off) | Sb (_, _, off) | Sh (_, _, off)
+  | Lwf (_, _, off) | Swf (_, _, off) ->
+      Bits.add32 base off
+  | Alu _ | Alui _ | Shift _ | Shiftv _ | Lui _ | Mul _ | Div _ | Fpu _ | Fcmp _
+  | Cvtsw _ | Cvtws _ | Br _ | J _ | Jal _ | Jr _ | Jalr _ | Nop | Halt ->
+      invalid_arg "Processor.effective_addr: not a memory operation"
+
+let is_fp_mem insn = match insn with Insn.Lwf _ | Swf _ -> true | _ -> false
+
+(* Wrong-path accesses may compute garbage addresses; an address is usable
+   when non-negative and aligned to the access width. *)
+let valid_addr insn addr =
+  addr >= 0 && addr land (Insn.access_bytes insn - 1) = 0
+
+(* ------------------------------------------------------------------ *)
+(* Misprediction recovery and reuse-engine state transitions.          *)
+(* ------------------------------------------------------------------ *)
+
+let rebuild_map t =
+  Array.fill t.map 0 (Array.length t.map) (-1);
+  Rob.iter_oldest_first t.rob (fun idx e ->
+      if e.Rob.dest >= 0 then t.map.(e.Rob.dest) <- idx)
+
+let flush_front_end t =
+  Queue.clear t.fetch_q;
+  Queue.clear t.decode_latch
+
+let revoke_buffering t ~register_nblt =
+  if register_nblt then begin
+    charge1 t Component.Nblt;
+    Nblt.insert t.nblt t.reuse.Reuse_state.tail
+  end;
+  Iq.clear_classification t.iq;
+  Reuse_state.revoke t.reuse
+
+let exit_reuse t =
+  Iq.clear_classification t.iq;
+  Iq.set_reuse_ptr t.iq 0;
+  Reuse_state.exit_reuse t.reuse
+
+(* Conventional branch-misprediction recovery (Section 2.5), plus the
+   revoke / reuse-exit that accompanies it in the buffering states. *)
+let recover t (e : Rob.entry) =
+  let seq = e.Rob.seq in
+  Rob.squash_after t.rob ~seq ~f:(fun _ _ -> ());
+  Lsq.squash_after t.lsq ~seq;
+  Iq.squash_after t.iq ~seq;
+  rebuild_map t;
+  Predictor.restore t.pred e.Rob.ras_ck;
+  flush_front_end t;
+  t.fetch_pc <- e.Rob.actual_npc;
+  t.fetch_stall_until <- t.now + 1;
+  t.replays <- List.filter (fun r -> r.rp_seq <= seq) t.replays;
+  Option.iter Loopcache.reset t.lc;
+  match t.reuse.Reuse_state.state with
+  | Reuse_state.Normal -> ()
+  | Reuse_state.Buffering ->
+      (* A wrong path inside the loop (including the loop exit) makes the
+         loop non-bufferable; a mispredict older than the loop is a plain
+         revoke. *)
+      revoke_buffering t ~register_nblt:(Reuse_state.in_loop t.reuse ~pc:e.Rob.pc)
+  | Reuse_state.Reusing -> exit_reuse t
+
+(* ------------------------------------------------------------------ *)
+(* Commit stage.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let commit_one t (e : Rob.entry) =
+  charge1 t Component.Rob;
+  (match e.Rob.dest with
+  | -1 -> ()
+  | d ->
+      charge1 t Component.Regfile;
+      if Reg.is_fp d then t.arch_f.(Reg.index d) <- e.Rob.value_f
+      else t.arch_i.(Reg.index d) <- e.Rob.value_i;
+      let head_idx = Rob.head t.rob in
+      if t.map.(d) = head_idx then t.map.(d) <- -1);
+  if e.Rob.lsq_idx >= 0 then begin
+    let le = Lsq.entry t.lsq e.Rob.lsq_idx in
+    assert (Lsq.head_is t.lsq e.Rob.lsq_idx);
+    if e.Rob.is_store then begin
+      t.n_stores <- t.n_stores + 1;
+      charge1 t Component.Lsq;
+      ignore (data_latency t ~addr:le.Lsq.addr ~write:true);
+      if le.Lsq.is_fp then Store.write_float t.memory le.Lsq.addr le.Lsq.data_f
+      else begin
+        match e.Rob.insn with
+        | Insn.Sb _ -> Store.write_byte t.memory le.Lsq.addr le.Lsq.data_i
+        | Insn.Sh _ -> Store.write_half t.memory le.Lsq.addr le.Lsq.data_i
+        | _ -> Store.write_word t.memory le.Lsq.addr (Bits.to_u32 le.Lsq.data_i)
+      end
+    end
+    else t.n_loads <- t.n_loads + 1;
+    Lsq.pop_head t.lsq
+  end;
+  (match e.Rob.insn with
+  | Insn.Halt ->
+      t.halted <- true;
+      t.halt_pc <- e.Rob.pc
+  | _ -> ());
+  t.committed <- t.committed + 1;
+  Rob.pop_head t.rob
+
+let commit_stage t =
+  let n = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !n < t.cfg.Config.commit_width && not t.halted do
+    match Rob.head_entry t.rob with
+    | Some e when e.Rob.completed ->
+        commit_one t e;
+        incr n
+    | Some _ | None -> continue_ := false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Writeback: completion and address-generation events.                *)
+(* ------------------------------------------------------------------ *)
+
+let complete t (e : Rob.entry) rob_idx =
+  e.Rob.completed <- true;
+  charge1 t Component.Rob;
+  charge1 t Component.Resultbus;
+  charge1 t Component.Iq_wakeup;
+  Iq.wakeup t.iq ~tag:rob_idx ~value_i:e.Rob.value_i ~value_f:e.Rob.value_f;
+  List.iter
+    (fun (store_rob, store_seq) ->
+      schedule t ~cycle:(t.now + 1)
+        {
+          ev_seq = store_seq;
+          ev_rob = store_rob;
+          ev_kind = Complete;
+          ev_addr = 0;
+          ev_di = 0;
+          ev_df = 0.;
+          ev_dtag = -1;
+        })
+    (Lsq.capture_data t.lsq ~tag:rob_idx ~value_i:e.Rob.value_i ~value_f:e.Rob.value_f);
+  if e.Rob.is_ctrl then begin
+    t.n_branches <- t.n_branches + 1;
+    (* Predictor tables are trained at resolution in every issue-queue
+       state (lookups are what gating suppresses). *)
+    (match e.Rob.insn with
+    | Insn.Br _ -> charge1 t Component.Bpred_dir
+    | _ -> ());
+    if e.Rob.taken then charge1 t Component.Btb;
+    Predictor.resolve t.pred ~pc:e.Rob.pc ~insn:e.Rob.insn ~taken:e.Rob.taken
+      ~target:e.Rob.actual_npc;
+    if e.Rob.actual_npc <> e.Rob.pred_npc then begin
+      t.n_mispredicts <- t.n_mispredicts + 1;
+      recover t e
+    end
+  end
+
+(* A load attempting to execute: forward or access the cache. The LSQ
+   search is charged once, on the first attempt — replayed loads sleep in
+   the queue and are re-checked without a fresh CAM search. *)
+(* The integer value a load produces, given the raw register value a
+   matching store would write (forwarding) — extract and extend the low
+   bits per the load's width and signedness. *)
+let load_value_from_reg insn raw =
+  match insn with
+  | Insn.Lb _ -> Bits.sign_extend raw ~width:8
+  | Lbu _ -> raw land 0xFF
+  | Lh _ -> Bits.sign_extend raw ~width:16
+  | Lhu _ -> raw land 0xFFFF
+  | _ -> Bits.of_i32 raw
+
+let load_value_from_memory t insn addr =
+  match insn with
+  | Insn.Lb _ -> Bits.sign_extend (Store.read_byte t.memory addr) ~width:8
+  | Lbu _ -> Store.read_byte t.memory addr
+  | Lh _ -> Bits.sign_extend (Store.read_half t.memory addr) ~width:16
+  | Lhu _ -> Store.read_half t.memory addr
+  | _ -> Bits.of_i32 (Store.read_word t.memory addr)
+
+let start_load ?(charge_search = true) t ~rob_idx ~(e : Rob.entry) ~addr =
+  let le = Lsq.entry t.lsq e.Rob.lsq_idx in
+  if charge_search then charge1 t Component.Lsq;
+  match Lsq.check_load t.lsq ~idx:e.Rob.lsq_idx ~addr ~width:le.Lsq.width with
+  | Lsq.Wait -> false
+  | Lsq.Forward se ->
+      if le.Lsq.is_fp then e.Rob.value_f <- se.Lsq.data_f
+      else e.Rob.value_i <- load_value_from_reg e.Rob.insn se.Lsq.data_i;
+      schedule t ~cycle:(t.now + 1)
+        { ev_seq = e.Rob.seq; ev_rob = rob_idx; ev_kind = Complete; ev_addr = 0; ev_di = 0; ev_df = 0.; ev_dtag = -1 };
+      true
+  | Lsq.Access ->
+      let lat =
+        if valid_addr e.Rob.insn addr then begin
+          let lat = data_latency t ~addr ~write:false in
+          if le.Lsq.is_fp then e.Rob.value_f <- Store.read_float t.memory addr
+          else e.Rob.value_i <- load_value_from_memory t e.Rob.insn addr;
+          lat
+        end
+        else 1 (* wrong-path garbage address: complete without touching memory *)
+      in
+      schedule t ~cycle:(t.now + lat)
+        { ev_seq = e.Rob.seq; ev_rob = rob_idx; ev_kind = Complete; ev_addr = 0; ev_di = 0; ev_df = 0.; ev_dtag = -1 };
+      true
+
+let process_agen t ev =
+  let e = Rob.entry t.rob ev.ev_rob in
+  if e.Rob.seq = ev.ev_seq then begin
+    let le = Lsq.entry t.lsq e.Rob.lsq_idx in
+    le.Lsq.addr <- ev.ev_addr;
+    le.Lsq.addr_ready <- true;
+    charge1 t Component.Lsq;
+    if e.Rob.is_store then begin
+      if ev.ev_dtag = -1 then begin
+        le.Lsq.data_i <- ev.ev_di;
+        le.Lsq.data_f <- ev.ev_df;
+        le.Lsq.data_ready <- true;
+        (* The store has done all its execute-stage work. *)
+        schedule t ~cycle:(t.now + 1)
+          { ev with ev_kind = Complete; ev_addr = 0; ev_di = 0; ev_df = 0.; ev_dtag = -1 }
+      end
+      else begin
+        (* Address is known; the data operand is still in flight and will
+           arrive over the result bus. *)
+        let producer = Rob.entry t.rob ev.ev_dtag in
+        if producer.Rob.completed then begin
+          le.Lsq.data_i <- producer.Rob.value_i;
+          le.Lsq.data_f <- producer.Rob.value_f;
+          le.Lsq.data_ready <- true;
+          schedule t ~cycle:(t.now + 1)
+            { ev with ev_kind = Complete; ev_addr = 0; ev_di = 0; ev_df = 0.; ev_dtag = -1 }
+        end
+        else le.Lsq.data_tag <- ev.ev_dtag
+      end
+    end
+    else if not (start_load t ~rob_idx:ev.ev_rob ~e ~addr:ev.ev_addr) then
+      t.replays <- { rp_seq = ev.ev_seq; rp_rob = ev.ev_rob; rp_addr = ev.ev_addr } :: t.replays
+  end
+
+let writeback_stage t =
+  match Hashtbl.find_opt t.events t.now with
+  | None -> ()
+  | Some l ->
+      Hashtbl.remove t.events t.now;
+      let evs = List.sort (fun a b -> compare a.ev_seq b.ev_seq) !l in
+      List.iter
+        (fun ev ->
+          let e = Rob.entry t.rob ev.ev_rob in
+          if e.Rob.seq = ev.ev_seq && not e.Rob.completed then begin
+            match ev.ev_kind with
+            | Complete -> complete t e ev.ev_rob
+            | Agen -> process_agen t ev
+          end)
+        evs
+
+let replay_stage t =
+  let pending = t.replays in
+  t.replays <- [];
+  List.iter
+    (fun r ->
+      let e = Rob.entry t.rob r.rp_rob in
+      if e.Rob.seq = r.rp_seq && not e.Rob.completed then
+        if not (start_load ~charge_search:false t ~rob_idx:r.rp_rob ~e ~addr:r.rp_addr) then
+          t.replays <- r :: t.replays)
+    (List.rev pending)
+
+(* ------------------------------------------------------------------ *)
+(* Issue stage: oldest-first selection of ready instructions.          *)
+(* ------------------------------------------------------------------ *)
+
+let issue_slot t (s : Iq.slot) =
+  let insn = s.Iq.insn in
+  s.Iq.issued <- true;
+  charge1 t Component.Iq_payload;
+  (match s.Iq.fu with
+  | Insn.FU_ialu -> charge1 t Component.Ialu
+  | FU_imult -> charge1 t Component.Imult
+  | FU_fpalu -> charge1 t Component.Fpalu
+  | FU_fpmult -> charge1 t Component.Fpmult
+  | FU_mem -> charge1 t Component.Ialu (* address generation adder *)
+  | FU_none -> ());
+  let e = Rob.entry t.rob s.Iq.rob_idx in
+  (match Insn.kind insn with
+  | Insn.K_load | K_store ->
+      let addr = effective_addr insn ~base:s.Iq.src1_i in
+      schedule t ~cycle:(t.now + 1)
+        {
+          ev_seq = s.Iq.seq;
+          ev_rob = s.Iq.rob_idx;
+          ev_kind = Agen;
+          ev_addr = addr;
+          ev_di = s.Iq.src2_i;
+          ev_df = s.Iq.src2_f;
+          ev_dtag = s.Iq.src2_tag;
+        }
+  | K_int | K_fp | K_branch | K_jump | K_call | K_return | K_ijump | K_nop | K_halt ->
+      let vi, vf, taken, npc =
+        compute insn ~pc:s.Iq.pc ~s1i:s.Iq.src1_i ~s1f:s.Iq.src1_f ~s2i:s.Iq.src2_i
+          ~s2f:s.Iq.src2_f
+      in
+      e.Rob.value_i <- vi;
+      e.Rob.value_f <- vf;
+      e.Rob.taken <- taken;
+      e.Rob.actual_npc <- npc;
+      let lat = max 1 (Insn.latency insn) in
+      schedule t ~cycle:(t.now + lat)
+        { ev_seq = s.Iq.seq; ev_rob = s.Iq.rob_idx; ev_kind = Complete; ev_addr = 0; ev_di = 0; ev_df = 0.; ev_dtag = -1 });
+  if not s.Iq.reusable then s.Iq.dead <- true
+
+let issue_stage t =
+  let width = t.cfg.Config.issue_width in
+  if Iq.count t.iq > 0 then charge1 t Component.Iq_select;
+  (* Collect the [width] oldest ready instructions (the array is not in
+     age order during Code Reuse, so order by sequence number). *)
+  let cand = Array.make width (-1) in
+  let cand_seq = Array.make width max_int in
+  let slots = Iq.slots t.iq in
+  for i = 0 to Iq.count t.iq - 1 do
+    let s = slots.(i) in
+    let is_store = match Insn.kind s.Iq.insn with Insn.K_store -> true | _ -> false in
+    if
+      (not s.Iq.dead) && (not s.Iq.issued) && s.Iq.src1_tag = -1
+      && (s.Iq.src2_tag = -1 || is_store)
+    then begin
+      (* Insertion into the running top-[width] youngest-seq table. *)
+      let j = ref (width - 1) in
+      if s.Iq.seq < cand_seq.(!j) then begin
+        while !j > 0 && s.Iq.seq < cand_seq.(!j - 1) do
+          cand_seq.(!j) <- cand_seq.(!j - 1);
+          cand.(!j) <- cand.(!j - 1);
+          decr j
+        done;
+        cand_seq.(!j) <- s.Iq.seq;
+        cand.(!j) <- i
+      end
+    end
+  done;
+  for k = 0 to width - 1 do
+    if cand.(k) >= 0 then begin
+      let s = slots.(cand.(k)) in
+      let lat = max 1 (Insn.latency s.Iq.insn) in
+      if Fu.acquire t.fu s.Iq.fu ~now:t.now ~latency:lat ~pipelined:(Insn.pipelined s.Iq.insn)
+      then issue_slot t s
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch (rename + queue): normal mode.                             *)
+(* ------------------------------------------------------------------ *)
+
+let fill_rob_entry t ~rob_idx ~seq ~pc ~insn ~pred_npc ~ras_ck ~from_reuse =
+  let e = Rob.entry t.rob rob_idx in
+  e.Rob.seq <- seq;
+  e.Rob.pc <- pc;
+  e.Rob.insn <- insn;
+  e.Rob.completed <- false;
+  e.Rob.value_i <- 0;
+  e.Rob.value_f <- 0.;
+  e.Rob.dest <- (match Insn.dest insn with Some d -> d | None -> -1);
+  e.Rob.is_store <- (match Insn.kind insn with Insn.K_store -> true | _ -> false);
+  e.Rob.lsq_idx <- -1;
+  e.Rob.is_ctrl <- Insn.is_ctrl insn;
+  e.Rob.pred_npc <- pred_npc;
+  e.Rob.actual_npc <- pc + 4;
+  e.Rob.taken <- false;
+  e.Rob.ras_ck <- ras_ck;
+  e.Rob.from_reuse <- from_reuse;
+  e
+
+let is_mem insn =
+  match Insn.kind insn with Insn.K_load | K_store -> true | _ -> false
+
+let rename_into_slot t (s : Iq.slot) ~seq ~rob_idx ~pc ~insn ~pred_npc =
+  charge1 t Component.Rename;
+  let r1, r2 = operand_regs insn in
+  let t1, v1i, v1f = read_operand t r1 in
+  let t2, v2i, v2f = read_operand t r2 in
+  s.Iq.seq <- seq;
+  s.Iq.rob_idx <- rob_idx;
+  s.Iq.pc <- pc;
+  s.Iq.insn <- insn;
+  s.Iq.fu <- Insn.fu insn;
+  s.Iq.src1_tag <- t1;
+  s.Iq.src1_i <- v1i;
+  s.Iq.src1_f <- v1f;
+  s.Iq.src2_tag <- t2;
+  s.Iq.src2_i <- v2i;
+  s.Iq.src2_f <- v2f;
+  s.Iq.issued <- false;
+  s.Iq.pred_npc <- pred_npc;
+  (match Insn.dest insn with
+  | Some d -> t.map.(d) <- rob_idx
+  | None -> ())
+
+(* Dispatch one decoded instruction; returns false on a structural stall. *)
+let dispatch_one t (f : fetched) =
+  if Rob.is_full t.rob then false
+  else if Iq.is_full t.iq then begin
+    (* Queue exhausted while buffering a loop (e.g. a too-large procedure
+       inside it): the loop is non-bufferable (Section 2.2.2). *)
+    if t.reuse.Reuse_state.state = Reuse_state.Buffering && f.f_buffered then
+      revoke_buffering t ~register_nblt:true;
+    false
+  end
+  else if is_mem f.f_insn && Lsq.is_full t.lsq then false
+  else begin
+    let seq = next_seq t in
+    let rob_idx = Rob.alloc t.rob in
+    charge1 t Component.Rob;
+    let e =
+      fill_rob_entry t ~rob_idx ~seq ~pc:f.f_pc ~insn:f.f_insn ~pred_npc:f.f_pred_npc
+        ~ras_ck:f.f_ras_ck ~from_reuse:false
+    in
+    if is_mem f.f_insn then begin
+      let li = Lsq.alloc t.lsq in
+      let le = Lsq.entry t.lsq li in
+      le.Lsq.seq <- seq;
+      le.Lsq.rob_idx <- rob_idx;
+      le.Lsq.is_store <- e.Rob.is_store;
+      le.Lsq.is_fp <- is_fp_mem f.f_insn;
+      le.Lsq.width <- Insn.access_bytes f.f_insn;
+      e.Rob.lsq_idx <- li
+    end;
+    let s = Iq.dispatch t.iq in
+    rename_into_slot t s ~seq ~rob_idx ~pc:f.f_pc ~insn:f.f_insn ~pred_npc:f.f_pred_npc;
+    charge1 t Component.Iq_payload;
+    let buffering = t.reuse.Reuse_state.state = Reuse_state.Buffering in
+    if buffering && f.f_buffered then begin
+      s.Iq.reusable <- true;
+      charge1 t Component.Lrl;
+      t.reuse.Reuse_state.iter_count <- t.reuse.Reuse_state.iter_count + 1;
+      if t.reuse.Reuse_state.first_buffered_seq = -1 then
+        t.reuse.Reuse_state.first_buffered_seq <- seq;
+      (* Iteration boundary: the loop-ending instruction was dispatched. *)
+      if f.f_pc = t.reuse.Reuse_state.tail then begin
+        let iter_size = t.reuse.Reuse_state.iter_count in
+        t.reuse.Reuse_state.iters_buffered <- t.reuse.Reuse_state.iters_buffered + 1;
+        t.reuse.Reuse_state.iter_count <- 0;
+        let continue_buffering =
+          t.cfg.Config.buffer_multiple_iterations && Iq.free t.iq >= iter_size
+        in
+        if not continue_buffering then begin
+          Reuse_state.promote t.reuse;
+          Iq.set_reuse_ptr t.iq (Iq.first_reusable t.iq);
+          flush_front_end t
+        end
+      end
+    end;
+    true
+  end
+
+let dispatch_normal t =
+  let budget = ref t.cfg.Config.decode_width in
+  let continue_ = ref true in
+  while
+    !continue_ && !budget > 0
+    && (not (Queue.is_empty t.decode_latch))
+    && t.reuse.Reuse_state.state <> Reuse_state.Reusing
+  do
+    let f = Queue.peek t.decode_latch in
+    if dispatch_one t f then begin
+      (* [dispatch_one] may have promoted to Code Reuse and flushed the
+         front-end queues, in which case the latch is now empty. *)
+      if not (Queue.is_empty t.decode_latch) then ignore (Queue.pop t.decode_latch);
+      decr budget
+    end
+    else continue_ := false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch in Code Reuse state: the queue feeds rename itself.        *)
+(* ------------------------------------------------------------------ *)
+
+(* [allow_wrap] implements the paper's unidirectional scan: within one
+   cycle the pointer only moves forward; it resets to the first buffered
+   instruction after the last one is reused, so a wrap ends the cycle's
+   dispatch group. *)
+let reuse_dispatch_one t ~allow_wrap =
+  let first = Iq.first_reusable t.iq in
+  if first < 0 then false
+  else begin
+    let p = Iq.reuse_ptr t.iq in
+    let needs_wrap = p >= Iq.count t.iq || not (Iq.slots t.iq).(p).Iq.reusable in
+    if needs_wrap && not allow_wrap then false
+    else begin
+    let rptr = if needs_wrap then first else p in
+    let s = (Iq.slots t.iq).(rptr) in
+    if not s.Iq.issued then false (* previous instance still in flight *)
+    else if Rob.is_full t.rob then false
+    else if is_mem s.Iq.insn && Lsq.is_full t.lsq then false
+    else begin
+      let insn = s.Iq.insn in
+      let pc = s.Iq.pc in
+      let seq = next_seq t in
+      let rob_idx = Rob.alloc t.rob in
+      charge1 t Component.Rob;
+      let e =
+        fill_rob_entry t ~rob_idx ~seq ~pc ~insn ~pred_npc:s.Iq.pred_npc
+          ~ras_ck:(Predictor.checkpoint t.pred) ~from_reuse:true
+      in
+      if is_mem insn then begin
+        let li = Lsq.alloc t.lsq in
+        let le = Lsq.entry t.lsq li in
+        le.Lsq.seq <- seq;
+        le.Lsq.rob_idx <- rob_idx;
+        le.Lsq.is_store <- e.Rob.is_store;
+        le.Lsq.is_fp <- is_fp_mem insn;
+        le.Lsq.width <- Insn.access_bytes insn;
+        e.Rob.lsq_idx <- li
+      end;
+      (* Partial update: only the register information and the ROB pointer
+         change (Section 2.4) — renaming happens as in normal dispatch. *)
+      rename_into_slot t s ~seq ~rob_idx ~pc ~insn ~pred_npc:s.Iq.pred_npc;
+      s.Iq.reusable <- true;
+      charge1 t Component.Lrl;
+      charge t Component.Iq_payload Model.iq_partial_update_fraction;
+      t.n_reuse_dispatch <- t.n_reuse_dispatch + 1;
+      Iq.set_reuse_ptr t.iq (rptr + 1);
+      true
+    end
+    end
+  end
+
+let dispatch_reuse t =
+  let budget = ref t.cfg.Config.issue_width in
+  let continue_ = ref true in
+  (* The pointer reset after the last buffered instruction (Section 2.4)
+     is modelled as free within the cycle: the buffered region behaves as
+     a circular buffer for the "first n from the pointer" check. *)
+  while !continue_ && !budget > 0 && t.reuse.Reuse_state.state = Reuse_state.Reusing do
+    if reuse_dispatch_one t ~allow_wrap:true then decr budget else continue_ := false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Decode stage: loop detection and classification (Section 2.1).      *)
+(* ------------------------------------------------------------------ *)
+
+let decode_reuse_hooks t (f : fetched) =
+  if t.cfg.Config.reuse_enabled then begin
+    let r = t.reuse in
+    match r.Reuse_state.state with
+    | Reuse_state.Normal -> (
+        if Insn.is_ctrl f.f_insn then charge1 t Component.Reuse_logic;
+        match Detector.examine ~iq_size:t.cfg.Config.iq_entries ~pc:f.f_pc f.f_insn with
+        | Detector.Capturable { head; tail; span = _ } ->
+            r.Reuse_state.n_detections <- r.Reuse_state.n_detections + 1;
+            charge1 t Component.Nblt;
+            if Nblt.mem t.nblt tail then
+              r.Reuse_state.n_nblt_filtered <- r.Reuse_state.n_nblt_filtered + 1
+            else if f.f_pred_npc = head then
+              (* Detection works on the predicted target (Section 2.1):
+                 buffering begins with the second iteration, so it only
+                 makes sense when the branch is predicted to loop back. *)
+              Reuse_state.start_buffering r ~head ~tail
+        | Detector.Too_large _ | Detector.Not_a_loop -> ())
+    | Reuse_state.Buffering ->
+        let in_loop = Reuse_state.in_loop r ~pc:f.f_pc in
+        let in_callee = r.Reuse_state.call_depth > 0 in
+        f.f_buffered <- in_loop || in_callee;
+        (match Insn.kind f.f_insn with
+        | Insn.K_call -> if f.f_buffered then r.Reuse_state.call_depth <- r.Reuse_state.call_depth + 1
+        | K_return ->
+            if in_callee then r.Reuse_state.call_depth <- r.Reuse_state.call_depth - 1
+        | K_branch | K_jump | K_ijump | K_int | K_fp | K_load | K_store | K_nop | K_halt ->
+            ());
+        if (not in_loop) && not in_callee then
+          (* The execution left the loop while buffering (Section 2.2.3). *)
+          revoke_buffering t ~register_nblt:true
+        else begin
+          match Detector.examine ~iq_size:t.cfg.Config.iq_entries ~pc:f.f_pc f.f_insn with
+          | Detector.Capturable { tail; _ } when tail <> r.Reuse_state.tail ->
+              (* An inner loop makes the current loop non-bufferable. *)
+              revoke_buffering t ~register_nblt:true
+          | Detector.Capturable _ | Detector.Too_large _ | Detector.Not_a_loop -> ()
+        end
+    | Reuse_state.Reusing -> ()
+  end
+
+let decode_stage t =
+  if t.reuse.Reuse_state.state <> Reuse_state.Reusing then begin
+    let room = t.cfg.Config.decode_width - Queue.length t.decode_latch in
+    for _ = 1 to room do
+      if
+        (not (Queue.is_empty t.fetch_q))
+        && t.reuse.Reuse_state.state <> Reuse_state.Reusing
+      then begin
+        let f = Queue.pop t.fetch_q in
+        charge1 t Component.Decoder;
+        decode_reuse_hooks t f;
+        Queue.push f t.decode_latch
+      end
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fetch stage.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fetch_stage t =
+  if
+    t.reuse.Reuse_state.state <> Reuse_state.Reusing
+    && t.fetch_pc >= 0
+    && t.now >= t.fetch_stall_until
+    && Queue.length t.fetch_q < t.cfg.Config.fetch_queue
+    && Program.insn_at t.program t.fetch_pc <> None
+  then begin
+    (* The loop cache, when present and active, supplies the whole fetch
+       group without touching the instruction cache or ITLB. *)
+    let serve_lc =
+      match t.lc with Some lc -> Loopcache.serving lc ~pc:t.fetch_pc | None -> false
+    in
+    let lat =
+      if serve_lc then begin
+        charge1 t Component.Loopcache;
+        t.cfg.Config.mem.Hierarchy.l1i.Cache.hit_latency
+      end
+      else fetch_latency t t.fetch_pc
+    in
+    if lat > t.cfg.Config.mem.Hierarchy.l1i.Cache.hit_latency then
+      t.fetch_stall_until <- t.now + lat
+    else begin
+      let line = t.cfg.Config.mem.Hierarchy.l1i.Cache.line_bytes in
+      let line_of pc = pc / line in
+      let cur_line = ref (line_of t.fetch_pc) in
+      let fetched = ref 0 in
+      let continue_ = ref true in
+      while
+        !continue_ && !fetched < t.cfg.Config.fetch_width
+        && Queue.length t.fetch_q < t.cfg.Config.fetch_queue
+        && t.fetch_pc >= 0
+      do
+        (* Crossing into another cache line (sequentially or through a
+           taken branch) costs another port access; a miss there ends the
+           group and stalls the front end. Loop-cache-served groups never
+           touch the line ports. *)
+        if (not serve_lc) && line_of t.fetch_pc <> !cur_line then begin
+          let lat = fetch_latency t t.fetch_pc in
+          if lat > t.cfg.Config.mem.Hierarchy.l1i.Cache.hit_latency then begin
+            t.fetch_stall_until <- t.now + lat;
+            continue_ := false
+          end
+          else cur_line := line_of t.fetch_pc
+        end;
+        if !continue_ then begin
+          match Program.insn_at t.program t.fetch_pc with
+          | None -> continue_ := false
+          | Some insn ->
+              let pc = t.fetch_pc in
+              let pred_npc, ck =
+                if Insn.is_ctrl insn then begin
+                  (match Insn.kind insn with
+                  | Insn.K_branch -> charge1 t Component.Bpred_dir
+                  | K_call | K_return -> charge1 t Component.Ras
+                  | K_jump | K_ijump | K_int | K_fp | K_load | K_store | K_nop | K_halt -> ());
+                  charge1 t Component.Btb;
+                  let d = Predictor.lookup t.pred ~pc ~insn in
+                  let ck = Predictor.checkpoint t.pred in
+                  let npc =
+                    if d.Predictor.taken then
+                      match d.Predictor.target with Some tgt -> tgt | None -> -1
+                    else pc + 4
+                  in
+                  (npc, ck)
+                end
+                else (pc + 4, Predictor.checkpoint t.pred)
+              in
+              Queue.push
+                { f_pc = pc; f_insn = insn; f_pred_npc = pred_npc; f_ras_ck = ck; f_buffered = false }
+                t.fetch_q;
+              (match t.lc with
+              | Some lc ->
+                  (* Fill writes are charged; supplied reads were charged
+                     once for the group. *)
+                  if Loopcache.state lc = Loopcache.Fill then charge1 t Component.Loopcache;
+                  Loopcache.on_fetch lc ~pc ~insn ~pred_npc
+              | None -> ());
+              incr fetched;
+              (match Insn.kind insn with
+              | Insn.K_halt ->
+                  t.fetch_pc <- -1;
+                  continue_ := false
+              | _ ->
+                  t.fetch_pc <- pred_npc;
+                  (* Unknown target: wait for the instruction to resolve. *)
+                  if pred_npc < 0 then continue_ := false)
+        end
+      done
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cycle loop.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let step_cycle t =
+  commit_stage t;
+  if not t.halted then begin
+    writeback_stage t;
+    replay_stage t;
+    issue_stage t;
+    (match t.reuse.Reuse_state.state with
+    | Reuse_state.Reusing -> dispatch_reuse t
+    | Reuse_state.Normal | Reuse_state.Buffering -> dispatch_normal t);
+    decode_stage t;
+    fetch_stage t;
+    if t.reuse.Reuse_state.state = Reuse_state.Reusing then begin
+      t.gated_cycles <- t.gated_cycles + 1;
+      charge1 t Component.Reuse_logic
+    end;
+    let removed = Iq.compact t.iq in
+    if removed > 0 then charge t Component.Iq_payload (float_of_int removed)
+  end;
+  Account.tick t.acct;
+  t.now <- t.now + 1
+
+let run ?(cycle_limit = 200_000_000) t =
+  let rec go () =
+    if t.halted then Halted
+    else if t.now >= cycle_limit then Cycle_limit
+    else begin
+      step_cycle t;
+      go ()
+    end
+  in
+  go ()
+
+let halted t = t.halted
+let cycles t = t.now
+let committed t = t.committed
+let ipc t = if t.now = 0 then 0. else float_of_int t.committed /. float_of_int t.now
+let gated_cycles t = t.gated_cycles
+let occupancy t = (Iq.count t.iq, Rob.count t.rob, Lsq.count t.lsq)
+
+let arch_state t =
+  {
+    Machine.final_pc = t.halt_pc + 4;
+    instructions = t.committed;
+    int_regs = Array.copy t.arch_i;
+    fp_regs = Array.copy t.arch_f;
+    memory =
+      List.rev (Store.fold_nonzero t.memory ~init:[] ~f:(fun acc addr v -> (addr, v) :: acc));
+  }
+
+let account t = t.acct
+let hierarchy t = t.hier
+let reuse_state t = t.reuse
+let nblt t = t.nblt
+let loopcache t = t.lc
+let config t = t.cfg
+
+type stats = {
+  cycles : int;
+  committed : int;
+  ipc : float;
+  gated_cycles : int;
+  gated_fraction : float;
+  branches : int;
+  mispredicts : int;
+  loads : int;
+  stores : int;
+  reuse_dispatches : int;
+  buffer_attempts : int;
+  revokes : int;
+  promotions : int;
+  reuse_exits : int;
+  avg_power : float;
+  icache_accesses : int;
+  icache_misses : int;
+  dcache_accesses : int;
+  dcache_misses : int;
+}
+
+let stats t =
+  {
+    cycles = t.now;
+    committed = t.committed;
+    ipc = ipc t;
+    gated_cycles = t.gated_cycles;
+    gated_fraction = (if t.now = 0 then 0. else float_of_int t.gated_cycles /. float_of_int t.now);
+    branches = t.n_branches;
+    mispredicts = t.n_mispredicts;
+    loads = t.n_loads;
+    stores = t.n_stores;
+    reuse_dispatches = t.n_reuse_dispatch;
+    buffer_attempts = t.reuse.Reuse_state.n_buffer_attempts;
+    revokes = t.reuse.Reuse_state.n_revokes;
+    promotions = t.reuse.Reuse_state.n_promotions;
+    reuse_exits = t.reuse.Reuse_state.n_reuse_exits;
+    avg_power = Account.avg_power t.acct;
+    icache_accesses = Cache.accesses (Hierarchy.l1i t.hier);
+    icache_misses = Cache.misses (Hierarchy.l1i t.hier);
+    dcache_accesses = Cache.accesses (Hierarchy.l1d t.hier);
+    dcache_misses = Cache.misses (Hierarchy.l1d t.hier);
+  }

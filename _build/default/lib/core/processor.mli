@@ -1,0 +1,83 @@
+open Riq_asm
+open Riq_mem
+open Riq_ooo
+open Riq_interp
+
+(** The modelled processor: a 4-wide out-of-order superscalar with the
+    pipeline of Figure 1 (Fetch, Decode, Rename, Queue, Issue, RegRead,
+    Execute, WriteBack, Commit) and, when [Config.reuse_enabled] is set,
+    the paper's reusable-instruction issue queue:
+
+    - loop detection at decode ({!Detector}),
+    - Loop Buffering with the multiple-iteration strategy of Section 2.2.1
+      and the procedure-call handling of Section 2.2.2,
+    - the non-bufferable loop table of Section 2.2.3,
+    - Code Reuse with front-end gating, reuse-pointer re-dispatch into
+      rename, and static in-loop branch prediction (Section 2.4),
+    - revoke and misprediction recovery (Section 2.5).
+
+    Power is accounted cycle-by-cycle through {!Riq_power.Account}. *)
+
+type t
+
+val create : Config.t -> Program.t -> t
+
+type stop = Halted | Cycle_limit
+
+val run : ?cycle_limit:int -> t -> stop
+(** Simulate until the [halt] instruction commits (default limit 200
+    million cycles). *)
+
+val step_cycle : t -> unit
+(** Advance one cycle; exposed for the pipeline unit tests and the
+    example that traces state-machine transitions. *)
+
+val halted : t -> bool
+
+(** {2 Results} *)
+
+val cycles : t -> int
+val committed : t -> int
+val ipc : t -> float
+val gated_cycles : t -> int
+(** Cycles spent in Code Reuse state with the front-end gated. *)
+
+val occupancy : t -> int * int * int
+(** Current (issue queue, ROB, LSQ) occupancy — for pipeline viewers. *)
+
+val arch_state : t -> Machine.arch_state
+(** Architectural snapshot in the reference simulator's format, for
+    differential testing against {!Riq_interp.Machine}. *)
+
+val account : t -> Riq_power.Account.t
+val hierarchy : t -> Hierarchy.t
+val reuse_state : t -> Reuse_state.t
+val nblt : t -> Nblt.t
+val loopcache : t -> Loopcache.t option
+(** Present when [Config.loop_cache_entries > 0] (related-work baseline). *)
+
+val config : t -> Config.t
+
+type stats = {
+  cycles : int;
+  committed : int;
+  ipc : float;
+  gated_cycles : int;
+  gated_fraction : float;
+  branches : int;
+  mispredicts : int;
+  loads : int;
+  stores : int;
+  reuse_dispatches : int; (** instructions supplied by the issue queue *)
+  buffer_attempts : int;
+  revokes : int;
+  promotions : int;
+  reuse_exits : int;
+  avg_power : float;
+  icache_accesses : int;
+  icache_misses : int;
+  dcache_accesses : int;
+  dcache_misses : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,46 @@
+(** Issue-queue operating state (Figure 2 of the paper) and the bookkeeping
+    registers of the reuse engine: R_loophead, R_looptail, the
+    iteration-size counter, and the procedure-call depth tracked while
+    buffering.
+
+    Transitions are driven by the pipeline ({!Processor}); this module
+    centralises the registers and the statistics the experiments report
+    (buffering attempts, revokes, promotions, reuse exits). *)
+
+type state =
+  | Normal
+  | Buffering (** Loop Buffering: renamed loop instructions are retained *)
+  | Reusing (** Code Reuse: the front-end is gated *)
+
+type t = {
+  mutable state : state;
+  mutable head : int; (** R_loophead: address of the first loop instruction *)
+  mutable tail : int; (** R_looptail: address of the loop-ending instruction *)
+  mutable iter_count : int; (** instructions dispatched in the current buffering iteration *)
+  mutable call_depth : int; (** procedure nesting while buffering *)
+  mutable first_buffered_seq : int; (** -1 until the first buffered dispatch *)
+  mutable iters_buffered : int;
+  mutable n_detections : int;
+  mutable n_nblt_filtered : int;
+  mutable n_buffer_attempts : int;
+  mutable n_revokes : int;
+  mutable n_promotions : int;
+  mutable n_reuse_exits : int;
+}
+
+val create : unit -> t
+
+val start_buffering : t -> head:int -> tail:int -> unit
+(** Normal -> Buffering (capturable loop detected, NBLT miss). *)
+
+val revoke : t -> unit
+(** Buffering -> Normal. *)
+
+val promote : t -> unit
+(** Buffering -> Reusing. *)
+
+val exit_reuse : t -> unit
+(** Reusing -> Normal. *)
+
+val in_loop : t -> pc:int -> bool
+(** Whether [pc] lies within [head, tail]. *)

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Array Config Format List Printf Processor Riq_branch Riq_core Riq_loopir Riq_ooo Riq_util Riq_workloads Run Stats Sweep Table Workloads

@@ -1,0 +1,1 @@
+lib/harness/run.ml: Account Component Machine Processor Riq_core Riq_interp Riq_power

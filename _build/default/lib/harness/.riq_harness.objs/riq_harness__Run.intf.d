@@ -1,0 +1,1 @@
+lib/harness/run.mli: Config Processor Program Riq_asm Riq_core Riq_ooo

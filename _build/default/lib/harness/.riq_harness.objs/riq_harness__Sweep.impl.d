@@ -1,0 +1,1 @@
+lib/harness/sweep.ml: Config List Printf Riq_ooo Riq_workloads Run Workloads

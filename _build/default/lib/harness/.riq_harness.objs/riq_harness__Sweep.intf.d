@@ -1,0 +1,1 @@
+lib/harness/sweep.mli: Riq_workloads Run Workloads

@@ -1,0 +1,335 @@
+open Riq_util
+open Riq_ooo
+open Riq_core
+open Riq_workloads
+
+let table1 () = Format.asprintf "%a" Config.pp Config.baseline
+
+let table2 () =
+  let t =
+    Table.create ~title:"Table 2. Array-intensive applications."
+      [ ("Name", Table.Left); ("Source", Table.Left); ("Description", Table.Left) ]
+  in
+  List.iter
+    (fun w -> Table.add_row t [ w.Workloads.name; w.Workloads.source; w.Workloads.description ])
+    Workloads.all;
+  t
+
+let size_cols sizes =
+  ("Benchmark", Table.Left) :: List.map (fun s -> (Printf.sprintf "IQ %d" s, Table.Right)) sizes
+
+(* One row per benchmark, one column per size, plus an average row. *)
+let per_bench_table ~title ~digits sweep value =
+  let t = Table.create ~title (size_cols sweep.Sweep.sizes) in
+  let sums = Array.make (List.length sweep.Sweep.sizes) 0. in
+  List.iter
+    (fun (bench, per_size) ->
+      let cells =
+        List.mapi
+          (fun i (_, c) ->
+            let v = value c in
+            sums.(i) <- sums.(i) +. v;
+            Table.cell_pct ~digits v)
+          per_size
+      in
+      Table.add_row t (bench :: cells))
+    sweep.Sweep.cells;
+  Table.add_sep t;
+  let n = float_of_int (List.length sweep.Sweep.cells) in
+  Table.add_row t
+    ("average" :: Array.to_list (Array.map (fun s -> Table.cell_pct ~digits (s /. n)) sums));
+  t
+
+let fig5 sweep =
+  per_bench_table
+    ~title:
+      "Figure 5. Percentage of total execution cycles with the pipeline front-end gated."
+    ~digits:1 sweep
+    (fun c -> 100. *. c.Sweep.reuse.Run.stats.Processor.gated_fraction)
+
+let fig7 sweep =
+  per_bench_table ~title:"Figure 7. Overall power (per cycle) reduction." ~digits:1 sweep
+    (fun c -> Run.reduction c.Sweep.baseline.Run.total_power c.Sweep.reuse.Run.total_power)
+
+let fig8 sweep =
+  per_bench_table ~title:"Figure 8. Performance (IPC) degradation." ~digits:2 sweep (fun c ->
+      Run.reduction c.Sweep.baseline.Run.stats.Processor.ipc
+        c.Sweep.reuse.Run.stats.Processor.ipc)
+
+let fig6 sweep =
+  let t =
+    Table.create
+      ~title:
+        "Figure 6. Power reduction in the instruction cache, branch predictor and issue\n\
+         queue, and overhead power (share of total), averaged over the benchmarks."
+      (("Series", Table.Left)
+      :: List.map (fun s -> (Printf.sprintf "IQ %d" s, Table.Right)) sweep.Sweep.sizes)
+  in
+  let avg f =
+    List.map
+      (fun size ->
+        let vals =
+          List.map (fun (bench, _) -> f (Sweep.cell sweep ~bench ~size)) sweep.Sweep.cells
+        in
+        Stats.mean (Array.of_list vals))
+      sweep.Sweep.sizes
+  in
+  let row name vals = Table.add_row t (name :: List.map (Table.cell_pct ~digits:1) vals) in
+  row "Icache"
+    (avg (fun c -> Run.reduction c.Sweep.baseline.Run.icache_power c.Sweep.reuse.Run.icache_power));
+  row "Bpred"
+    (avg (fun c -> Run.reduction c.Sweep.baseline.Run.bpred_power c.Sweep.reuse.Run.bpred_power));
+  row "IssueQueue"
+    (avg (fun c -> Run.reduction c.Sweep.baseline.Run.iq_power c.Sweep.reuse.Run.iq_power));
+  row "Overhead"
+    (avg (fun c -> 100. *. c.Sweep.reuse.Run.overhead_power /. c.Sweep.reuse.Run.total_power));
+  t
+
+let fig9 ?(check = true) () =
+  let t =
+    Table.create
+      ~title:
+        "Figure 9. Impact of compiler optimizations (loop distribution), 64-entry issue\n\
+         queue: overall power reduction, gated cycles and performance loss."
+      [
+        ("Benchmark", Table.Left);
+        ("Power red. (orig)", Table.Right);
+        ("Power red. (opt)", Table.Right);
+        ("Gated (orig)", Table.Right);
+        ("Gated (opt)", Table.Right);
+        ("IPC loss (orig)", Table.Right);
+        ("IPC loss (opt)", Table.Right);
+      ]
+  in
+  let acc = Array.make 6 0. in
+  List.iter
+    (fun w ->
+      let orig = Workloads.program w in
+      let opt = Workloads.optimized w in
+      let run cfg prog = Run.simulate ~check cfg prog in
+      let bo = run Config.baseline orig and ro = run Config.reuse orig in
+      let bp = run Config.baseline opt and rp = run Config.reuse opt in
+      let vals =
+        [|
+          Run.reduction bo.Run.total_power ro.Run.total_power;
+          Run.reduction bp.Run.total_power rp.Run.total_power;
+          100. *. ro.Run.stats.Processor.gated_fraction;
+          100. *. rp.Run.stats.Processor.gated_fraction;
+          Run.reduction bo.Run.stats.Processor.ipc ro.Run.stats.Processor.ipc;
+          Run.reduction bp.Run.stats.Processor.ipc rp.Run.stats.Processor.ipc;
+        |]
+      in
+      Array.iteri (fun i v -> acc.(i) <- acc.(i) +. v) vals;
+      Table.add_row t
+        (w.Workloads.name :: Array.to_list (Array.map (Table.cell_pct ~digits:1) vals)))
+    Workloads.all;
+  Table.add_sep t;
+  let n = float_of_int (List.length Workloads.all) in
+  Table.add_row t
+    ("average" :: Array.to_list (Array.map (fun v -> Table.cell_pct ~digits:1 (v /. n)) acc));
+  t
+
+let nblt_ablation ?(check = true) () =
+  let t =
+    Table.create
+      ~title:
+        "NBLT ablation (Section 3 text): buffering attempts that end in a revoke, with\n\
+         and without the 8-entry non-bufferable loop table (64-entry issue queue)."
+      [
+        ("Benchmark", Table.Left);
+        ("Revoke rate (no NBLT)", Table.Right);
+        ("Revoke rate (NBLT 8)", Table.Right);
+        ("Gated (no NBLT)", Table.Right);
+        ("Gated (NBLT 8)", Table.Right);
+      ]
+  in
+  List.iter
+    (fun w ->
+      let prog = Workloads.program w in
+      let run nblt =
+        Run.simulate ~check { Config.reuse with Config.nblt_entries = nblt } prog
+      in
+      let without = run 0 and with_ = run 8 in
+      let rate r =
+        let s = r.Run.stats in
+        Stats.percent
+          (float_of_int s.Processor.revokes)
+          (float_of_int (max 1 s.Processor.buffer_attempts))
+      in
+      Table.add_row t
+        [
+          w.Workloads.name;
+          Table.cell_pct ~digits:1 (rate without);
+          Table.cell_pct ~digits:1 (rate with_);
+          Table.cell_pct ~digits:1 (100. *. without.Run.stats.Processor.gated_fraction);
+          Table.cell_pct ~digits:1 (100. *. with_.Run.stats.Processor.gated_fraction);
+        ])
+    Workloads.all;
+  t
+
+let strategy_ablation ?(check = true) () =
+  let t =
+    Table.create
+      ~title:
+        "Buffering-strategy ablation (Section 2.2.1): buffer one iteration (strategy 1)\n\
+         vs. fill the queue with whole iterations (strategy 2), 64-entry issue queue."
+      [
+        ("Benchmark", Table.Left);
+        ("Gated (s1)", Table.Right);
+        ("Gated (s2)", Table.Right);
+        ("IPC (s1)", Table.Right);
+        ("IPC (s2)", Table.Right);
+      ]
+  in
+  List.iter
+    (fun w ->
+      let prog = Workloads.program w in
+      let run multi =
+        Run.simulate ~check
+          { Config.reuse with Config.buffer_multiple_iterations = multi }
+          prog
+      in
+      let s1 = run false and s2 = run true in
+      Table.add_row t
+        [
+          w.Workloads.name;
+          Table.cell_pct ~digits:1 (100. *. s1.Run.stats.Processor.gated_fraction);
+          Table.cell_pct ~digits:1 (100. *. s2.Run.stats.Processor.gated_fraction);
+          Table.cell_f ~digits:2 s1.Run.stats.Processor.ipc;
+          Table.cell_f ~digits:2 s2.Run.stats.Processor.ipc;
+        ])
+    Workloads.all;
+  t
+
+let related_work ?(check = true) ?(iq_size = 64) () =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Related-work comparison (Section 1): fetch-side loop cache and filter cache vs.\n\
+            the reusable-instruction issue queue, %d-entry issue queue."
+           iq_size)
+      [
+        ("Benchmark", Table.Left);
+        ("icache red. (loop$)", Table.Right);
+        ("icache red. (filter$)", Table.Right);
+        ("icache red. (reuse)", Table.Right);
+        ("total red. (loop$)", Table.Right);
+        ("total red. (filter$)", Table.Right);
+        ("total red. (reuse)", Table.Right);
+        ("IPC loss (filter$)", Table.Right);
+        ("IPC loss (reuse)", Table.Right);
+      ]
+  in
+  let acc = Array.make 8 0. in
+  List.iter
+    (fun w ->
+      let prog = Workloads.program w in
+      let size cfg = Config.with_iq_size cfg iq_size in
+      let base = Run.simulate ~check (size Config.baseline) prog in
+      let lc = Run.simulate ~check (size (Config.loop_cache 64)) prog in
+      let fc = Run.simulate ~check (size (Config.filter_cache ())) prog in
+      let ru = Run.simulate ~check (size Config.reuse) prog in
+      let vals =
+        [|
+          Run.reduction base.Run.icache_power lc.Run.icache_power;
+          Run.reduction base.Run.icache_power fc.Run.icache_power;
+          Run.reduction base.Run.icache_power ru.Run.icache_power;
+          Run.reduction base.Run.total_power lc.Run.total_power;
+          Run.reduction base.Run.total_power fc.Run.total_power;
+          Run.reduction base.Run.total_power ru.Run.total_power;
+          Run.reduction base.Run.stats.Processor.ipc fc.Run.stats.Processor.ipc;
+          Run.reduction base.Run.stats.Processor.ipc ru.Run.stats.Processor.ipc;
+        |]
+      in
+      Array.iteri (fun i v -> acc.(i) <- acc.(i) +. v) vals;
+      Table.add_row t
+        (w.Workloads.name :: Array.to_list (Array.map (Table.cell_pct ~digits:1) vals)))
+    Workloads.all;
+  Table.add_sep t;
+  let n = float_of_int (List.length Workloads.all) in
+  Table.add_row t
+    ("average" :: Array.to_list (Array.map (fun v -> Table.cell_pct ~digits:1 (v /. n)) acc));
+  t
+
+let predictor_ablation ?(check = true) () =
+  let t =
+    Table.create
+      ~title:
+        "Predictor-sensitivity ablation: gated cycles and overall power reduction of the\n\
+         reuse issue queue under bimodal (Table 1) vs. gshare direction prediction."
+      [
+        ("Benchmark", Table.Left);
+        ("Gated (bimod)", Table.Right);
+        ("Gated (gshare)", Table.Right);
+        ("Power red. (bimod)", Table.Right);
+        ("Power red. (gshare)", Table.Right);
+      ]
+  in
+  let gshare_bpred =
+    { Riq_branch.Predictor.baseline with
+      Riq_branch.Predictor.scheme = Riq_branch.Predictor.Gshare { history_bits = 8 } }
+  in
+  List.iter
+    (fun w ->
+      let prog = Workloads.program w in
+      let run bpred reuse_on =
+        let cfg = if reuse_on then Config.reuse else Config.baseline in
+        Run.simulate ~check { cfg with Config.bpred } prog
+      in
+      let bb = run Config.baseline.Config.bpred false in
+      let br = run Config.baseline.Config.bpred true in
+      let gb = run gshare_bpred false in
+      let gr = run gshare_bpred true in
+      Table.add_row t
+        [
+          w.Workloads.name;
+          Table.cell_pct ~digits:1 (100. *. br.Run.stats.Processor.gated_fraction);
+          Table.cell_pct ~digits:1 (100. *. gr.Run.stats.Processor.gated_fraction);
+          Table.cell_pct ~digits:1 (Run.reduction bb.Run.total_power br.Run.total_power);
+          Table.cell_pct ~digits:1 (Run.reduction gb.Run.total_power gr.Run.total_power);
+        ])
+    Workloads.all;
+  t
+
+let unroll_ablation ?(check = true) ?(factor = 4) () =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Unrolling ablation: original vs. %dx-unrolled code on the reuse issue queue\n\
+            (32 entries — where grown loop bodies lose capturability)."
+           factor)
+      [
+        ("Benchmark", Table.Left);
+        ("Gated (orig)", Table.Right);
+        ("Gated (unrolled)", Table.Right);
+        ("Power red. (orig)", Table.Right);
+        ("Power red. (unrolled)", Table.Right);
+        ("IPC (orig)", Table.Right);
+        ("IPC (unrolled)", Table.Right);
+      ]
+  in
+  List.iter
+    (fun w ->
+      let base_cfg = Config.with_iq_size Config.baseline 32 in
+      let reuse_cfg = Config.with_iq_size Config.reuse 32 in
+      let orig = Riq_loopir.Codegen.compile w.Workloads.ir in
+      let unrolled =
+        Riq_loopir.Codegen.compile (Riq_loopir.Unroll.unroll_program ~factor w.Workloads.ir)
+      in
+      let run cfg prog = Run.simulate ~check cfg prog in
+      let bo = run base_cfg orig and ro = run reuse_cfg orig in
+      let bu = run base_cfg unrolled and ru = run reuse_cfg unrolled in
+      Table.add_row t
+        [
+          w.Workloads.name;
+          Table.cell_pct ~digits:1 (100. *. ro.Run.stats.Processor.gated_fraction);
+          Table.cell_pct ~digits:1 (100. *. ru.Run.stats.Processor.gated_fraction);
+          Table.cell_pct ~digits:1 (Run.reduction bo.Run.total_power ro.Run.total_power);
+          Table.cell_pct ~digits:1 (Run.reduction bu.Run.total_power ru.Run.total_power);
+          Table.cell_f ~digits:2 ro.Run.stats.Processor.ipc;
+          Table.cell_f ~digits:2 ru.Run.stats.Processor.ipc;
+        ])
+    Workloads.all;
+  t

@@ -1,0 +1,60 @@
+open Riq_util
+
+(** Regeneration of every table and figure of the paper as ASCII tables
+    whose rows/series mirror the published plots. See EXPERIMENTS.md for
+    the paper-vs-measured record. *)
+
+val table1 : unit -> string
+(** The baseline configuration, rendered like the paper's Table 1. *)
+
+val table2 : unit -> Table.t
+(** The benchmark list with provenance (Table 2). *)
+
+val fig5 : Sweep.t -> Table.t
+(** Percentage of execution cycles with the pipeline front-end gated, per
+    benchmark per issue-queue size, with the arithmetic mean row. *)
+
+val fig6 : Sweep.t -> Table.t
+(** Benchmark-average power reduction in the instruction cache, branch
+    predictor and issue queue, plus overhead power as a share of total,
+    per issue-queue size. *)
+
+val fig7 : Sweep.t -> Table.t
+(** Overall per-cycle power reduction per benchmark per size. *)
+
+val fig8 : Sweep.t -> Table.t
+(** IPC degradation (percent, positive = slower than the conventional
+    queue) per benchmark per size. *)
+
+val fig9 : ?check:bool -> unit -> Table.t
+(** Section 4: overall power reduction with original vs. loop-distributed
+    code at the 64-entry baseline configuration, plus the gated-cycle
+    percentages quoted in the text. *)
+
+val nblt_ablation : ?check:bool -> unit -> Table.t
+(** Section 3 text: buffering-revoke rate with and without the 8-entry
+    NBLT. *)
+
+val strategy_ablation : ?check:bool -> unit -> Table.t
+(** Section 2.2.1: single-iteration buffering (strategy 1) vs.
+    multiple-iteration buffering (strategy 2): gated cycles and IPC. *)
+
+val related_work : ?check:bool -> ?iq_size:int -> unit -> Table.t
+(** The paper's introduction contrasts the reusable issue queue with
+    fetch-side loop caches and filter caches, which save instruction-cache
+    energy but keep the branch predictor and decoder running. This
+    experiment quantifies the gap at the baseline configuration: icache-
+    group and total power reduction plus IPC impact for a 64-entry loop
+    cache, a 512-byte filter cache, and the reuse issue queue. *)
+
+val predictor_ablation : ?check:bool -> unit -> Table.t
+(** Sensitivity of the mechanism to the direction predictor: bimodal
+    (Table 1) vs. gshare. Detection arms on a predicted-taken backward
+    branch, so a predictor that recognises loop branches sooner gates
+    sooner. *)
+
+val unroll_ablation : ?check:bool -> ?factor:int -> unit -> Table.t
+(** The compiler lever opposite to Section 4's loop distribution: unroll
+    every loop by [factor] (default 4) and measure, at the 32-entry queue,
+    how grown bodies lose capturability — and with it the gating and power
+    benefit — against the control overhead they save. *)

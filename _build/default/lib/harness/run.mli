@@ -1,0 +1,23 @@
+open Riq_asm
+open Riq_ooo
+open Riq_core
+
+(** Single-simulation driver used by every experiment. *)
+
+type result = {
+  stats : Processor.stats;
+  icache_power : float; (** per-cycle, Figure 6 grouping *)
+  bpred_power : float;
+  iq_power : float;
+  overhead_power : float;
+  total_power : float;
+  arch_ok : bool option; (** differential check result when requested *)
+}
+
+val simulate : ?check:bool -> ?cycle_limit:int -> Config.t -> Program.t -> result
+(** Run to completion. [check] (default false) also runs the functional
+    reference simulator and compares architectural states. Raises
+    [Failure] if the cycle limit is hit or the differential check fails. *)
+
+val reduction : float -> float -> float
+(** [reduction base with_] = percent reduction, [100*(1 - with_/base)]. *)

@@ -1,0 +1,42 @@
+open Riq_ooo
+open Riq_workloads
+
+type cell = { baseline : Run.result; reuse : Run.result }
+
+type t = {
+  sizes : int list;
+  benchmarks : Workloads.t list;
+  cells : (string * (int * cell) list) list;
+}
+
+let default_sizes = [ 32; 64; 128; 256 ]
+
+let run ?(sizes = default_sizes) ?(benchmarks = Workloads.all) ?(check = true)
+    ?(progress = fun _ -> ()) () =
+  let cells =
+    List.map
+      (fun w ->
+        let program = Workloads.program w in
+        let per_size =
+          List.map
+            (fun size ->
+              progress (Printf.sprintf "%s/IQ%d" w.Workloads.name size);
+              let baseline =
+                Run.simulate ~check (Config.with_iq_size Config.baseline size) program
+              in
+              let reuse = Run.simulate ~check (Config.with_iq_size Config.reuse size) program in
+              (size, { baseline; reuse }))
+            sizes
+        in
+        (w.Workloads.name, per_size))
+      benchmarks
+  in
+  { sizes; benchmarks; cells }
+
+let cell t ~bench ~size =
+  match List.assoc_opt bench t.cells with
+  | None -> invalid_arg ("Sweep.cell: unknown benchmark " ^ bench)
+  | Some per_size -> (
+      match List.assoc_opt size per_size with
+      | None -> invalid_arg (Printf.sprintf "Sweep.cell: size %d not swept" size)
+      | Some c -> c)

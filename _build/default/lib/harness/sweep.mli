@@ -1,0 +1,25 @@
+open Riq_workloads
+
+(** The issue-queue size sweep shared by Figures 5-8: every benchmark at
+    every queue size, with and without the reuse mechanism (ROB = queue
+    size, LSQ = half, as in the paper's Section 3). Results are computed
+    once and reused by all figure printers. *)
+
+type cell = { baseline : Run.result; reuse : Run.result }
+
+type t = {
+  sizes : int list;
+  benchmarks : Workloads.t list;
+  cells : (string * (int * cell) list) list; (** benchmark name -> per-size *)
+}
+
+val default_sizes : int list
+(** [32; 64; 128; 256], the paper's sweep. *)
+
+val run :
+  ?sizes:int list -> ?benchmarks:Workloads.t list -> ?check:bool ->
+  ?progress:(string -> unit) -> unit -> t
+(** [check] (default true) runs the differential validation on every
+    simulation. [progress] is called with a short label before each run. *)
+
+val cell : t -> bench:string -> size:int -> cell

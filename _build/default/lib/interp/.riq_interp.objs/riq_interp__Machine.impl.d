@@ -1,0 +1,1 @@
+lib/interp/machine.ml: Array Bits Format Hashtbl Insn Int32 List Program Reg Riq_asm Riq_isa Riq_mem Riq_util Semantics Store

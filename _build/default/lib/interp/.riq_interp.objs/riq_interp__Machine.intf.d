@@ -1,0 +1,1 @@
+lib/interp/machine.mli: Format Program Reg Riq_asm Riq_isa Riq_mem Store

@@ -1,0 +1,1 @@
+lib/interp/semantics.ml: Bits Float Insn Int32 Riq_isa Riq_util

@@ -1,0 +1,1 @@
+lib/interp/semantics.mli: Insn Riq_isa

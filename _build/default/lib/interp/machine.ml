@@ -1,0 +1,178 @@
+open Riq_util
+open Riq_isa
+open Riq_asm
+open Riq_mem
+
+type t = {
+  program : Program.t;
+  memory : Store.t;
+  int_regs : int array;
+  fp_regs : float array;
+  mutable pc : int;
+  mutable count : int;
+  mutable halted : bool;
+}
+
+type stop = Halted | Insn_limit | Bad_pc of int
+
+let default_sp = 0x7FFF_F000
+
+let create program =
+  let memory = Store.create () in
+  Program.load program ~write_word:(Store.write_word memory);
+  let int_regs = Array.make 32 0 in
+  int_regs.(Reg.sp) <- default_sp;
+  {
+    program;
+    memory;
+    int_regs;
+    fp_regs = Array.make 32 0.;
+    pc = program.Program.entry;
+    count = 0;
+    halted = false;
+  }
+
+let pc t = t.pc
+let insn_count t = t.count
+let mem t = t.memory
+
+let reg t r =
+  if Reg.is_fp r then invalid_arg "Machine.reg: FP register";
+  Bits.of_i32 t.int_regs.(Reg.index r)
+
+let freg t r =
+  if not (Reg.is_fp r) then invalid_arg "Machine.freg: integer register";
+  t.fp_regs.(Reg.index r)
+
+let set_reg t r v =
+  if Reg.is_fp r then invalid_arg "Machine.set_reg: FP register";
+  if r <> Reg.zero then t.int_regs.(Reg.index r) <- Bits.of_i32 v
+
+let set_freg t r v =
+  if not (Reg.is_fp r) then invalid_arg "Machine.set_freg: integer register";
+  t.fp_regs.(Reg.index r) <- Semantics.to_single v
+
+let step t =
+  if t.halted then Some Halted
+  else begin
+    match Program.insn_at t.program t.pc with
+    | None -> Some (Bad_pc t.pc)
+    | Some insn ->
+        let rv r = Bits.of_i32 t.int_regs.(Reg.index r) in
+        let fv r = t.fp_regs.(Reg.index r) in
+        let wr r v = if r <> Reg.zero then t.int_regs.(Reg.index r) <- Bits.of_i32 v in
+        let wf r v = t.fp_regs.(Reg.index r) <- Semantics.to_single v in
+        let next = t.pc + 4 in
+        let new_pc = ref next in
+        (match insn with
+        | Insn.Alu (op, rd, rs, rt) -> wr rd (Semantics.alu op (rv rs) (rv rt))
+        | Alui (op, rt, rs, imm) -> wr rt (Semantics.alu op (rv rs) (Semantics.alui_imm op imm))
+        | Shift (op, rd, rt, sh) -> wr rd (Semantics.shift op (rv rt) sh)
+        | Shiftv (op, rd, rt, rs) -> wr rd (Semantics.shift op (rv rt) (rv rs))
+        | Lui (rt, imm) -> wr rt (Bits.of_i32 (imm lsl 16))
+        | Mul (rd, rs, rt) -> wr rd (Semantics.mul (rv rs) (rv rt))
+        | Div (rd, rs, rt) -> wr rd (Semantics.div (rv rs) (rv rt))
+        | Fpu (op, fd, fs, ft) -> wf fd (Semantics.fpu op (fv fs) (fv ft))
+        | Fcmp (op, rd, fs, ft) -> wr rd (Semantics.fcmp op (fv fs) (fv ft))
+        | Cvtsw (fd, rs) -> wf fd (Semantics.cvt_s_w (rv rs))
+        | Cvtws (rd, fs) -> wr rd (Semantics.cvt_w_s (fv fs))
+        | Lw (rt, base, off) -> wr rt (Store.read_word t.memory (Bits.add32 (rv base) off))
+        | Lb (rt, base, off) ->
+            wr rt (Bits.sign_extend (Store.read_byte t.memory (Bits.add32 (rv base) off)) ~width:8)
+        | Lbu (rt, base, off) -> wr rt (Store.read_byte t.memory (Bits.add32 (rv base) off))
+        | Lh (rt, base, off) ->
+            wr rt (Bits.sign_extend (Store.read_half t.memory (Bits.add32 (rv base) off)) ~width:16)
+        | Lhu (rt, base, off) -> wr rt (Store.read_half t.memory (Bits.add32 (rv base) off))
+        | Sw (rt, base, off) ->
+            Store.write_word t.memory (Bits.add32 (rv base) off) (Bits.to_u32 (rv rt))
+        | Sb (rt, base, off) -> Store.write_byte t.memory (Bits.add32 (rv base) off) (rv rt)
+        | Sh (rt, base, off) -> Store.write_half t.memory (Bits.add32 (rv base) off) (rv rt)
+        | Lwf (ft, base, off) -> wf ft (Store.read_float t.memory (Bits.add32 (rv base) off))
+        | Swf (ft, base, off) -> Store.write_float t.memory (Bits.add32 (rv base) off) (fv ft)
+        | Br (cond, rs, rt, off) ->
+            if Semantics.branch_taken cond (rv rs) (rv rt) then new_pc := t.pc + 4 + (4 * off)
+        | J tgt -> new_pc := 4 * tgt
+        | Jal tgt ->
+            wr Reg.ra next;
+            new_pc := 4 * tgt
+        | Jr rs -> new_pc := rv rs
+        | Jalr (rd, rs) ->
+            let target = rv rs in
+            wr rd next;
+            new_pc := target
+        | Nop -> ()
+        | Halt -> t.halted <- true);
+        t.count <- t.count + 1;
+        t.pc <- !new_pc;
+        if t.halted then Some Halted else None
+  end
+
+let run ?(limit = 100_000_000) t =
+  let rec go () =
+    if t.count >= limit then Insn_limit
+    else
+      match step t with
+      | Some reason -> reason
+      | None -> go ()
+  in
+  go ()
+
+type arch_state = {
+  final_pc : int;
+  instructions : int;
+  int_regs : int array;
+  fp_regs : float array;
+  memory : (int * int) list;
+}
+
+let arch_state t =
+  {
+    final_pc = t.pc;
+    instructions = t.count;
+    int_regs = Array.copy t.int_regs;
+    fp_regs = Array.copy t.fp_regs;
+    memory =
+      List.rev (Store.fold_nonzero t.memory ~init:[] ~f:(fun acc addr v -> (addr, v) :: acc));
+  }
+
+let equal_arch a b =
+  a.final_pc = b.final_pc && a.instructions = b.instructions
+  && a.int_regs = b.int_regs
+  && Array.for_all2 (fun (x : float) y -> Int32.bits_of_float x = Int32.bits_of_float y)
+       a.fp_regs b.fp_regs
+  && a.memory = b.memory
+
+let pp_arch_diff ppf a b =
+  let shown = ref 0 in
+  let report fmt =
+    incr shown;
+    Format.fprintf ppf fmt
+  in
+  if a.final_pc <> b.final_pc then report "final pc: %#x vs %#x@." a.final_pc b.final_pc;
+  if a.instructions <> b.instructions then
+    report "instruction count: %d vs %d@." a.instructions b.instructions;
+  for i = 0 to 31 do
+    if !shown < 8 && a.int_regs.(i) <> b.int_regs.(i) then
+      report "r%d: %d vs %d@." i a.int_regs.(i) b.int_regs.(i);
+    if !shown < 8 && Int32.bits_of_float a.fp_regs.(i) <> Int32.bits_of_float b.fp_regs.(i)
+    then report "f%d: %h vs %h@." i a.fp_regs.(i) b.fp_regs.(i)
+  done;
+  if !shown < 8 && a.memory <> b.memory then begin
+    let ha = Hashtbl.create 64 and hb = Hashtbl.create 64 in
+    List.iter (fun (k, v) -> Hashtbl.replace ha k v) a.memory;
+    List.iter (fun (k, v) -> Hashtbl.replace hb k v) b.memory;
+    let check src dst tag =
+      Hashtbl.iter
+        (fun addr v ->
+          if !shown < 8 then begin
+            match Hashtbl.find_opt dst addr with
+            | Some v' when v' = v -> ()
+            | Some v' -> report "mem[%#x]: %d vs %d@." addr v v'
+            | None -> report "mem[%#x]: %s only (%d)@." addr tag v
+          end)
+        src
+    in
+    check ha hb "left";
+    check hb ha "right"
+  end;
+  if !shown = 0 then Format.fprintf ppf "states are equal@."

@@ -1,0 +1,77 @@
+open Riq_util
+open Riq_isa
+
+let alu op a b =
+  match op with
+  | Insn.Add -> Bits.add32 a b
+  | Sub -> Bits.sub32 a b
+  | And -> Bits.of_i32 (a land b)
+  | Or -> Bits.of_i32 (a lor b)
+  | Xor -> Bits.of_i32 (a lxor b)
+  | Nor -> Bits.of_i32 (lnot (a lor b))
+  | Slt -> if Bits.of_i32 a < Bits.of_i32 b then 1 else 0
+  | Sltu -> if Bits.to_u32 a < Bits.to_u32 b then 1 else 0
+
+let alui_imm op imm =
+  match op with
+  | Insn.Add | Slt | Sltu -> Bits.sign_extend imm ~width:16
+  | And | Or | Xor -> imm land 0xFFFF
+  | Sub | Nor -> invalid_arg "Semantics.alui_imm: sub/nor have no immediate form"
+
+let shift op v amount =
+  let amount = amount land 31 in
+  match op with
+  | Insn.Sll -> Bits.of_i32 (v lsl amount)
+  | Srl -> Bits.of_i32 (Bits.to_u32 v lsr amount)
+  | Sra -> Bits.of_i32 (Bits.of_i32 v asr amount)
+
+let mul a b = Bits.mul32 a b
+
+let div a b =
+  if Bits.of_i32 b = 0 then 0
+  else begin
+    let a = Bits.of_i32 a and b = Bits.of_i32 b in
+    (* OCaml integer division truncates toward zero, matching MIPS. *)
+    Bits.of_i32 (a / b)
+  end
+
+let to_single f = Int32.float_of_bits (Int32.bits_of_float f)
+
+let fpu op a b =
+  let a = to_single a and b = to_single b in
+  let r =
+    match op with
+    | Insn.Fadd -> a +. b
+    | Fsub -> a -. b
+    | Fmul -> a *. b
+    | Fdiv -> a /. b
+    | Fsqrt -> sqrt a
+    | Fneg -> -.a
+    | Fabs -> Float.abs a
+    | Fmov -> a
+  in
+  to_single r
+
+let fcmp op a b =
+  let a = to_single a and b = to_single b in
+  let holds = match op with Insn.Feq -> a = b | Flt -> a < b | Fle -> a <= b in
+  if holds then 1 else 0
+
+let cvt_s_w v = to_single (float_of_int (Bits.of_i32 v))
+
+let cvt_w_s f =
+  let f = to_single f in
+  if Float.is_nan f then 0
+  else if f >= 2147483647.0 then 0x7FFFFFFF
+  else if f <= -2147483648.0 then Bits.of_i32 0x80000000
+  else int_of_float f
+
+let branch_taken cond a b =
+  let a = Bits.of_i32 a and b = Bits.of_i32 b in
+  match cond with
+  | Insn.Beq -> a = b
+  | Bne -> a <> b
+  | Blez -> a <= 0
+  | Bgtz -> a > 0
+  | Bltz -> a < 0
+  | Bgez -> a >= 0

@@ -1,0 +1,45 @@
+open Riq_isa
+
+(** Architectural semantics of RIQ32, shared between the functional
+    interpreter and the out-of-order core's execute stage.
+
+    Keeping the value computations in one module is what makes the
+    differential tests meaningful: both simulators call the same functions,
+    so any end-state divergence is a pipeline bug, never a semantics
+    mismatch. *)
+
+val alu : Insn.alu_op -> int -> int -> int
+(** 32-bit signed results; [Sltu] compares the operands' unsigned views. *)
+
+val alui_imm : Insn.alu_op -> int -> int
+(** Immediate view seen by the ALU: sign-extended for [Add]/[Slt]/[Sltu],
+    zero-extended (16-bit) for the bitwise operations. The assembler stores
+    the immediate in canonical form already; this is the identity for
+    in-range values and exists to centralise the convention. *)
+
+val shift : Insn.shift_op -> int -> int -> int
+(** [shift op value amount]; amount is masked to 5 bits. *)
+
+val mul : int -> int -> int
+(** Low 32 bits of the signed product. *)
+
+val div : int -> int -> int
+(** Signed quotient; division by zero yields 0 (the modelled machine does
+    not trap). *)
+
+val fpu : Insn.fpu_op -> float -> float -> float
+(** Computed in single precision: operands and result are rounded through
+    IEEE-754 binary32. *)
+
+val fcmp : Insn.fcmp_op -> float -> float -> int
+(** 1 when the predicate holds, else 0. *)
+
+val cvt_s_w : int -> float
+val cvt_w_s : float -> int
+(** Truncation toward zero; saturates at the 32-bit bounds. *)
+
+val branch_taken : Insn.cond -> int -> int -> bool
+(** [branch_taken cond rs_value rt_value]. *)
+
+val to_single : float -> float
+(** Round a float through single precision. *)

@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Bits Insn Printf Reg Result Riq_util

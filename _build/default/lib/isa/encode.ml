@@ -1,0 +1,245 @@
+open Riq_util
+
+(* Opcode map (field [31:26]):
+     0  R-type integer (funct selects)     1  R-type floating point
+     2  addi   3 andi   4 ori    5 xori    6 slti   7 sltiu   8 lui
+     9  lw    10 sw    11 l.s   12 s.s
+    13 beq   14 bne   15 blez  16 bgtz   17 bltz  18 bgez
+    19 j     20 jal
+    21 lb    22 lbu   23 lh    24 lhu   25 sb    26 sh
+   Integer functs: 0 add 1 sub 2 and 3 or 4 xor 5 nor 6 slt 7 sltu
+     8 sll 9 srl 10 sra 11 sllv 12 srlv 13 srav 14 mul 15 div
+     16 jr 17 jalr 18 nop 19 halt
+   FP functs: 0 fadd 1 fsub 2 fmul 3 fdiv 4 fsqrt 5 fneg 6 fabs 7 fmov
+     8 feq 9 flt 10 fle 11 cvtsw 12 cvtws *)
+
+let imm_fits ~signed v =
+  if signed then v >= -32768 && v <= 32767 else v >= 0 && v <= 65535
+
+let check_imm ~signed v =
+  if not (imm_fits ~signed v) then
+    invalid_arg (Printf.sprintf "Encode: immediate %d does not fit 16 bits" v)
+
+let check_shamt v =
+  if v < 0 || v > 31 then invalid_arg "Encode: shift amount out of range"
+
+let check_target v =
+  if v < 0 || v >= 1 lsl 26 then invalid_arg "Encode: jump target out of range"
+
+let r_type ~op ~rs ~rt ~rd ~shamt ~funct =
+  (op lsl 26) lor (rs lsl 21) lor (rt lsl 16) lor (rd lsl 11) lor (shamt lsl 6) lor funct
+
+let i_type ~op ~rs ~rt ~imm = (op lsl 26) lor (rs lsl 21) lor (rt lsl 16) lor (imm land 0xFFFF)
+let j_type ~op ~target = (op lsl 26) lor target
+
+let alu_funct = function
+  | Insn.Add -> 0
+  | Sub -> 1
+  | And -> 2
+  | Or -> 3
+  | Xor -> 4
+  | Nor -> 5
+  | Slt -> 6
+  | Sltu -> 7
+
+let shift_funct = function Insn.Sll -> 8 | Srl -> 9 | Sra -> 10
+let shiftv_funct = function Insn.Sll -> 11 | Srl -> 12 | Sra -> 13
+
+let alui_op = function
+  | Insn.Add -> 2
+  | And -> 3
+  | Or -> 4
+  | Xor -> 5
+  | Slt -> 6
+  | Sltu -> 7
+  | Sub | Nor -> invalid_arg "Encode: sub/nor have no immediate form"
+
+let alui_signed = function
+  | Insn.Add | Slt | Sltu -> true
+  | And | Or | Xor -> false
+  | Sub | Nor -> invalid_arg "Encode: sub/nor have no immediate form"
+
+let fpu_funct = function
+  | Insn.Fadd -> 0
+  | Fsub -> 1
+  | Fmul -> 2
+  | Fdiv -> 3
+  | Fsqrt -> 4
+  | Fneg -> 5
+  | Fabs -> 6
+  | Fmov -> 7
+
+let fcmp_funct = function Insn.Feq -> 8 | Flt -> 9 | Fle -> 10
+
+let br_op = function
+  | Insn.Beq -> 13
+  | Bne -> 14
+  | Blez -> 15
+  | Bgtz -> 16
+  | Bltz -> 17
+  | Bgez -> 18
+
+let fidx = Reg.index
+
+let encode insn =
+  match insn with
+  | Insn.Alu (op, rd, rs, rt) -> r_type ~op:0 ~rs ~rt ~rd ~shamt:0 ~funct:(alu_funct op)
+  | Alui (op, rt, rs, imm) ->
+      let signed = alui_signed op in
+      check_imm ~signed imm;
+      i_type ~op:(alui_op op) ~rs ~rt ~imm
+  | Shift (op, rd, rt, shamt) ->
+      check_shamt shamt;
+      r_type ~op:0 ~rs:0 ~rt ~rd ~shamt ~funct:(shift_funct op)
+  | Shiftv (op, rd, rt, rs) -> r_type ~op:0 ~rs ~rt ~rd ~shamt:0 ~funct:(shiftv_funct op)
+  | Lui (rt, imm) ->
+      check_imm ~signed:false imm;
+      i_type ~op:8 ~rs:0 ~rt ~imm
+  | Mul (rd, rs, rt) -> r_type ~op:0 ~rs ~rt ~rd ~shamt:0 ~funct:14
+  | Div (rd, rs, rt) -> r_type ~op:0 ~rs ~rt ~rd ~shamt:0 ~funct:15
+  | Fpu (op, fd, fs, ft) ->
+      (* Unary operations ignore [ft]; encode it as f0 so that the decoded
+         form is canonical and encode/decode round-trips. *)
+      let ft = if Insn.fpu_unary op then 0 else fidx ft in
+      r_type ~op:1 ~rs:(fidx fs) ~rt:ft ~rd:(fidx fd) ~shamt:0 ~funct:(fpu_funct op)
+  | Fcmp (op, rd, fs, ft) ->
+      r_type ~op:1 ~rs:(fidx fs) ~rt:(fidx ft) ~rd ~shamt:0 ~funct:(fcmp_funct op)
+  | Cvtsw (fd, rs) -> r_type ~op:1 ~rs ~rt:0 ~rd:(fidx fd) ~shamt:0 ~funct:11
+  | Cvtws (rd, fs) -> r_type ~op:1 ~rs:(fidx fs) ~rt:0 ~rd ~shamt:0 ~funct:12
+  | Lw (rt, base, off) ->
+      check_imm ~signed:true off;
+      i_type ~op:9 ~rs:base ~rt ~imm:off
+  | Sw (rt, base, off) ->
+      check_imm ~signed:true off;
+      i_type ~op:10 ~rs:base ~rt ~imm:off
+  | Lwf (ft, base, off) ->
+      check_imm ~signed:true off;
+      i_type ~op:11 ~rs:base ~rt:(fidx ft) ~imm:off
+  | Swf (ft, base, off) ->
+      check_imm ~signed:true off;
+      i_type ~op:12 ~rs:base ~rt:(fidx ft) ~imm:off
+  | Br (cond, rs, rt, off) ->
+      check_imm ~signed:true off;
+      let rt =
+        match cond with Beq | Bne -> rt | Blez | Bgtz | Bltz | Bgez -> 0
+      in
+      i_type ~op:(br_op cond) ~rs ~rt ~imm:off
+  | J target ->
+      check_target target;
+      j_type ~op:19 ~target
+  | Jal target ->
+      check_target target;
+      j_type ~op:20 ~target
+  | Lb (rt, base, off) ->
+      check_imm ~signed:true off;
+      i_type ~op:21 ~rs:base ~rt ~imm:off
+  | Lbu (rt, base, off) ->
+      check_imm ~signed:true off;
+      i_type ~op:22 ~rs:base ~rt ~imm:off
+  | Lh (rt, base, off) ->
+      check_imm ~signed:true off;
+      i_type ~op:23 ~rs:base ~rt ~imm:off
+  | Lhu (rt, base, off) ->
+      check_imm ~signed:true off;
+      i_type ~op:24 ~rs:base ~rt ~imm:off
+  | Sb (rt, base, off) ->
+      check_imm ~signed:true off;
+      i_type ~op:25 ~rs:base ~rt ~imm:off
+  | Sh (rt, base, off) ->
+      check_imm ~signed:true off;
+      i_type ~op:26 ~rs:base ~rt ~imm:off
+  | Jr rs -> r_type ~op:0 ~rs ~rt:0 ~rd:0 ~shamt:0 ~funct:16
+  | Jalr (rd, rs) -> r_type ~op:0 ~rs ~rt:0 ~rd ~shamt:0 ~funct:17
+  | Nop -> r_type ~op:0 ~rs:0 ~rt:0 ~rd:0 ~shamt:0 ~funct:18
+  | Halt -> r_type ~op:0 ~rs:0 ~rt:0 ~rd:0 ~shamt:0 ~funct:19
+
+let ( let* ) r f = Result.bind r f
+
+let decode word =
+  let open Insn in
+  if word < 0 || word > Bits.mask 32 then Error "word out of 32-bit range"
+  else begin
+    let op = Bits.extract word ~lo:26 ~width:6 in
+    let rs = Bits.extract word ~lo:21 ~width:5 in
+    let rt = Bits.extract word ~lo:16 ~width:5 in
+    let rd = Bits.extract word ~lo:11 ~width:5 in
+    let shamt = Bits.extract word ~lo:6 ~width:5 in
+    let funct = Bits.extract word ~lo:0 ~width:6 in
+    let simm = Bits.sign_extend word ~width:16 in
+    let uimm = word land 0xFFFF in
+    let target = word land Bits.mask 26 in
+    let fr n = Reg.f n in
+    let ok_zero_fields cond insn = if cond then Ok insn else Error "non-zero unused field" in
+    match op with
+    | 0 -> (
+        match funct with
+        | 0 -> Ok (Insn.Alu (Add, rd, rs, rt))
+        | 1 -> Ok (Alu (Sub, rd, rs, rt))
+        | 2 -> Ok (Alu (And, rd, rs, rt))
+        | 3 -> Ok (Alu (Or, rd, rs, rt))
+        | 4 -> Ok (Alu (Xor, rd, rs, rt))
+        | 5 -> Ok (Alu (Nor, rd, rs, rt))
+        | 6 -> Ok (Alu (Slt, rd, rs, rt))
+        | 7 -> Ok (Alu (Sltu, rd, rs, rt))
+        | 8 -> ok_zero_fields (rs = 0) (Shift (Sll, rd, rt, shamt))
+        | 9 -> ok_zero_fields (rs = 0) (Shift (Srl, rd, rt, shamt))
+        | 10 -> ok_zero_fields (rs = 0) (Shift (Sra, rd, rt, shamt))
+        | 11 -> ok_zero_fields (shamt = 0) (Shiftv (Sll, rd, rt, rs))
+        | 12 -> ok_zero_fields (shamt = 0) (Shiftv (Srl, rd, rt, rs))
+        | 13 -> ok_zero_fields (shamt = 0) (Shiftv (Sra, rd, rt, rs))
+        | 14 -> Ok (Mul (rd, rs, rt))
+        | 15 -> Ok (Div (rd, rs, rt))
+        | 16 -> ok_zero_fields (rt = 0 && rd = 0 && shamt = 0) (Jr rs)
+        | 17 -> ok_zero_fields (rt = 0 && shamt = 0) (Jalr (rd, rs))
+        | 18 -> ok_zero_fields (rs = 0 && rt = 0 && rd = 0 && shamt = 0) Nop
+        | 19 -> ok_zero_fields (rs = 0 && rt = 0 && rd = 0 && shamt = 0) Halt
+        | _ -> Error (Printf.sprintf "unknown integer funct %d" funct))
+    | 1 -> (
+        let* () = if shamt = 0 then Ok () else Error "non-zero shamt in FP op" in
+        match funct with
+        | 0 -> Ok (Insn.Fpu (Fadd, fr rd, fr rs, fr rt))
+        | 1 -> Ok (Fpu (Fsub, fr rd, fr rs, fr rt))
+        | 2 -> Ok (Fpu (Fmul, fr rd, fr rs, fr rt))
+        | 3 -> Ok (Fpu (Fdiv, fr rd, fr rs, fr rt))
+        | 4 -> ok_zero_fields (rt = 0) (Fpu (Fsqrt, fr rd, fr rs, fr rt))
+        | 5 -> ok_zero_fields (rt = 0) (Fpu (Fneg, fr rd, fr rs, fr rt))
+        | 6 -> ok_zero_fields (rt = 0) (Fpu (Fabs, fr rd, fr rs, fr rt))
+        | 7 -> ok_zero_fields (rt = 0) (Fpu (Fmov, fr rd, fr rs, fr rt))
+        | 8 -> Ok (Fcmp (Feq, rd, fr rs, fr rt))
+        | 9 -> Ok (Fcmp (Flt, rd, fr rs, fr rt))
+        | 10 -> Ok (Fcmp (Fle, rd, fr rs, fr rt))
+        | 11 -> ok_zero_fields (rt = 0) (Cvtsw (fr rd, rs))
+        | 12 -> ok_zero_fields (rt = 0) (Cvtws (rd, fr rs))
+        | _ -> Error (Printf.sprintf "unknown FP funct %d" funct))
+    | 2 -> Ok (Alui (Add, rt, rs, simm))
+    | 3 -> Ok (Alui (And, rt, rs, uimm))
+    | 4 -> Ok (Alui (Or, rt, rs, uimm))
+    | 5 -> Ok (Alui (Xor, rt, rs, uimm))
+    | 6 -> Ok (Alui (Slt, rt, rs, simm))
+    | 7 -> Ok (Alui (Sltu, rt, rs, simm))
+    | 8 -> ok_zero_fields (rs = 0) (Lui (rt, uimm))
+    | 9 -> Ok (Lw (rt, rs, simm))
+    | 10 -> Ok (Sw (rt, rs, simm))
+    | 11 -> Ok (Lwf (fr rt, rs, simm))
+    | 12 -> Ok (Swf (fr rt, rs, simm))
+    | 13 -> Ok (Br (Beq, rs, rt, simm))
+    | 14 -> Ok (Br (Bne, rs, rt, simm))
+    | 15 -> ok_zero_fields (rt = 0) (Br (Blez, rs, rt, simm))
+    | 16 -> ok_zero_fields (rt = 0) (Br (Bgtz, rs, rt, simm))
+    | 17 -> ok_zero_fields (rt = 0) (Br (Bltz, rs, rt, simm))
+    | 18 -> ok_zero_fields (rt = 0) (Br (Bgez, rs, rt, simm))
+    | 19 -> Ok (J target)
+    | 20 -> Ok (Jal target)
+    | 21 -> Ok (Lb (rt, rs, simm))
+    | 22 -> Ok (Lbu (rt, rs, simm))
+    | 23 -> Ok (Lh (rt, rs, simm))
+    | 24 -> Ok (Lhu (rt, rs, simm))
+    | 25 -> Ok (Sb (rt, rs, simm))
+    | 26 -> Ok (Sh (rt, rs, simm))
+    | _ -> Error (Printf.sprintf "unknown opcode %d" op)
+  end
+
+let decode_exn word =
+  match decode word with
+  | Ok insn -> insn
+  | Error msg -> failwith (Printf.sprintf "Encode.decode_exn: %s (word %08x)" msg word)

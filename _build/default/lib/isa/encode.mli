@@ -1,0 +1,21 @@
+(** Binary encoding of RIQ32 instructions.
+
+    Every instruction occupies one 32-bit word. Three MIPS-like formats are
+    used: R-type ([op rs rt rd shamt funct]) for register operations, I-type
+    ([op rs rt imm16]) for immediates, loads/stores and branches, and J-type
+    ([op target26]) for direct jumps. Encoding is a bijection on the valid
+    subset: [decode (encode i) = Ok i] for every well-formed [i], and
+    [encode] raises [Invalid_argument] if an immediate or shift amount does
+    not fit its field. *)
+
+val encode : Insn.t -> int
+(** Encode to an unsigned 32-bit word. *)
+
+val decode : int -> (Insn.t, string) result
+(** Decode a 32-bit word; [Error] describes the malformed field. *)
+
+val decode_exn : int -> Insn.t
+(** Like {!decode} but raises [Failure] on malformed words. *)
+
+val imm_fits : signed:bool -> int -> bool
+(** Whether an immediate fits a 16-bit field of the given signedness. *)

@@ -1,0 +1,1 @@
+lib/loopir/codegen.ml: Array Bits Builder Encode Hashtbl Insn Ir List Printf Reg Riq_asm Riq_isa Riq_util

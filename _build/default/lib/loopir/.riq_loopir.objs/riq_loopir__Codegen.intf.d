@@ -1,0 +1,1 @@
+lib/loopir/codegen.mli: Ir Program Riq_asm

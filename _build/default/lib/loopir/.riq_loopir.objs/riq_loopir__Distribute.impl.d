@@ -1,0 +1,1 @@
+lib/loopir/distribute.ml: Array Ir List

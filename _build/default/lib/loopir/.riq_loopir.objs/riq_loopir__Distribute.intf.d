@@ -1,0 +1,1 @@
+lib/loopir/distribute.mli: Ir

@@ -1,0 +1,1 @@
+lib/loopir/interchange.mli: Ir

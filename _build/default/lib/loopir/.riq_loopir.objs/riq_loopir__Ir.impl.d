@@ -1,0 +1,1 @@
+lib/loopir/ir.ml: Format Hashtbl List Printf String

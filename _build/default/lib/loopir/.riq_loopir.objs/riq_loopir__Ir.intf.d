@@ -1,0 +1,1 @@
+lib/loopir/ir.mli: Format

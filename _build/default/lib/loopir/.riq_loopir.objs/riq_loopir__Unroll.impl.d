@@ -1,0 +1,1 @@
+lib/loopir/unroll.ml: Fun Ir List

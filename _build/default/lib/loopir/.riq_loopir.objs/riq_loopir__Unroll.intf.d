@@ -1,0 +1,1 @@
+lib/loopir/unroll.mli: Ir

@@ -1,0 +1,57 @@
+(** Loop distribution (Kennedy/McKinley), the Section 4 compiler
+    optimization.
+
+    [distribute_program] rewrites every [Sfor] whose body contains more
+    than one top-level statement into the maximal sequence of smaller loops
+    that preserves all data dependences: a dependence graph is built over
+    the body's top-level statements, strongly-connected components must
+    stay in one loop, and the component loops are emitted in topological
+    order.
+
+    The dependence test is subscript-aware for the common affine form
+    [index + constant]: a conflicting array pair with dependence distance
+    [d > 0] yields a forward (writer-to-accessor) edge, [d < 0] a backward
+    edge, [d = 0] a textual-order edge; provably non-overlapping constant
+    subscripts yield no edge; anything unanalysable is treated
+    conservatively as a bidirectional edge. Scalars shared between two
+    different statements always merge them (no scalar expansion), except
+    that loop-index variables — which are written by [Sfor] itself and, by
+    convention, never used as data across statements — are exempt.
+    Procedure calls contribute the callee's transitive access sets. *)
+
+val distribute_program : Ir.program -> Ir.program
+(** Distribute every loop, innermost-first, throughout main and all
+    procedures. *)
+
+val distribute_stmt : Ir.program -> Ir.stmt -> Ir.stmt list
+(** Distribute one statement (recursively); the program supplies the
+    procedure table and the loop-variable universe. *)
+
+(** {2 Exposed for tests} *)
+
+type edge_kind = No_dep | Forward | Backward | Both
+
+val statement_dependence : Ir.program -> loop_var:string -> Ir.stmt -> Ir.stmt -> edge_kind
+(** Dependence classification for an ordered pair of body statements
+    (first argument textually first): [Forward] means only first-to-second
+    edges exist, [Backward] only second-to-first, [Both] a cycle. *)
+
+(** {2 Building blocks shared with the other passes} *)
+
+type distance =
+  | Dist of int (** consistent dependence distance along the loop variable *)
+  | Any (** every iteration pair may conflict *)
+  | Never (** provably disjoint *)
+  | Unknown
+
+val access_distance : string -> Ir.access -> Ir.access -> distance
+(** [access_distance v write access]: signed distance (accessor iteration
+    minus writer iteration) along loop variable [v], for the affine
+    subscript forms the analysis understands. *)
+
+val stmt_accesses :
+  procs:(string * Ir.stmt list) list ->
+  Ir.stmt ->
+  string list * Ir.access list * string list * Ir.access list
+(** Scalar reads, array reads, scalar writes, array writes of a statement,
+    with procedure calls resolved transitively. *)

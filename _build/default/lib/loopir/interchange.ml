@@ -1,0 +1,141 @@
+(* Loop interchange with a joint direction-vector legality test: both loop
+   variables are analysed simultaneously across the subscript dimensions,
+   unlike Distribute's single-variable distances. *)
+
+let rec mentions v (e : Ir.iexpr) =
+  match e with
+  | Ir.Iconst _ -> false
+  | Ivar x -> x = v
+  | Iadd (a, b) | Isub (a, b) | Imul (a, b) -> mentions v a || mentions v b
+  | Iload (_, subs) -> List.exists (mentions v) subs
+
+(* [v + constant] form, or None. *)
+let affine_of v (e : Ir.iexpr) =
+  match e with
+  | Ir.Ivar x when x = v -> Some 0
+  | Iadd (Ivar x, Iconst c) when x = v -> Some c
+  | Iadd (Iconst c, Ivar x) when x = v -> Some c
+  | Isub (Ivar x, Iconst c) when x = v -> Some (-c)
+  | _ -> None
+
+(* All (write, access) array pairs over the same array between any two
+   statements of the body (including a statement with itself). *)
+let conflicting_pairs procs body =
+  let accesses stmt =
+    let _, ra, _, wa = Distribute.stmt_accesses ~procs stmt in
+    (wa, ra)
+  in
+  let alls = List.map accesses body in
+  let pairs = ref [] in
+  List.iter
+    (fun (wa, _) ->
+      List.iter
+        (fun (wa', ra') ->
+          List.iter
+            (fun (w : Ir.access) ->
+              List.iter
+                (fun (o : Ir.access) -> if w.Ir.arr = o.Ir.arr then pairs := (w, o) :: !pairs)
+                (ra' @ wa'))
+            wa)
+        alls)
+    alls;
+  !pairs
+
+(* Per-variable dependence distance for one access pair: [Known d], or
+   [Free] when the variable does not constrain the pair. *)
+type vdist = Known of int | Free
+
+let pair_vdists ~outer ~inner (w : Ir.access) (o : Ir.access) =
+  if List.length w.Ir.subs <> List.length o.Ir.subs then `Unknown
+  else begin
+    let douter = ref None and dinner = ref None in
+    let constrain slot d =
+      match !slot with
+      | None ->
+          slot := Some d;
+          `Ok
+      | Some d' -> if d = d' then `Ok else `Never
+    in
+    let rec go dims =
+      match dims with
+      | [] ->
+          `Vec
+            ( (match !douter with Some d -> Known d | None -> Free),
+              match !dinner with Some d -> Known d | None -> Free )
+      | (sw, so) :: rest -> (
+          match
+            (affine_of outer sw, affine_of outer so, affine_of inner sw, affine_of inner so)
+          with
+          | Some cw, Some co, None, None -> (
+              match constrain douter (cw - co) with `Ok -> go rest | `Never -> `Never)
+          | None, None, Some cw, Some co -> (
+              match constrain dinner (cw - co) with `Ok -> go rest | `Never -> `Never)
+          | _ -> (
+              match (sw, so) with
+              | Ir.Iconst a, Ir.Iconst b -> if a = b then go rest else `Never
+              | _ ->
+                  if sw = so && (not (mentions outer sw)) && not (mentions inner sw) then
+                    go rest
+                  else `Unknown))
+    in
+    go (List.combine w.Ir.subs o.Ir.subs)
+  end
+
+let legal_to_swap p ~outer ~inner body =
+  let can_pos = function Known d -> d > 0 | Free -> true in
+  let can_neg = function Known d -> d < 0 | Free -> true in
+  List.for_all
+    (fun (w, o) ->
+      match pair_vdists ~outer ~inner w o with
+      | `Never -> true
+      | `Unknown -> false
+      | `Vec (dout, dinn) ->
+          (* Interchange reverses a dependence whose direction vector is
+             (positive, negative) in either orientation of the pair. *)
+          not ((can_pos dout && can_neg dinn) || (can_neg dout && can_pos dinn)))
+    (conflicting_pairs p.Ir.procs body)
+
+let interchange p stmt =
+  match stmt with
+  | Ir.Sfor
+      {
+        var = outer;
+        lo = olo;
+        hi = ohi;
+        body = [ Ir.Sfor { var = inner; lo = ilo; hi = ihi; body } ];
+      } ->
+      if mentions outer ilo || mentions outer ihi || mentions inner olo || mentions inner ohi
+      then None
+      else if legal_to_swap p ~outer ~inner body then
+        Some
+          (Ir.Sfor
+             {
+               var = inner;
+               lo = ilo;
+               hi = ihi;
+               body = [ Ir.Sfor { var = outer; lo = olo; hi = ohi; body } ];
+             })
+      else None
+  | Ir.Sfor _ | Sif _ | Sfassign _ | Siassign _ | Sfstore _ | Sistore _ | Scall _ -> None
+
+let interchange_program p =
+  let count = ref 0 in
+  let rec go stmt =
+    match interchange p stmt with
+    | Some swapped ->
+        incr count;
+        swapped
+    | None -> (
+        match stmt with
+        | Ir.Sfor { var; lo; hi; body } -> Ir.Sfor { var; lo; hi; body = List.map go body }
+        | Sif (c, a, b) -> Ir.Sif (c, List.map go a, List.map go b)
+        | Sfassign _ | Siassign _ | Sfstore _ | Sistore _ | Scall _ -> stmt)
+  in
+  let p' =
+    {
+      p with
+      Ir.main = List.map go p.Ir.main;
+      procs = List.map (fun (name, body) -> (name, List.map go body)) p.Ir.procs;
+    }
+  in
+  (p', !count)

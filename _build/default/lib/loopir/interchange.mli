@@ -1,0 +1,25 @@
+(** Loop interchange for perfect two-level nests, with a direction-vector
+    legality test.
+
+    [interchange p nest] swaps the loops of [for i { for j { body } }]
+    when (a) the nest is perfect (the outer body is exactly the inner
+    loop), (b) the inner bounds do not mention the outer index, and
+    (c) no data dependence has direction [(<, >)] — i.e. carried forward
+    by the outer loop and backward by the inner — which interchange would
+    reverse. Distances are computed with the same affine subscript
+    analysis as {!Distribute}; anything unanalysable is conservatively
+    treated as illegal.
+
+    Interchange does not change loop-body size, so it is neutral to the
+    paper's capturability condition; it changes the {e stride} of the
+    innermost accesses, which matters to the data-cache side of the power
+    account. It is provided as a third compiler lever next to
+    {!Distribute} and {!Unroll}. *)
+
+val interchange : Ir.program -> Ir.stmt -> Ir.stmt option
+(** [Some swapped_nest] when legal, [None] otherwise. *)
+
+val interchange_program : Ir.program -> Ir.program * int
+(** Swap every legal perfect nest (outermost occurrences, applied once per
+    nest); returns the rewritten program and the number of nests
+    interchanged. *)

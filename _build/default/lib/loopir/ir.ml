@@ -1,0 +1,265 @@
+type iexpr =
+  | Iconst of int
+  | Ivar of string
+  | Iadd of iexpr * iexpr
+  | Isub of iexpr * iexpr
+  | Imul of iexpr * iexpr
+  | Iload of string * iexpr list
+
+type fexpr =
+  | Fconst of float
+  | Fvar of string
+  | Fload of string * iexpr list
+  | Fadd of fexpr * fexpr
+  | Fsub of fexpr * fexpr
+  | Fmul of fexpr * fexpr
+  | Fdiv of fexpr * fexpr
+  | Fneg of fexpr
+  | Fabs of fexpr
+  | Fsqrt of fexpr
+  | Fofint of iexpr
+
+type cond =
+  | Clt of fexpr * fexpr
+  | Cle of fexpr * fexpr
+  | Ceq of fexpr * fexpr
+  | Cilt of iexpr * iexpr
+  | Cieq of iexpr * iexpr
+
+type stmt =
+  | Sfassign of string * fexpr
+  | Siassign of string * iexpr
+  | Sfstore of string * iexpr list * fexpr
+  | Sistore of string * iexpr list * iexpr
+  | Sfor of { var : string; lo : iexpr; hi : iexpr; body : stmt list }
+  | Sif of cond * stmt list * stmt list
+  | Scall of string
+
+type array_decl = {
+  a_name : string;
+  a_dims : int list;
+  a_init : [ `Zero | `Index_pattern ];
+  a_float : bool;
+}
+
+type program = {
+  arrays : array_decl list;
+  int_scalars : string list;
+  float_scalars : string list;
+  procs : (string * stmt list) list;
+  main : stmt list;
+}
+
+type access = { arr : string; subs : iexpr list }
+
+(* ---- access-set computation ---- *)
+
+let rec ivars_reads acc = function
+  | Iconst _ -> acc
+  | Ivar v -> (v :: fst acc, snd acc)
+  | Iadd (a, b) | Isub (a, b) | Imul (a, b) -> ivars_reads (ivars_reads acc a) b
+  | Iload (arr, subs) ->
+      let acc = List.fold_left ivars_reads acc subs in
+      (fst acc, { arr; subs } :: snd acc)
+
+let rec fvars_reads acc = function
+  | Fconst _ -> acc
+  | Fvar v -> (v :: fst acc, snd acc)
+  | Fload (arr, subs) ->
+      let acc = List.fold_left ivars_reads acc subs in
+      (fst acc, { arr; subs } :: snd acc)
+  | Fadd (a, b) | Fsub (a, b) | Fmul (a, b) | Fdiv (a, b) ->
+      fvars_reads (fvars_reads acc a) b
+  | Fneg a | Fabs a | Fsqrt a -> fvars_reads acc a
+  | Fofint a -> ivars_reads acc a
+
+let cond_reads acc = function
+  | Clt (a, b) | Cle (a, b) | Ceq (a, b) -> fvars_reads (fvars_reads acc a) b
+  | Cilt (a, b) | Cieq (a, b) -> ivars_reads (ivars_reads acc a) b
+
+let rec stmt_reads acc stmt =
+  match stmt with
+  | Sfassign (_, e) -> fvars_reads acc e
+  | Siassign (_, e) -> ivars_reads acc e
+  | Sfstore (_, subs, e) -> fvars_reads (List.fold_left ivars_reads acc subs) e
+  | Sistore (_, subs, e) -> ivars_reads (List.fold_left ivars_reads acc subs) e
+  | Sfor { lo; hi; body; _ } ->
+      let acc = ivars_reads (ivars_reads acc lo) hi in
+      List.fold_left stmt_reads acc body
+  | Sif (c, a, b) ->
+      let acc = cond_reads acc c in
+      List.fold_left stmt_reads (List.fold_left stmt_reads acc a) b
+  | Scall _ -> acc (* resolved by the caller via the procedure table *)
+
+let rec stmt_writes acc stmt =
+  match stmt with
+  | Sfassign (v, _) | Siassign (v, _) -> (v :: fst acc, snd acc)
+  | Sfstore (arr, subs, _) | Sistore (arr, subs, _) -> (fst acc, { arr; subs } :: snd acc)
+  | Sfor { var; body; _ } ->
+      let acc = (var :: fst acc, snd acc) in
+      List.fold_left stmt_writes acc body
+  | Sif (_, a, b) -> List.fold_left stmt_writes (List.fold_left stmt_writes acc a) b
+  | Scall _ -> acc
+
+let reads_of_stmt stmt = stmt_reads ([], []) stmt
+let writes_of_stmt stmt = stmt_writes ([], []) stmt
+
+(* ---- validation ---- *)
+
+let validate p =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let arrays = Hashtbl.create 16 in
+  List.iter (fun a -> Hashtbl.replace arrays a.a_name a) p.arrays;
+  let scalars = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace scalars v `Int) p.int_scalars;
+  List.iter (fun v -> Hashtbl.replace scalars v `Float) p.float_scalars;
+  let procs = Hashtbl.create 16 in
+  List.iter (fun (name, body) -> Hashtbl.replace procs name body) p.procs;
+  let exception Bad of string in
+  let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  let check_array name subs float_wanted =
+    match Hashtbl.find_opt arrays name with
+    | None -> bad "undeclared array %s" name
+    | Some a ->
+        if a.a_float <> float_wanted then bad "array %s element-type mismatch" name;
+        if List.length subs <> List.length a.a_dims then
+          bad "array %s used with %d subscripts (has %d dims)" name (List.length subs)
+            (List.length a.a_dims)
+  in
+  let rec chk_i env = function
+    | Iconst _ -> ()
+    | Ivar v ->
+        if (not (List.mem v env)) && Hashtbl.find_opt scalars v <> Some `Int then
+          bad "undeclared integer variable %s" v
+    | Iadd (a, b) | Isub (a, b) | Imul (a, b) ->
+        chk_i env a;
+        chk_i env b
+    | Iload (arr, subs) ->
+        check_array arr subs false;
+        List.iter (chk_i env) subs
+  in
+  let rec chk_f env = function
+    | Fconst _ -> ()
+    | Fvar v -> if Hashtbl.find_opt scalars v <> Some `Float then bad "undeclared float %s" v
+    | Fload (arr, subs) ->
+        check_array arr subs true;
+        List.iter (chk_i env) subs
+    | Fadd (a, b) | Fsub (a, b) | Fmul (a, b) | Fdiv (a, b) ->
+        chk_f env a;
+        chk_f env b
+    | Fneg a | Fabs a | Fsqrt a -> chk_f env a
+    | Fofint a -> chk_i env a
+  in
+  let chk_c env = function
+    | Clt (a, b) | Cle (a, b) | Ceq (a, b) ->
+        chk_f env a;
+        chk_f env b
+    | Cilt (a, b) | Cieq (a, b) ->
+        chk_i env a;
+        chk_i env b
+  in
+  let rec chk_s env calling = function
+    | Sfassign (v, e) ->
+        if Hashtbl.find_opt scalars v <> Some `Float then bad "undeclared float %s" v;
+        chk_f env e
+    | Siassign (v, e) ->
+        if List.mem v env then bad "assignment to loop index %s" v;
+        if Hashtbl.find_opt scalars v <> Some `Int then bad "undeclared int %s" v;
+        chk_i env e
+    | Sfstore (arr, subs, e) ->
+        check_array arr subs true;
+        List.iter (chk_i env) subs;
+        chk_f env e
+    | Sistore (arr, subs, e) ->
+        check_array arr subs false;
+        List.iter (chk_i env) subs;
+        chk_i env e
+    | Sfor { var; lo; hi; body } ->
+        if List.mem var env then bad "shadowed loop index %s" var;
+        chk_i env lo;
+        chk_i env hi;
+        List.iter (chk_s (var :: env) calling) body
+    | Sif (c, a, b) ->
+        chk_c env c;
+        List.iter (chk_s env calling) a;
+        List.iter (chk_s env calling) b
+    | Scall name -> (
+        if List.mem name calling then bad "recursive procedure %s" name;
+        match Hashtbl.find_opt procs name with
+        | None -> bad "undeclared procedure %s" name
+        | Some body -> List.iter (chk_s env (name :: calling)) body)
+  in
+  try
+    List.iter
+      (fun a ->
+        if a.a_dims = [] || List.exists (fun d -> d <= 0) a.a_dims then
+          bad "array %s has invalid dimensions" a.a_name)
+      p.arrays;
+    List.iter (fun (name, body) -> List.iter (chk_s [] [ name ]) body) p.procs;
+    List.iter (chk_s [] []) p.main;
+    Ok ()
+  with Bad m -> err "%s" m
+
+(* ---- pretty printing ---- *)
+
+let rec pp_iexpr ppf = function
+  | Iconst n -> Format.pp_print_int ppf n
+  | Ivar v -> Format.pp_print_string ppf v
+  | Iadd (a, b) -> Format.fprintf ppf "(%a + %a)" pp_iexpr a pp_iexpr b
+  | Isub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_iexpr a pp_iexpr b
+  | Imul (a, b) -> Format.fprintf ppf "(%a * %a)" pp_iexpr a pp_iexpr b
+  | Iload (arr, subs) -> pp_access ppf arr subs
+
+and pp_access ppf arr subs =
+  Format.fprintf ppf "%s[%a]" arr
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_iexpr)
+    subs
+
+let rec pp_fexpr ppf = function
+  | Fconst f -> Format.fprintf ppf "%g" f
+  | Fvar v -> Format.pp_print_string ppf v
+  | Fload (arr, subs) -> pp_access ppf arr subs
+  | Fadd (a, b) -> Format.fprintf ppf "(%a + %a)" pp_fexpr a pp_fexpr b
+  | Fsub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_fexpr a pp_fexpr b
+  | Fmul (a, b) -> Format.fprintf ppf "(%a * %a)" pp_fexpr a pp_fexpr b
+  | Fdiv (a, b) -> Format.fprintf ppf "(%a / %a)" pp_fexpr a pp_fexpr b
+  | Fneg a -> Format.fprintf ppf "(-%a)" pp_fexpr a
+  | Fabs a -> Format.fprintf ppf "abs(%a)" pp_fexpr a
+  | Fsqrt a -> Format.fprintf ppf "sqrt(%a)" pp_fexpr a
+  | Fofint a -> Format.fprintf ppf "float(%a)" pp_iexpr a
+
+let pp_cond ppf = function
+  | Clt (a, b) -> Format.fprintf ppf "%a < %a" pp_fexpr a pp_fexpr b
+  | Cle (a, b) -> Format.fprintf ppf "%a <= %a" pp_fexpr a pp_fexpr b
+  | Ceq (a, b) -> Format.fprintf ppf "%a == %a" pp_fexpr a pp_fexpr b
+  | Cilt (a, b) -> Format.fprintf ppf "%a < %a" pp_iexpr a pp_iexpr b
+  | Cieq (a, b) -> Format.fprintf ppf "%a == %a" pp_iexpr a pp_iexpr b
+
+let rec pp_stmt ppf = function
+  | Sfassign (v, e) -> Format.fprintf ppf "%s = %a" v pp_fexpr e
+  | Siassign (v, e) -> Format.fprintf ppf "%s = %a" v pp_iexpr e
+  | Sfstore (arr, subs, e) -> Format.fprintf ppf "%a = %a" pp_access_pair (arr, subs) pp_fexpr e
+  | Sistore (arr, subs, e) -> Format.fprintf ppf "%a = %a" pp_access_pair (arr, subs) pp_iexpr e
+  | Sfor { var; lo; hi; body } ->
+      Format.fprintf ppf "@[<v 2>for %s = %a .. %a {@,%a@]@,}" var pp_iexpr lo pp_iexpr hi
+        pp_body body
+  | Sif (c, a, []) -> Format.fprintf ppf "@[<v 2>if %a {@,%a@]@,}" pp_cond c pp_body a
+  | Sif (c, a, b) ->
+      Format.fprintf ppf "@[<v 2>if %a {@,%a@]@,} else {@,%a@,}" pp_cond c pp_body a pp_body b
+  | Scall name -> Format.fprintf ppf "call %s()" name
+
+and pp_access_pair ppf (arr, subs) = pp_access ppf arr subs
+
+and pp_body ppf body =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ()) pp_stmt ppf body
+
+let pp_program ppf p =
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "%s %s[%s]@."
+        (if a.a_float then "float" else "int")
+        a.a_name
+        (String.concat "][" (List.map string_of_int a.a_dims)))
+    p.arrays;
+  List.iter (fun (name, body) -> Format.fprintf ppf "@[<v 2>proc %s {@,%a@]@,}@." name pp_body body) p.procs;
+  Format.fprintf ppf "@[<v 2>main {@,%a@]@,}@." pp_body p.main

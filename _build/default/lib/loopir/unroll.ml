@@ -1,0 +1,89 @@
+let rec sub_i v e (x : Ir.iexpr) : Ir.iexpr =
+  match x with
+  | Ir.Iconst _ -> x
+  | Ivar name -> if name = v then e else x
+  | Iadd (a, b) -> Ir.Iadd (sub_i v e a, sub_i v e b)
+  | Isub (a, b) -> Ir.Isub (sub_i v e a, sub_i v e b)
+  | Imul (a, b) -> Ir.Imul (sub_i v e a, sub_i v e b)
+  | Iload (arr, subs) -> Ir.Iload (arr, List.map (sub_i v e) subs)
+
+let rec sub_f v e (x : Ir.fexpr) : Ir.fexpr =
+  match x with
+  | Ir.Fconst _ | Fvar _ -> x
+  | Fload (arr, subs) -> Ir.Fload (arr, List.map (sub_i v e) subs)
+  | Fadd (a, b) -> Ir.Fadd (sub_f v e a, sub_f v e b)
+  | Fsub (a, b) -> Ir.Fsub (sub_f v e a, sub_f v e b)
+  | Fmul (a, b) -> Ir.Fmul (sub_f v e a, sub_f v e b)
+  | Fdiv (a, b) -> Ir.Fdiv (sub_f v e a, sub_f v e b)
+  | Fneg a -> Ir.Fneg (sub_f v e a)
+  | Fabs a -> Ir.Fabs (sub_f v e a)
+  | Fsqrt a -> Ir.Fsqrt (sub_f v e a)
+  | Fofint a -> Ir.Fofint (sub_i v e a)
+
+let sub_c v e (c : Ir.cond) : Ir.cond =
+  match c with
+  | Ir.Clt (a, b) -> Ir.Clt (sub_f v e a, sub_f v e b)
+  | Cle (a, b) -> Ir.Cle (sub_f v e a, sub_f v e b)
+  | Ceq (a, b) -> Ir.Ceq (sub_f v e a, sub_f v e b)
+  | Cilt (a, b) -> Ir.Cilt (sub_i v e a, sub_i v e b)
+  | Cieq (a, b) -> Ir.Cieq (sub_i v e a, sub_i v e b)
+
+let rec substitute_index v e (s : Ir.stmt) : Ir.stmt =
+  match s with
+  | Ir.Sfassign (name, x) -> Ir.Sfassign (name, sub_f v e x)
+  | Siassign (name, x) -> Ir.Siassign (name, sub_i v e x)
+  | Sfstore (arr, subs, x) -> Ir.Sfstore (arr, List.map (sub_i v e) subs, sub_f v e x)
+  | Sistore (arr, subs, x) -> Ir.Sistore (arr, List.map (sub_i v e) subs, sub_i v e x)
+  | Sfor { var; lo; hi; body } ->
+      Ir.Sfor
+        {
+          var;
+          lo = sub_i v e lo;
+          hi = sub_i v e hi;
+          body = List.map (substitute_index v e) body;
+        }
+  | Sif (c, a, b) ->
+      Ir.Sif (sub_c v e c, List.map (substitute_index v e) a, List.map (substitute_index v e) b)
+  | Scall _ -> s
+
+let rec unroll_stmt ~factor (s : Ir.stmt) : Ir.stmt list =
+  if factor < 2 then invalid_arg "Unroll.unroll_stmt: factor must be >= 2";
+  match s with
+  | Ir.Sfor { var; lo = Ir.Iconst lo; hi = Ir.Iconst hi; body } when hi - lo >= factor ->
+      let body = List.concat_map (unroll_stmt ~factor) body in
+      let trip = hi - lo in
+      let main_trips = trip / factor in
+      let split = lo + (main_trips * factor) in
+      (* Main loop: a compact index u = 0 .. main_trips, each iteration
+         executing the copies for index lo + u*factor + k. *)
+      let copies =
+        List.concat_map
+          (fun k ->
+            let idx =
+              Ir.Iadd
+                (Ir.Iadd (Ir.Iconst lo, Ir.Imul (Ir.Ivar var, Ir.Iconst factor)), Ir.Iconst k)
+            in
+            List.map (substitute_index var idx) body)
+          (List.init factor Fun.id)
+      in
+      let main_loop = Ir.Sfor { var; lo = Ir.Iconst 0; hi = Ir.Iconst main_trips; body = copies } in
+      let remainder =
+        if split = hi then []
+        else [ Ir.Sfor { var; lo = Ir.Iconst split; hi = Ir.Iconst hi; body } ]
+      in
+      main_loop :: remainder
+  | Sfor { var; lo; hi; body } ->
+      [ Ir.Sfor { var; lo; hi; body = List.concat_map (unroll_stmt ~factor) body } ]
+  | Sif (c, a, b) ->
+      [ Ir.Sif (c, List.concat_map (unroll_stmt ~factor) a, List.concat_map (unroll_stmt ~factor) b) ]
+  | Sfassign _ | Siassign _ | Sfstore _ | Sistore _ | Scall _ -> [ s ]
+
+let unroll_program ~factor (p : Ir.program) =
+  {
+    p with
+    Ir.main = List.concat_map (unroll_stmt ~factor) p.Ir.main;
+    procs =
+      List.map
+        (fun (name, body) -> (name, List.concat_map (unroll_stmt ~factor) body))
+        p.Ir.procs;
+  }

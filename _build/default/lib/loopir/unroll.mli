@@ -1,0 +1,29 @@
+(** Loop unrolling.
+
+    [unroll_stmt ~factor] rewrites a counted loop with {e constant} bounds
+    into a main loop that executes [factor] copies of the body per
+    iteration (the k-th copy sees [index + k]) followed by a remainder
+    loop for the leftover iterations. The copies execute in the original
+    iteration order, so the transformation preserves semantics for every
+    loop of this IR (the index variable's value {e after} the loop is
+    unspecified, as in Fortran DO semantics); loops with non-constant
+    bounds or a trip count smaller than the factor are left unchanged.
+
+    In the context of the paper this is the {e opposite} lever to loop
+    distribution: unrolling grows the static body, so a loop that fit the
+    issue queue may stop being capturable, in exchange for less
+    per-iteration control overhead. The `riq-sim fig unroll` ablation
+    quantifies that trade-off. *)
+
+val unroll_stmt : factor:int -> Ir.stmt -> Ir.stmt list
+(** Unroll one statement, recursively descending into loop bodies and
+    conditionals (innermost loops are unrolled first). [factor] must be
+    at least 2. *)
+
+val unroll_program : factor:int -> Ir.program -> Ir.program
+(** Unroll every loop in main and in all procedures. *)
+
+val substitute_index : string -> Ir.iexpr -> Ir.stmt -> Ir.stmt
+(** [substitute_index v e stmt] replaces every read of variable [v] with
+    the expression [e]. Exposed for tests; assumes [stmt] does not rebind
+    [v] (guaranteed by {!Ir.validate}'s no-shadowing rule). *)

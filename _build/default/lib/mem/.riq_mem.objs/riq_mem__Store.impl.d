@@ -1,0 +1,1 @@
+lib/mem/store.ml: Array Hashtbl Int32 List Printf

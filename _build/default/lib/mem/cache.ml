@@ -1,0 +1,112 @@
+open Riq_util
+
+type config = {
+  name : string;
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  hit_latency : int;
+}
+
+let config ~name ~sets ~ways ~line_bytes ~hit_latency =
+  if not (Bits.is_pow2 sets) then invalid_arg "Cache.config: sets must be a power of two";
+  if not (Bits.is_pow2 line_bytes) then
+    invalid_arg "Cache.config: line size must be a power of two";
+  if ways < 1 then invalid_arg "Cache.config: ways must be >= 1";
+  if hit_latency < 1 then invalid_arg "Cache.config: hit latency must be >= 1";
+  { name; sets; ways; line_bytes; hit_latency }
+
+let size_bytes c = c.sets * c.ways * c.line_bytes
+
+type line = { mutable tag : int; mutable valid : bool; mutable dirty : bool; mutable lru : int }
+
+type t = {
+  config : config;
+  lines : line array; (* sets * ways, row-major by set *)
+  mutable clock : int; (* monotonic, for LRU ordering *)
+  mutable n_access : int;
+  mutable n_hit : int;
+  mutable n_dirty_evict : int;
+}
+
+type result = Hit | Miss of { dirty_evict : bool }
+
+let create config =
+  let n = config.sets * config.ways in
+  {
+    config;
+    lines = Array.init n (fun _ -> { tag = 0; valid = false; dirty = false; lru = 0 });
+    clock = 0;
+    n_access = 0;
+    n_hit = 0;
+    n_dirty_evict = 0;
+  }
+
+let cfg t = t.config
+
+let set_and_tag t addr =
+  let line_idx = addr / t.config.line_bytes in
+  (line_idx land (t.config.sets - 1), line_idx / t.config.sets)
+
+let access t ~addr ~write =
+  t.n_access <- t.n_access + 1;
+  t.clock <- t.clock + 1;
+  let set, tag = set_and_tag t addr in
+  let base = set * t.config.ways in
+  let found = ref None in
+  for w = 0 to t.config.ways - 1 do
+    let line = t.lines.(base + w) in
+    if line.valid && line.tag = tag then found := Some line
+  done;
+  match !found with
+  | Some line ->
+      t.n_hit <- t.n_hit + 1;
+      line.lru <- t.clock;
+      if write then line.dirty <- true;
+      Hit
+  | None ->
+      (* Choose the eviction victim: an invalid way if any, else true LRU. *)
+      let victim = ref t.lines.(base) in
+      for w = 1 to t.config.ways - 1 do
+        let line = t.lines.(base + w) in
+        let v = !victim in
+        if (not line.valid) && v.valid then victim := line
+        else if (not v.valid) || not line.valid then ()
+        else if line.lru < v.lru then victim := line
+      done;
+      let v = !victim in
+      let dirty_evict = v.valid && v.dirty in
+      if dirty_evict then t.n_dirty_evict <- t.n_dirty_evict + 1;
+      v.tag <- tag;
+      v.valid <- true;
+      v.dirty <- write;
+      v.lru <- t.clock;
+      Miss { dirty_evict }
+
+let probe t ~addr =
+  let set, tag = set_and_tag t addr in
+  let base = set * t.config.ways in
+  let found = ref false in
+  for w = 0 to t.config.ways - 1 do
+    let line = t.lines.(base + w) in
+    if line.valid && line.tag = tag then found := true
+  done;
+  !found
+
+let flush t =
+  Array.iter
+    (fun line ->
+      line.valid <- false;
+      line.dirty <- false)
+    t.lines
+
+let accesses t = t.n_access
+let hits t = t.n_hit
+let misses t = t.n_access - t.n_hit
+let dirty_evictions t = t.n_dirty_evict
+let miss_rate t = Stats.ratio (float_of_int (misses t)) (float_of_int t.n_access)
+
+let reset_stats t =
+  t.n_access <- 0;
+  t.n_hit <- 0;
+  t.n_dirty_evict <- 0

@@ -1,0 +1,83 @@
+let page_words = 1024 (* 4 KiB pages *)
+
+type t = (int, int array) Hashtbl.t
+
+let create () : t = Hashtbl.create 256
+
+let check_addr addr =
+  if addr < 0 then invalid_arg "Store: negative address";
+  if addr land 3 <> 0 then invalid_arg (Printf.sprintf "Store: misaligned address 0x%x" addr)
+
+let read_word t addr =
+  check_addr addr;
+  let word_idx = addr lsr 2 in
+  match Hashtbl.find_opt t (word_idx / page_words) with
+  | None -> 0
+  | Some page -> page.(word_idx mod page_words)
+
+let write_word t addr v =
+  check_addr addr;
+  let word_idx = addr lsr 2 in
+  let page_idx = word_idx / page_words in
+  let page =
+    match Hashtbl.find_opt t page_idx with
+    | Some page -> page
+    | None ->
+        let page = Array.make page_words 0 in
+        Hashtbl.replace t page_idx page;
+        page
+  in
+  page.(word_idx mod page_words) <- v land 0xFFFFFFFF
+
+let read_byte t addr =
+  if addr < 0 then invalid_arg "Store: negative address";
+  let w = read_word t (addr land lnot 3) in
+  (w lsr (8 * (addr land 3))) land 0xFF
+
+let write_byte t addr v =
+  if addr < 0 then invalid_arg "Store: negative address";
+  let word_addr = addr land lnot 3 in
+  let shift = 8 * (addr land 3) in
+  let w = read_word t word_addr in
+  write_word t word_addr (w land lnot (0xFF lsl shift) lor ((v land 0xFF) lsl shift))
+
+let read_half t addr =
+  if addr < 0 then invalid_arg "Store: negative address";
+  if addr land 1 <> 0 then invalid_arg (Printf.sprintf "Store: misaligned halfword 0x%x" addr);
+  let w = read_word t (addr land lnot 3) in
+  (w lsr (8 * (addr land 3))) land 0xFFFF
+
+let write_half t addr v =
+  if addr < 0 then invalid_arg "Store: negative address";
+  if addr land 1 <> 0 then invalid_arg (Printf.sprintf "Store: misaligned halfword 0x%x" addr);
+  let word_addr = addr land lnot 3 in
+  let shift = 8 * (addr land 3) in
+  let w = read_word t word_addr in
+  write_word t word_addr (w land lnot (0xFFFF lsl shift) lor ((v land 0xFFFF) lsl shift))
+
+let read_float t addr = Int32.float_of_bits (Int32.of_int (read_word t addr))
+
+let write_float t addr v = write_word t addr (Int32.to_int (Int32.bits_of_float v) land 0xFFFFFFFF)
+
+let copy t =
+  let t' = create () in
+  Hashtbl.iter (fun k page -> Hashtbl.replace t' k (Array.copy page)) t;
+  t'
+
+let fold_nonzero t ~init ~f =
+  let pages = Hashtbl.fold (fun k _ acc -> k :: acc) t [] in
+  let pages = List.sort compare pages in
+  List.fold_left
+    (fun acc page_idx ->
+      let page = Hashtbl.find t page_idx in
+      let acc = ref acc in
+      Array.iteri
+        (fun i v ->
+          if v <> 0 then acc := f !acc (4 * ((page_idx * page_words) + i)) v)
+        page;
+      !acc)
+    init pages
+
+let equal a b =
+  let dump t = fold_nonzero t ~init:[] ~f:(fun acc addr v -> (addr, v) :: acc) in
+  dump a = dump b

@@ -1,0 +1,1 @@
+lib/ooo/config.mli: Format Hierarchy Predictor Riq_branch Riq_mem Riq_power

@@ -1,0 +1,1 @@
+lib/ooo/fu.ml: Array Insn Riq_isa

@@ -1,0 +1,1 @@
+lib/ooo/fu.mli: Insn Riq_isa

@@ -1,0 +1,1 @@
+lib/ooo/iq.ml: Array Insn Riq_isa

@@ -1,0 +1,1 @@
+lib/ooo/iq.mli: Insn Riq_isa

@@ -1,0 +1,1 @@
+lib/ooo/rob.ml: Array Insn Riq_isa

@@ -1,0 +1,131 @@
+open Riq_isa
+
+type slot = {
+  mutable seq : int;
+  mutable rob_idx : int;
+  mutable pc : int;
+  mutable insn : Insn.t;
+  mutable fu : Insn.fu_class;
+  mutable src1_tag : int;
+  mutable src1_i : int;
+  mutable src1_f : float;
+  mutable src2_tag : int;
+  mutable src2_i : int;
+  mutable src2_f : float;
+  mutable issued : bool;
+  mutable reusable : bool;
+  mutable dead : bool;
+  mutable pred_npc : int;
+}
+
+type t = { arr : slot array; size : int; mutable count : int; mutable rptr : int }
+
+let fresh_slot () =
+  {
+    seq = -1;
+    rob_idx = -1;
+    pc = 0;
+    insn = Insn.Nop;
+    fu = Insn.FU_none;
+    src1_tag = -1;
+    src1_i = 0;
+    src1_f = 0.;
+    src2_tag = -1;
+    src2_i = 0;
+    src2_f = 0.;
+    issued = false;
+    reusable = false;
+    dead = false;
+    pred_npc = 0;
+  }
+
+let create size =
+  if size < 1 then invalid_arg "Iq.create";
+  { arr = Array.init size (fun _ -> fresh_slot ()); size; count = 0; rptr = 0 }
+
+let size t = t.size
+let count t = t.count
+let free t = t.size - t.count
+let is_full t = t.count = t.size
+let slots t = t.arr
+
+let dispatch t =
+  if is_full t then failwith "Iq.dispatch: full";
+  let s = t.arr.(t.count) in
+  t.count <- t.count + 1;
+  s.dead <- false;
+  s.issued <- false;
+  s.reusable <- false;
+  s
+
+let wakeup t ~tag ~value_i ~value_f =
+  for i = 0 to t.count - 1 do
+    let s = t.arr.(i) in
+    if (not s.issued) && not s.dead then begin
+      if s.src1_tag = tag then begin
+        s.src1_tag <- -1;
+        s.src1_i <- value_i;
+        s.src1_f <- value_f
+      end;
+      if s.src2_tag = tag then begin
+        s.src2_tag <- -1;
+        s.src2_i <- value_i;
+        s.src2_f <- value_f
+      end
+    end
+  done
+
+let compact t =
+  let orig_rptr = t.rptr in
+  let dead_before = ref 0 in
+  let w = ref 0 in
+  let removed = ref 0 in
+  for r = 0 to t.count - 1 do
+    let s = t.arr.(r) in
+    if s.dead then begin
+      incr removed;
+      if r < orig_rptr then incr dead_before
+    end
+    else begin
+      if !w <> r then begin
+        (* Swap the record references to keep slot objects unique. *)
+        let tmp = t.arr.(!w) in
+        t.arr.(!w) <- s;
+        t.arr.(r) <- tmp
+      end;
+      incr w
+    end
+  done;
+  t.count <- !w;
+  t.rptr <- orig_rptr - !dead_before;
+  if t.rptr > t.count || t.rptr < 0 then t.rptr <- 0;
+  !removed
+
+let reuse_ptr t = t.rptr
+let set_reuse_ptr t i = t.rptr <- i
+
+let first_reusable t =
+  let rec go i = if i >= t.count then -1 else if t.arr.(i).reusable then i else go (i + 1) in
+  go 0
+
+let clear_classification t =
+  for i = 0 to t.count - 1 do
+    let s = t.arr.(i) in
+    if s.reusable then begin
+      s.reusable <- false;
+      if s.issued then s.dead <- true
+    end
+  done
+
+let squash_after t ~seq =
+  for i = 0 to t.count - 1 do
+    let s = t.arr.(i) in
+    if (not s.dead) && s.seq > seq then begin
+      if s.reusable then begin
+        (* The in-flight instance dies but the buffered instruction
+           remains; it is as if its last instance had already issued. *)
+        if not s.issued then s.issued <- true
+      end
+      else s.dead <- true
+    end
+  done

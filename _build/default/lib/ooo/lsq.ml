@@ -1,0 +1,126 @@
+type entry = {
+  mutable seq : int;
+  mutable rob_idx : int;
+  mutable is_store : bool;
+  mutable is_fp : bool;
+  mutable addr_ready : bool;
+  mutable addr : int;
+  mutable width : int;
+  mutable data_ready : bool;
+  mutable data_tag : int;
+  mutable data_i : int;
+  mutable data_f : float;
+  mutable live : bool;
+}
+
+type t = { arr : entry array; size : int; mutable head : int; mutable tail : int; mutable count : int }
+
+let fresh () =
+  {
+    seq = -1;
+    rob_idx = -1;
+    is_store = false;
+    is_fp = false;
+    addr_ready = false;
+    addr = 0;
+    width = 4;
+    data_ready = false;
+    data_tag = -1;
+    data_i = 0;
+    data_f = 0.;
+    live = false;
+  }
+
+let create size =
+  if size < 1 then invalid_arg "Lsq.create";
+  { arr = Array.init size (fun _ -> fresh ()); size; head = 0; tail = 0; count = 0 }
+
+let size t = t.size
+let count t = t.count
+let is_full t = t.count = t.size
+
+let alloc t =
+  if is_full t then failwith "Lsq.alloc: full";
+  let idx = t.tail in
+  let e = t.arr.(idx) in
+  e.live <- true;
+  e.addr_ready <- false;
+  e.width <- 4;
+  e.data_ready <- false;
+  e.data_tag <- -1;
+  t.tail <- (t.tail + 1) mod t.size;
+  t.count <- t.count + 1;
+  idx
+
+let entry t idx = t.arr.(idx)
+
+type load_check = Forward of entry | Wait | Access
+
+let overlaps a aw b bw = a < b + bw && b < a + aw
+
+let check_load t ~idx ~addr ~width =
+  (* Walk from the slot just older than [idx] back to the head. *)
+  let result = ref Access in
+  let pos = ref ((idx + t.size - 1) mod t.size) in
+  let continue_ = ref (t.count > 0 && idx <> t.head) in
+  while !continue_ do
+    let e = t.arr.(!pos) in
+    if e.live && e.is_store then begin
+      if not e.addr_ready then begin
+        result := Wait;
+        continue_ := false
+      end
+      else if e.addr = addr && e.width = width then begin
+        result := (if e.data_ready then Forward e else Wait);
+        continue_ := false
+      end
+      else if overlaps e.addr e.width addr width then begin
+        (* Partial overlap: no forwarding path; wait until the store
+           commits and leaves the queue. *)
+        result := Wait;
+        continue_ := false
+      end
+    end;
+    if !continue_ then begin
+      if !pos = t.head then continue_ := false
+      else pos := (!pos + t.size - 1) mod t.size
+    end
+  done;
+  !result
+
+let capture_data t ~tag ~value_i ~value_f =
+  let captured = ref [] in
+  for i = 0 to t.size - 1 do
+    let e = t.arr.(i) in
+    if e.live && e.is_store && e.data_tag = tag then begin
+      e.data_tag <- -1;
+      e.data_ready <- true;
+      e.data_i <- value_i;
+      e.data_f <- value_f;
+      captured := (e.rob_idx, e.seq) :: !captured
+    end
+  done;
+  !captured
+
+let head_is t idx = t.count > 0 && idx = t.head
+
+let pop_head t =
+  if t.count = 0 then failwith "Lsq.pop_head: empty";
+  t.arr.(t.head).live <- false;
+  t.arr.(t.head).seq <- -1;
+  t.head <- (t.head + 1) mod t.size;
+  t.count <- t.count - 1
+
+let squash_after t ~seq =
+  let continue_ = ref true in
+  while !continue_ && t.count > 0 do
+    let last = (t.tail + t.size - 1) mod t.size in
+    let e = t.arr.(last) in
+    if e.live && e.seq > seq then begin
+      e.live <- false;
+      e.seq <- -1;
+      t.tail <- last;
+      t.count <- t.count - 1
+    end
+    else continue_ := false
+  done

@@ -1,0 +1,57 @@
+(** Load/store queue.
+
+    Slots are allocated in program order at dispatch and freed at commit
+    (stores) or squash. Loads consult the queue for memory-order
+    constraints: a load may access memory only when every older store has a
+    resolved address (conservative disambiguation), and it forwards from
+    the youngest older store with a matching address.
+
+    Accesses carry a byte width (1, 2 or 4). Forwarding requires the
+    store to match the load's address and width exactly; any other byte
+    overlap makes the load wait until the store leaves the queue. *)
+
+type entry = {
+  mutable seq : int;
+  mutable rob_idx : int;
+  mutable is_store : bool;
+  mutable is_fp : bool;
+  mutable addr_ready : bool;
+  mutable addr : int;
+  mutable width : int; (** access footprint in bytes: 1, 2 or 4 *)
+  mutable data_ready : bool; (** store data captured *)
+  mutable data_tag : int; (** ROB index the store data waits on, or -1 *)
+  mutable data_i : int;
+  mutable data_f : float;
+  mutable live : bool;
+}
+
+type t
+
+val create : int -> t
+val size : t -> int
+val count : t -> int
+val is_full : t -> bool
+
+val alloc : t -> int
+(** Claim the tail slot (program order); returns its index. *)
+
+val entry : t -> int -> entry
+
+type load_check =
+  | Forward of entry (** youngest older matching store, data ready *)
+  | Wait (** an older store's address or matching data is unresolved *)
+  | Access (** no conflict: go to the data cache *)
+
+val check_load : t -> idx:int -> addr:int -> width:int -> load_check
+
+val capture_data : t -> tag:int -> value_i:int -> value_f:float -> (int * int) list
+(** Result broadcast to stores whose data operand was pending: every live
+    store waiting on [tag] captures the value; returns their
+    [(rob_idx, seq)] pairs so the pipeline can schedule their completion. *)
+
+val head_is : t -> int -> bool
+(** Whether [idx] is the oldest live slot (commit-order check). *)
+
+val pop_head : t -> unit
+val squash_after : t -> seq:int -> unit
+(** Free every slot younger than [seq]. *)

@@ -1,0 +1,98 @@
+open Riq_isa
+
+type entry = {
+  mutable seq : int;
+  mutable pc : int;
+  mutable insn : Insn.t;
+  mutable completed : bool;
+  mutable value_i : int;
+  mutable value_f : float;
+  mutable dest : int;
+  mutable is_store : bool;
+  mutable lsq_idx : int;
+  mutable is_ctrl : bool;
+  mutable pred_npc : int;
+  mutable actual_npc : int;
+  mutable taken : bool;
+  mutable ras_ck : int;
+  mutable from_reuse : bool;
+}
+
+type t = {
+  entries : entry array;
+  size : int;
+  mutable head : int;
+  mutable tail : int; (* next free slot *)
+  mutable count : int;
+}
+
+let fresh_entry () =
+  {
+    seq = -1;
+    pc = 0;
+    insn = Insn.Nop;
+    completed = false;
+    value_i = 0;
+    value_f = 0.;
+    dest = -1;
+    is_store = false;
+    lsq_idx = -1;
+    is_ctrl = false;
+    pred_npc = 0;
+    actual_npc = 0;
+    taken = false;
+    ras_ck = 0;
+    from_reuse = false;
+  }
+
+let create size =
+  if size < 1 then invalid_arg "Rob.create";
+  { entries = Array.init size (fun _ -> fresh_entry ()); size; head = 0; tail = 0; count = 0 }
+
+let size t = t.size
+let count t = t.count
+let is_full t = t.count = t.size
+let is_empty t = t.count = 0
+
+let alloc t =
+  if is_full t then failwith "Rob.alloc: full";
+  let idx = t.tail in
+  t.tail <- (t.tail + 1) mod t.size;
+  t.count <- t.count + 1;
+  idx
+
+let entry t idx = t.entries.(idx)
+let head t = t.head
+let head_entry t = if is_empty t then None else Some t.entries.(t.head)
+
+let pop_head t =
+  if is_empty t then failwith "Rob.pop_head: empty";
+  t.entries.(t.head).seq <- -1;
+  t.head <- (t.head + 1) mod t.size;
+  t.count <- t.count - 1
+
+let squash_after t ~seq ~f =
+  let continue_ = ref true in
+  while !continue_ && t.count > 0 do
+    let last = (t.tail + t.size - 1) mod t.size in
+    let e = t.entries.(last) in
+    if e.seq > seq then begin
+      f last e;
+      e.seq <- -1;
+      t.tail <- last;
+      t.count <- t.count - 1
+    end
+    else continue_ := false
+  done
+
+let iter_youngest_first t f =
+  for i = 0 to t.count - 1 do
+    let idx = (t.tail + (t.size * 2) - 1 - i) mod t.size in
+    f idx t.entries.(idx)
+  done
+
+let iter_oldest_first t f =
+  for i = 0 to t.count - 1 do
+    let idx = (t.head + i) mod t.size in
+    f idx t.entries.(idx)
+  done

@@ -1,0 +1,1 @@
+lib/power/account.ml: Array Component Model

@@ -1,0 +1,1 @@
+lib/power/account.mli: Component Model

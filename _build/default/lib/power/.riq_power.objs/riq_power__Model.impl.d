@@ -1,0 +1,1 @@
+lib/power/model.ml: Array Cache Component Hierarchy Predictor Riq_branch Riq_mem

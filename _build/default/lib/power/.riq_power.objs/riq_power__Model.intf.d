@@ -1,0 +1,1 @@
+lib/power/model.mli: Cache Component Predictor Riq_branch Riq_mem

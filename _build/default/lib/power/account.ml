@@ -1,0 +1,58 @@
+type t = {
+  model : Model.t;
+  act : float array;
+  acc : float array; (* cumulative energy per component *)
+  mutable n_cycles : int;
+}
+
+let create model =
+  {
+    model;
+    act = Array.make Component.count 0.;
+    acc = Array.make Component.count 0.;
+    n_cycles = 0;
+  }
+
+let model t = t.model
+let activity t = t.act
+let add t c n = t.act.(Component.index c) <- t.act.(Component.index c) +. n
+
+let clock_idx = Component.index Component.Clock
+
+let tick t =
+  t.n_cycles <- t.n_cycles + 1;
+  for i = 0 to Component.count - 1 do
+    let a = t.act.(i) in
+    if a > 0. then begin
+      t.acc.(i) <- t.acc.(i) +. (a *. Model.energy t.model (Component.of_index i));
+      t.act.(i) <- 0.
+    end
+    else t.acc.(i) <- t.acc.(i) +. Model.idle t.model (Component.of_index i)
+  done;
+  t.acc.(clock_idx) <- t.acc.(clock_idx) +. Model.clock_per_cycle t.model
+
+let cycles t = t.n_cycles
+let total_energy t = Array.fold_left ( +. ) 0. t.acc
+let energy_of t c = t.acc.(Component.index c)
+
+let group_energy t g =
+  let sum = ref 0. in
+  Array.iter
+    (fun c -> if Component.group c = g then sum := !sum +. energy_of t c)
+    Component.all;
+  !sum
+
+let avg_power t = if t.n_cycles = 0 then 0. else total_energy t /. float_of_int t.n_cycles
+
+let group_power t g =
+  if t.n_cycles = 0 then 0. else group_energy t g /. float_of_int t.n_cycles
+
+let breakdown t =
+  let total = total_energy t in
+  let entries =
+    Array.map
+      (fun c -> (c, if total = 0. then 0. else energy_of t c /. total))
+      Component.all
+  in
+  Array.sort (fun (_, a) (_, b) -> compare b a) entries;
+  entries

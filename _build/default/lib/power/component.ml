@@ -1,0 +1,119 @@
+type t =
+  | Icache
+  | L0cache
+  | Loopcache
+  | Itlb
+  | Decoder
+  | Bpred_dir
+  | Btb
+  | Ras
+  | Rename
+  | Iq_wakeup
+  | Iq_payload
+  | Iq_select
+  | Lsq
+  | Rob
+  | Regfile
+  | Ialu
+  | Imult
+  | Fpalu
+  | Fpmult
+  | Dcache
+  | Dtlb
+  | L2
+  | Resultbus
+  | Clock
+  | Lrl
+  | Nblt
+  | Reuse_logic
+
+let all =
+  [|
+    Icache; L0cache; Loopcache; Itlb; Decoder; Bpred_dir; Btb; Ras; Rename; Iq_wakeup; Iq_payload; Iq_select;
+    Lsq; Rob; Regfile; Ialu; Imult; Fpalu; Fpmult; Dcache; Dtlb; L2; Resultbus; Clock;
+    Lrl; Nblt; Reuse_logic;
+  |]
+
+let count = Array.length all
+
+let index = function
+  | Icache -> 0
+  | L0cache -> 1
+  | Loopcache -> 2
+  | Itlb -> 3
+  | Decoder -> 4
+  | Bpred_dir -> 5
+  | Btb -> 6
+  | Ras -> 7
+  | Rename -> 8
+  | Iq_wakeup -> 9
+  | Iq_payload -> 10
+  | Iq_select -> 11
+  | Lsq -> 12
+  | Rob -> 13
+  | Regfile -> 14
+  | Ialu -> 15
+  | Imult -> 16
+  | Fpalu -> 17
+  | Fpmult -> 18
+  | Dcache -> 19
+  | Dtlb -> 20
+  | L2 -> 21
+  | Resultbus -> 22
+  | Clock -> 23
+  | Lrl -> 24
+  | Nblt -> 25
+  | Reuse_logic -> 26
+
+let of_index i =
+  if i < 0 || i >= count then invalid_arg "Component.of_index";
+  all.(i)
+
+let name = function
+  | Icache -> "icache"
+  | L0cache -> "l0-icache"
+  | Loopcache -> "loop-cache"
+  | Itlb -> "itlb"
+  | Decoder -> "decoder"
+  | Bpred_dir -> "bpred-dir"
+  | Btb -> "btb"
+  | Ras -> "ras"
+  | Rename -> "rename"
+  | Iq_wakeup -> "iq-wakeup"
+  | Iq_payload -> "iq-payload"
+  | Iq_select -> "iq-select"
+  | Lsq -> "lsq"
+  | Rob -> "rob"
+  | Regfile -> "regfile"
+  | Ialu -> "ialu"
+  | Imult -> "imult"
+  | Fpalu -> "fpalu"
+  | Fpmult -> "fpmult"
+  | Dcache -> "dcache"
+  | Dtlb -> "dtlb"
+  | L2 -> "l2"
+  | Resultbus -> "resultbus"
+  | Clock -> "clock"
+  | Lrl -> "lrl"
+  | Nblt -> "nblt"
+  | Reuse_logic -> "reuse-logic"
+
+type group = G_icache | G_bpred | G_iq | G_overhead | G_other
+
+let group = function
+  | Icache | L0cache | Loopcache -> G_icache
+  | Bpred_dir | Btb | Ras -> G_bpred
+  | Iq_wakeup | Iq_payload | Iq_select -> G_iq
+  | Lrl | Nblt | Reuse_logic -> G_overhead
+  | Itlb | Decoder | Rename | Lsq | Rob | Regfile | Ialu | Imult | Fpalu | Fpmult
+  | Dcache | Dtlb | L2 | Resultbus | Clock ->
+      G_other
+
+let group_name = function
+  | G_icache -> "icache"
+  | G_bpred -> "bpred"
+  | G_iq -> "issue-queue"
+  | G_overhead -> "overhead"
+  | G_other -> "other"
+
+let groups = [| G_icache; G_bpred; G_iq; G_overhead; G_other |]

@@ -1,0 +1,48 @@
+(** The power-dissipating structures of the modelled processor, following
+    Wattch's decomposition, plus the paper's reuse-support overhead
+    structures (logical register list, non-bufferable loop table, detector
+    and reuse-pointer logic).
+
+    Components are also grouped the way the paper's Figure 6 reports them:
+    instruction cache, branch predictor, issue queue, and overhead. *)
+
+type t =
+  | Icache
+  | L0cache (** optional filter cache in front of the L1I (related-work baseline) *)
+  | Loopcache (** optional fetch-side loop cache (related-work baseline) *)
+  | Itlb
+  | Decoder
+  | Bpred_dir (** bimodal/gshare direction table *)
+  | Btb
+  | Ras
+  | Rename (** map table read/write ports *)
+  | Iq_wakeup (** issue-queue tag CAM match *)
+  | Iq_payload (** issue-queue RAM read/write (dispatch, issue, collapse) *)
+  | Iq_select (** selection arbiter *)
+  | Lsq
+  | Rob
+  | Regfile
+  | Ialu
+  | Imult
+  | Fpalu
+  | Fpmult
+  | Dcache
+  | Dtlb
+  | L2
+  | Resultbus
+  | Clock
+  | Lrl (** overhead: logical register list storage *)
+  | Nblt (** overhead: non-bufferable loop table CAM *)
+  | Reuse_logic (** overhead: loop detector + reuse pointer *)
+
+val count : int
+val index : t -> int
+val of_index : int -> t
+val name : t -> string
+val all : t array
+
+type group = G_icache | G_bpred | G_iq | G_overhead | G_other
+
+val group : t -> group
+val group_name : group -> string
+val groups : group array

@@ -1,0 +1,26 @@
+let mask n =
+  if n < 0 || n > 32 then invalid_arg "Bits.mask";
+  (1 lsl n) - 1
+
+let extract w ~lo ~width = (w lsr lo) land mask width
+
+let insert w ~lo ~width v =
+  let m = mask width in
+  w land lnot (m lsl lo) lor ((v land m) lsl lo)
+
+let sign_extend v ~width =
+  let v = v land mask width in
+  if v land (1 lsl (width - 1)) <> 0 then v - (1 lsl width) else v
+
+let to_u32 v = v land mask 32
+let of_i32 v = sign_extend v ~width:32
+let add32 a b = of_i32 (a + b)
+let sub32 a b = of_i32 (a - b)
+let mul32 a b = of_i32 (a * b)
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  if not (is_pow2 n) then invalid_arg "Bits.log2: not a power of two";
+  let rec go k n = if n = 1 then k else go (k + 1) (n lsr 1) in
+  go 0 n

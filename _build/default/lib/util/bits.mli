@@ -1,0 +1,33 @@
+(** Bit-field helpers for 32-bit instruction words and addresses.
+
+    Words are carried in native [int]s (OCaml ints are 63-bit, so a 32-bit
+    word always fits); all functions keep results inside 32 bits. *)
+
+val mask : int -> int
+(** [mask n] is an [n]-bit mask of ones, [0 <= n <= 32]. *)
+
+val extract : int -> lo:int -> width:int -> int
+(** [extract w ~lo ~width] reads an unsigned bit-field. *)
+
+val insert : int -> lo:int -> width:int -> int -> int
+(** [insert w ~lo ~width v] writes [v] (truncated to [width] bits) into [w]. *)
+
+val sign_extend : int -> width:int -> int
+(** Interpret the low [width] bits as a two's-complement value. *)
+
+val to_u32 : int -> int
+(** Truncate to an unsigned 32-bit value. *)
+
+val of_i32 : int -> int
+(** Truncate to 32 bits and sign-extend, i.e. the canonical signed view. *)
+
+val add32 : int -> int -> int
+(** 32-bit wrapping signed addition. *)
+
+val sub32 : int -> int -> int
+val mul32 : int -> int -> int
+
+val log2 : int -> int
+(** [log2 n] for an exact power of two [n >= 1]; raises otherwise. *)
+
+val is_pow2 : int -> bool

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generator (xoshiro256 star-star).
+
+    The simulator must be bit-for-bit reproducible, so no global state and no
+    dependence on [Random.self_init]. Every stream is derived from an
+    explicit seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator. Two generators created with the same
+    seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t]. *)
+
+val bits64 : t -> int64
+(** Next 64 random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val choose : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,110 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  title : string option;
+  cols : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title cols =
+  if cols = [] then invalid_arg "Table.create: no columns";
+  { title; cols; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.cols then
+    invalid_arg "Table.add_row: cell count does not match column count";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let render t =
+  let headers = List.map fst t.cols in
+  let data_rows =
+    List.rev_map (function Cells c -> Some c | Sep -> None) t.rows
+  in
+  let widths =
+    List.mapi
+      (fun i (h, _) ->
+        List.fold_left
+          (fun w row ->
+            match row with
+            | Some cells -> max w (String.length (List.nth cells i))
+            | None -> w)
+          (String.length h)
+          data_rows)
+      t.cols
+  in
+  let pad align w s =
+    let n = w - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let buf = Buffer.create 1024 in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let hline =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let emit_cells cells =
+    Buffer.add_string buf "|";
+    List.iteri
+      (fun i cell ->
+        let _, align = List.nth t.cols i in
+        let w = List.nth widths i in
+        Buffer.add_string buf (" " ^ pad align w cell ^ " |"))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf (hline ^ "\n");
+  emit_cells headers;
+  Buffer.add_string buf (hline ^ "\n");
+  List.iter
+    (fun row ->
+      match row with
+      | Cells c -> emit_cells c
+      | Sep -> Buffer.add_string buf (hline ^ "\n"))
+    (List.rev t.rows);
+  Buffer.add_string buf hline;
+  Buffer.contents buf
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (String.concat "," (List.map (fun (h, _) -> csv_cell h) t.cols));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      match row with
+      | Cells cells ->
+          Buffer.add_string buf (String.concat "," (List.map csv_cell cells));
+          Buffer.add_char buf '\n'
+      | Sep -> ())
+    (List.rev t.rows);
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_f ?(digits = 2) v = Printf.sprintf "%.*f" digits v
+let cell_pct ?(digits = 1) v = Printf.sprintf "%.*f%%" digits v

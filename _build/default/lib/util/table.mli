@@ -1,0 +1,34 @@
+(** ASCII table rendering for experiment output.
+
+    All figures of the paper are reproduced as textual tables whose rows and
+    series mirror the plotted data, so the output of the bench harness can be
+    compared against the paper directly. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create cols] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row; the row must have exactly one cell per column. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator (e.g. before an average row). *)
+
+val render : t -> string
+(** Render to a string, including the title when present. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (header row + data rows; separators and the
+    title are omitted; cells containing commas or quotes are quoted). *)
+
+val print : t -> unit
+(** [render] followed by [print_string] and a trailing newline. *)
+
+val cell_f : ?digits:int -> float -> string
+(** Format a float cell with [digits] decimals (default 2). *)
+
+val cell_pct : ?digits:int -> float -> string
+(** Format a percentage cell, e.g. [12.34%]. *)

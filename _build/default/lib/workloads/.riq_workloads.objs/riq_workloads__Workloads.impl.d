@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Codegen Distribute Ir List Riq_loopir

@@ -1,0 +1,1 @@
+lib/workloads/workloads.mli: Codegen Ir Program Riq_asm Riq_loopir

@@ -1,0 +1,495 @@
+open Riq_loopir
+
+type t = { name : string; source : string; description : string; ir : Ir.program }
+
+(* ---- IR construction shorthands ---- *)
+
+let ic n = Ir.Iconst n
+let iv x = Ir.Ivar x
+let ( +! ) a b = Ir.Iadd (a, b)
+let ( -! ) a b = Ir.Isub (a, b)
+let fc x = Ir.Fconst x
+let fv x = Ir.Fvar x
+let ( +. ) a b = Ir.Fadd (a, b)
+let ( -. ) a b = Ir.Fsub (a, b)
+let ( *. ) a b = Ir.Fmul (a, b)
+let ( /. ) a b = Ir.Fdiv (a, b)
+let ld arr subs = Ir.Fload (arr, subs)
+let st arr subs e = Ir.Sfstore (arr, subs, e)
+let assign v e = Ir.Sfassign (v, e)
+let for_ var lo hi body = Ir.Sfor { var; lo; hi; body }
+let farr name dims = { Ir.a_name = name; a_dims = dims; a_init = `Index_pattern; a_float = true }
+let farr0 name dims = { Ir.a_name = name; a_dims = dims; a_init = `Zero; a_float = true }
+
+(* ------------------------------------------------------------------ *)
+(* adi — Livermore: alternating-direction-implicit sweeps on a 2-D     *)
+(* grid. Two large sweep loops (~70-instruction bodies) per timestep   *)
+(* plus a small flattened copy loop a 32-entry queue can capture.      *)
+(* ------------------------------------------------------------------ *)
+
+let adi =
+  let n = 24 in
+  let t_steps = 3 in
+  {
+    name = "adi";
+    source = "Livermore";
+    description = "alternating-direction-implicit integration sweeps";
+    ir =
+      {
+        Ir.arrays =
+          [
+            farr "u1" [ n; n ]; farr "u2" [ n; n ]; farr "z1" [ n; n ]; farr "z2" [ n; n ];
+            farr0 "du1" [ n ]; farr0 "du2" [ n ];
+          ];
+        int_scalars = [];
+        float_scalars = [ "a1"; "a2"; "a3"; "a4" ];
+        procs = [];
+        main =
+          [
+            assign "a1" (fc 0.125);
+            assign "a2" (fc (-0.0625));
+            assign "a3" (fc 0.03125);
+            assign "a4" (fc 0.25);
+            for_ "t" (ic 0) (ic t_steps)
+              [
+                (* Small copy loop (flattened): shadow <- current, row 0. *)
+                for_ "k" (ic 1)
+                  (ic (n - 1))
+                  [ st "du1" [ iv "k" ] (ld "u1" [ ic 0; iv "k" ] *. fc 0.5) ];
+                (* x sweep: differences from the previous-step shadow, so
+                   the four statements are distributable (Section 4). *)
+                for_ "i" (ic 1)
+                  (ic (n - 1))
+                  [
+                    for_ "j" (ic 1)
+                      (ic (n - 1))
+                      [
+                        st "du1" [ iv "j" ]
+                          (ld "z1" [ iv "i"; iv "j" +! ic 1 ]
+                          -. ld "z1" [ iv "i"; iv "j" -! ic 1 ]);
+                        st "du2" [ iv "j" ]
+                          (ld "z2" [ iv "i"; iv "j" +! ic 1 ]
+                          -. ld "z2" [ iv "i"; iv "j" -! ic 1 ]);
+                        st "u1"
+                          [ iv "i"; iv "j" ]
+                          (ld "u1" [ iv "i"; iv "j" ]
+                          +. (fv "a1" *. ld "du1" [ iv "j" ])
+                          +. (fv "a2" *. ld "du2" [ iv "j" ]));
+                        st "u2"
+                          [ iv "i"; iv "j" ]
+                          (ld "u2" [ iv "i"; iv "j" ]
+                          +. (fv "a3" *. ld "du1" [ iv "j" ])
+                          +. (fv "a4" *. ld "du2" [ iv "j" ]));
+                      ];
+                  ];
+                (* y sweep (transposed differences). *)
+                for_ "j2" (ic 1)
+                  (ic (n - 1))
+                  [
+                    for_ "i2" (ic 1)
+                      (ic (n - 1))
+                      [
+                        st "du1" [ iv "i2" ]
+                          (ld "z1" [ iv "i2" +! ic 1; iv "j2" ]
+                          -. ld "z1" [ iv "i2" -! ic 1; iv "j2" ]);
+                        st "du2" [ iv "i2" ]
+                          (ld "z2" [ iv "i2" +! ic 1; iv "j2" ]
+                          -. ld "z2" [ iv "i2" -! ic 1; iv "j2" ]);
+                        st "u1"
+                          [ iv "i2"; iv "j2" ]
+                          (ld "u1" [ iv "i2"; iv "j2" ]
+                          +. (fv "a1" *. ld "du1" [ iv "i2" ])
+                          +. (fv "a2" *. ld "du2" [ iv "i2" ]));
+                        st "u2"
+                          [ iv "i2"; iv "j2" ]
+                          (ld "u2" [ iv "i2"; iv "j2" ]
+                          +. (fv "a3" *. ld "du1" [ iv "i2" ])
+                          +. (fv "a4" *. ld "du2" [ iv "i2" ]));
+                      ];
+                  ];
+                (* Shadow refresh: small 2-D copy loops. *)
+                for_ "i3" (ic 1)
+                  (ic (n - 1))
+                  [
+                    for_ "j3" (ic 1)
+                      (ic (n - 1))
+                      [
+                        st "z1" [ iv "i3"; iv "j3" ] (ld "u1" [ iv "i3"; iv "j3" ]);
+                        st "z2" [ iv "i3"; iv "j3" ] (ld "u2" [ iv "i3"; iv "j3" ]);
+                      ];
+                  ];
+              ];
+          ];
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* aps — Perfect Club: a battery of small vector kernels (scale,       *)
+(* saxpy, reduction, triad) plus a tiny procedure called from inside   *)
+(* a loop, all with bodies a 32-entry queue captures.                  *)
+(* ------------------------------------------------------------------ *)
+
+let aps =
+  let n = 256 in
+  let t_steps = 18 in
+  {
+    name = "aps";
+    source = "Perfect Club";
+    description = "small-vector kernel battery with an in-loop procedure";
+    ir =
+      {
+        Ir.arrays = [ farr "x" [ n ]; farr "y" [ n ]; farr0 "z" [ n ]; farr0 "w" [ n ] ];
+        int_scalars = [ "gi" ];
+        float_scalars = [ "alpha"; "s" ];
+        procs =
+          [
+            (* Parameterless accumulation procedure operating on globals;
+               called from inside a capturable loop (Section 2.2.2). *)
+            ("accum", [ assign "s" (fv "s" +. (ld "x" [ iv "gi" ] *. ld "y" [ iv "gi" ])) ]);
+          ];
+        main =
+          [
+            assign "alpha" (fc 1.8125);
+            assign "s" (fc 0.0);
+            for_ "t" (ic 0) (ic t_steps)
+              [
+                for_ "i" (ic 0) (ic n) [ st "z" [ iv "i" ] (fv "alpha" *. ld "x" [ iv "i" ]) ];
+                for_ "j" (ic 0) (ic n)
+                  [ st "w" [ iv "j" ] (ld "z" [ iv "j" ] +. ld "y" [ iv "j" ]) ];
+                for_ "k" (ic 0) (ic n)
+                  [
+                    st "z" [ iv "k" ]
+                      (ld "w" [ iv "k" ] +. (fv "alpha" *. ld "y" [ iv "k" ]));
+                  ];
+                for_ "m" (ic 0) (ic n)
+                  [ Ir.Siassign ("gi", iv "m"); Ir.Scall "accum" ];
+              ];
+          ];
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* btrix — SPEC92/NASA: block-tridiagonal elimination. The dominant    *)
+(* loop wraps a ~80-instruction procedure, so its dynamic iteration is *)
+(* ~90 instructions: statically capturable everywhere, but buffering   *)
+(* fails until the queue is large enough to hold call plus callee.     *)
+(* ------------------------------------------------------------------ *)
+
+let btrix =
+  let m = 2600 in
+  let t_steps = 2 in
+  let j = iv "gj" in
+  {
+    name = "btrix";
+    source = "SPEC92/NASA";
+    description = "block-tridiagonal forward elimination and backsubstitution";
+    ir =
+      {
+        Ir.arrays =
+          [
+            farr "a" [ m; 8 ]; farr "b" [ m; 8 ]; farr "c" [ m; 8 ]; farr0 "f" [ m; 8 ];
+            { Ir.a_name = "prow"; a_dims = [ m; 8 ]; a_init = `Zero; a_float = false };
+          ];
+        int_scalars = [ "gj"; "pj" ];
+        float_scalars = [ "pivot" ];
+        procs =
+          [
+            (* Element-parallel block-row update through a pivot-row
+               indirection: the row index itself streams from memory, so
+               the row's loads wait in the queue on a missing load. This
+               is what makes btrix window-limited — and what makes it lose
+               performance when the buffered iterations under-fill a large
+               queue (the paper's Section 3 discussion). *)
+            ( "elim_row",
+              [
+                Ir.Siassign ("pj", Ir.Iload ("prow", [ j; ic 0 ]));
+                assign "pivot" (ld "b" [ iv "pj"; ic 0 ] +. fc 3.0);
+                st "f" [ j; ic 0 ]
+                  ((ld "c" [ iv "pj"; ic 0 ] *. ld "a" [ iv "pj"; ic 0 ]) /. fv "pivot");
+                st "f" [ j; ic 1 ]
+                  (ld "f" [ j; ic 1 ]
+                  -. (ld "a" [ iv "pj"; ic 1 ] *. ld "b" [ iv "pj"; ic 1 ]));
+                st "b" [ j; ic 3 ]
+                  (ld "b" [ j; ic 3 ] -. (ld "a" [ iv "pj"; ic 3 ] *. ld "c" [ iv "pj"; ic 3 ]));
+              ] );
+          ];
+        main =
+          [
+            (* Identity pivot permutation (no row exchanges in this
+               synthetic system, but the indirection is real). *)
+            for_ "p" (ic 0) (ic m) [ Ir.Sistore ("prow", [ iv "p"; ic 0 ], iv "p") ];
+            for_ "t" (ic 0) (ic t_steps)
+              [
+                (* Dominant loop: call + bookkeeping per iteration; the
+                   dynamic iteration (call plus callee) is ~90
+                   instructions, so buffering succeeds only once the queue
+                   holds call and callee together. *)
+                for_ "jj" (ic 1) (ic m) [ Ir.Siassign ("gj", iv "jj"); Ir.Scall "elim_row" ];
+                (* Backsubstitution: a mid-sized loop. *)
+                for_ "k" (ic 1) (ic m)
+                  [
+                    st "f"
+                      [ ic (m - 1) -! iv "k"; ic 5 ]
+                      (ld "f" [ ic (m - 1) -! iv "k"; ic 5 ]
+                      -. (ld "c" [ ic (m - 1) -! iv "k"; ic 5 ]
+                         *. ld "b" [ ic m -! iv "k"; ic 5 ]));
+                  ];
+              ];
+          ];
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* eflux — Perfect Club (FLO52-like): flux differences along edges     *)
+(* with a highly-biased limiter branch inside the dominant loop.       *)
+(* ------------------------------------------------------------------ *)
+
+let eflux =
+  let e = 400 in
+  let t_steps = 7 in
+  let i = iv "i" in
+  {
+    name = "eflux";
+    source = "Perfect Club";
+    description = "edge flux evaluation with a biased limiter branch";
+    ir =
+      {
+        Ir.arrays =
+          [
+            farr "p" [ e + 2 ]; farr "q" [ e + 2 ]; farr0 "fx" [ e + 2 ]; farr0 "fy" [ e + 2 ];
+            farr0 "qn" [ e + 2 ];
+          ];
+        int_scalars = [];
+        float_scalars = [ "lim" ];
+        procs = [];
+        main =
+          [
+            assign "lim" (fc 1000.0);
+            for_ "t" (ic 0) (ic t_steps)
+              [
+                (* Small gather loop. *)
+                for_ "k" (ic 0) (ic e) [ st "fy" [ iv "k" ] (ld "p" [ iv "k" ] *. fc 0.5) ];
+                (* Dominant flux loop: three statements with a limiter
+                   branch that essentially never fires with this data; the
+                   statements carry only forward dependences, so loop
+                   distribution (Section 4) can split them. *)
+                for_ "i" (ic 1) (ic e)
+                  [
+                    Ir.Sif
+                      ( Ir.Clt (fv "lim", Ir.Fabs (ld "p" [ i +! ic 1 ] -. ld "p" [ i -! ic 1 ])),
+                        [ st "fx" [ i ] (fv "lim" *. ld "q" [ i ]) ],
+                        [
+                          st "fx" [ i ]
+                            (((ld "p" [ i +! ic 1 ] -. ld "p" [ i -! ic 1 ]) *. ld "q" [ i ])
+                            +. ((ld "q" [ i +! ic 1 ] -. ld "q" [ i -! ic 1 ]) *. ld "p" [ i ])
+                            +. (ld "fy" [ i ] *. fc 0.25));
+                        ] );
+                    st "fy" [ i ]
+                      (((ld "p" [ i +! ic 1 ] -. ld "p" [ i -! ic 1 ])
+                       *. (ld "q" [ i +! ic 1 ] -. ld "q" [ i -! ic 1 ]))
+                      +. (ld "p" [ i ] *. ld "q" [ i ] *. fc 0.125)
+                      +. ld "fx" [ i -! ic 1 ]);
+                    st "qn" [ i ]
+                      (ld "q" [ i ] +. (fc 0.0625 *. (ld "fx" [ i ] -. ld "fy" [ i ])));
+                  ];
+                (* Commit the updated state: another small loop. *)
+                for_ "k2" (ic 1) (ic e) [ st "q" [ iv "k2" ] (ld "qn" [ iv "k2" ]) ];
+              ];
+          ];
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* tomcat — SPEC95 tomcatv-like mesh smoothing: two large residual     *)
+(* loops over the interior plus a small norm loop.                     *)
+(* ------------------------------------------------------------------ *)
+
+let tomcat =
+  let n = 22 in
+  let t_steps = 5 in
+  let x i j = ld "mx" [ i; j ] in
+  let y i j = ld "my" [ i; j ] in
+  let i = iv "i" and j = iv "j" in
+  let i2 = iv "i2" and j2 = iv "j2" in
+  {
+    name = "tomcat";
+    source = "Spec95";
+    description = "vectorized mesh smoothing (tomcatv-like)";
+    ir =
+      {
+        Ir.arrays =
+          [ farr "mx" [ n; n ]; farr "my" [ n; n ]; farr0 "rx" [ n; n ]; farr0 "ry" [ n; n ] ];
+        int_scalars = [];
+        float_scalars = [ "rnorm" ];
+        procs = [];
+        main =
+          [
+            for_ "t" (ic 0) (ic t_steps)
+              [
+                for_ "i" (ic 1)
+                  (ic (n - 1))
+                  [
+                    for_ "j" (ic 1)
+                      (ic (n - 1))
+                      [
+                        st "rx" [ i; j ]
+                          (x (i +! ic 1) j +. x (i -! ic 1) j +. x i (j +! ic 1)
+                          +. x i (j -! ic 1)
+                          -. (fc 4.0 *. x i j));
+                        st "ry" [ i; j ]
+                          (y (i +! ic 1) j +. y (i -! ic 1) j +. y i (j +! ic 1)
+                          +. y i (j -! ic 1)
+                          -. (fc 4.0 *. y i j));
+                      ];
+                  ];
+                for_ "i2" (ic 1)
+                  (ic (n - 1))
+                  [
+                    for_ "j2" (ic 1)
+                      (ic (n - 1))
+                      [
+                        st "mx" [ i2; j2 ] (x i2 j2 +. (fc 0.09375 *. ld "rx" [ i2; j2 ]));
+                        st "my" [ i2; j2 ] (y i2 j2 +. (fc 0.09375 *. ld "ry" [ i2; j2 ]));
+                      ];
+                  ];
+                (* Small norm accumulation (flattened). *)
+                for_ "k" (ic 0)
+                  (ic n)
+                  [ assign "rnorm" (fv "rnorm" +. Ir.Fabs (ld "rx" [ ic 1; iv "k" ])) ];
+              ];
+          ];
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* tsf — Perfect Club: tight serial recurrences (first-order linear    *)
+(* solve forward) — the smallest loops of the suite.                   *)
+(* ------------------------------------------------------------------ *)
+
+let tsf =
+  let n = 256 in
+  let t_steps = 40 in
+  {
+    name = "tsf";
+    source = "Perfect Club";
+    description = "tight first-order recurrence and reduction loops";
+    ir =
+      {
+        Ir.arrays = [ farr "xx" [ n ]; farr "yy" [ n ]; farr "zz" [ n ] ];
+        int_scalars = [];
+        float_scalars = [ "acc" ];
+        procs = [];
+        main =
+          [
+            assign "acc" (fc 0.0);
+            for_ "t" (ic 0) (ic t_steps)
+              [
+                for_ "i" (ic 1) (ic n)
+                  [
+                    st "xx" [ iv "i" ]
+                      (ld "zz" [ iv "i" ] *. (ld "yy" [ iv "i" ] -. ld "xx" [ iv "i" -! ic 1 ]));
+                  ];
+                for_ "j" (ic 0) (ic n)
+                  [ assign "acc" (fv "acc" +. (ld "xx" [ iv "j" ] *. fc 0.001)) ];
+              ];
+          ];
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* vpenta — SPEC92/NASA: pentadiagonal inversion; the dominant loop    *)
+(* body is so large that only a 256-entry queue captures it.           *)
+(* ------------------------------------------------------------------ *)
+
+let vpenta =
+  let n = 64 in
+  let t_steps = 14 in
+  let i = iv "i" in
+  let l name k = ld name [ i +! ic k ] in
+  {
+    name = "vpenta";
+    source = "Spec92/NASA";
+    description = "pentadiagonal matrix inversion sweeps";
+    ir =
+      {
+        Ir.arrays =
+          [
+            farr "va" [ n + 4 ]; farr "vb" [ n + 4 ]; farr "vc" [ n + 4 ]; farr "vd" [ n + 4 ];
+            farr "ve" [ n + 4 ]; farr0 "vf" [ n + 4 ]; farr0 "vg" [ n + 4 ];
+            farr0 "t1" [ n + 4 ]; farr0 "t2" [ n + 4 ];
+          ];
+        int_scalars = [];
+        float_scalars = [];
+        procs = [];
+        main =
+          [
+            for_ "t" (ic 0) (ic t_steps)
+              [
+                (* Small scaling loop. *)
+                for_ "k" (ic 0) (ic n) [ st "vg" [ iv "k" ] (ld "va" [ iv "k" ] *. fc 0.5) ];
+                (* Dominant elimination loop: the multiplier temporaries
+                   live in arrays (t1, t2), so every statement carries
+                   only forward dependences and the loop distributes. *)
+                for_ "i" (ic 2)
+                  (ic (n - 2))
+                  [
+                    st "t1" [ i ] (l "va" (-1) /. (l "vb" (-1) +. fc 2.0));
+                    st "t2" [ i ] (l "va" (-2) /. (l "vb" (-2) +. fc 3.0));
+                    st "vc" [ i ]
+                      (l "vc" 0 -. (l "t1" 0 *. l "vd" (-1)) -. (l "t2" 0 *. l "ve" (-2)));
+                    st "vd" [ i ]
+                      (l "vd" 0 -. (l "t1" 0 *. l "ve" (-1)) -. (l "t2" 0 *. l "vg" (-2)));
+                    st "vf" [ i ]
+                      (l "vf" 0 -. (l "t1" 0 *. l "vf" (-1)) -. (l "t2" 0 *. l "vf" (-2)));
+                    st "ve" [ i ]
+                      (l "ve" 0 -. (l "t1" 0 *. l "vg" (-1)) +. (l "t2" 0 *. l "va" 1));
+                    st "vg" [ i ] ((l "vg" 0 +. l "vb" 1) *. fc 0.5 -. (l "t1" 0 *. l "vg" (-1)));
+                  ];
+              ];
+          ];
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* wss — Perfect Club: small weighted-stencil smoothing loops.         *)
+(* ------------------------------------------------------------------ *)
+
+let wss =
+  let n = 320 in
+  let t_steps = 24 in
+  {
+    name = "wss";
+    source = "Perfect Club";
+    description = "weighted 1-D stencil smoothing and reduction";
+    ir =
+      {
+        Ir.arrays = [ farr "sx" [ n + 2 ]; farr0 "sy" [ n + 2 ] ];
+        int_scalars = [];
+        float_scalars = [ "wsum" ];
+        procs = [];
+        main =
+          [
+            for_ "t" (ic 0) (ic t_steps)
+              [
+                for_ "i" (ic 1) (ic n)
+                  [
+                    st "sy" [ iv "i" ]
+                      ((fc 0.25 *. ld "sx" [ iv "i" -! ic 1 ])
+                      +. (fc 0.75 *. ld "sx" [ iv "i" ]));
+                  ];
+                for_ "j" (ic 1) (ic n)
+                  [ assign "wsum" (fv "wsum" +. (ld "sy" [ iv "j" ] *. fc 0.01)) ];
+                for_ "k" (ic 1) (ic n) [ st "sx" [ iv "k" ] (ld "sy" [ iv "k" ] *. fc 0.999) ];
+              ];
+          ];
+      };
+  }
+
+let all = [ adi; aps; btrix; eflux; tomcat; tsf; vpenta; wss ]
+
+let find name = List.find (fun w -> w.name = name) all
+
+let program w = Codegen.compile w.ir
+let optimized_ir w = Distribute.distribute_program w.ir
+let optimized w = Codegen.compile (optimized_ir w)
+let loop_profile w = snd (Codegen.compile_info w.ir)

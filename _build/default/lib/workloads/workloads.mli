@@ -1,0 +1,42 @@
+open Riq_asm
+open Riq_loopir
+
+(** The eight array-intensive applications of Table 2, as synthetic RIQ32
+    kernels.
+
+    The original SPEC/Perfect-Club/Livermore Fortran sources and the
+    SimpleScalar cross-compilation toolchain are unavailable, so each
+    kernel implements the same numerical access-pattern class as its
+    namesake and is calibrated so its {e loop structure} — innermost-loop
+    body size in instructions, nesting, trip counts, procedure calls and
+    intra-loop branches — reproduces the per-benchmark behaviour the paper
+    reports (see DESIGN.md): [aps], [tsf], [wss] are tight-loop codes whose
+    dominant loops fit a 32-entry issue queue; [adi], [btrix], [eflux],
+    [tomcat], [vpenta] are dominated by large loop bodies that only a
+    128/256-entry queue can capture ([btrix]'s dominant loop is ~90
+    instructions); every kernel also contains small auxiliary loops
+    (initialisation, reductions) that small queues can capture. *)
+
+type t = {
+  name : string;
+  source : string; (** provenance per Table 2, e.g. "Livermore" *)
+  description : string;
+  ir : Ir.program;
+}
+
+val all : t list
+(** In Table 2 order: adi, aps, btrix, eflux, tomcat, tsf, vpenta, wss. *)
+
+val find : string -> t
+(** Raises [Not_found]. *)
+
+val program : t -> Program.t
+(** Compiled original code. *)
+
+val optimized : t -> Program.t
+(** Loop-distributed code (the Section 4 comparison). *)
+
+val optimized_ir : t -> Ir.program
+
+val loop_profile : t -> Codegen.loop_info list
+(** Static loop-body sizes of the original code. *)

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_asm Test_asm_fuzz Test_branch Test_core Test_differential Test_harness Test_interp Test_isa Test_loopir Test_mem Test_ooo Test_power Test_util Test_workloads

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Builder Encode Hashtbl Insn List Option Parse Program QCheck QCheck_alcotest Reg Riq_asm Riq_interp Riq_isa Test_isa

@@ -1,0 +1,1 @@
+test/test_asm_fuzz.ml: Alcotest Array Builder Config Format Insn List Machine Processor Reg Riq_asm Riq_core Riq_interp Riq_isa Riq_ooo Riq_util Rng

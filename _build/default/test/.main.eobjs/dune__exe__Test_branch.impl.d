@@ -1,0 +1,1 @@
+test/test_branch.ml: Alcotest Bimod Btb Gen Gshare Insn List Predictor QCheck QCheck_alcotest Ras Reg Riq_branch Riq_isa

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Codegen Config Format Ir List Machine Printf Processor QCheck QCheck_alcotest Random Riq_core Riq_interp Riq_loopir Riq_ooo

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Config Figures Lazy List Processor Riq_core Riq_harness Riq_ooo Riq_util Riq_workloads Run String Sweep Workloads

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Float Insn Int32 Machine Parse Reg Riq_asm Riq_interp Riq_isa Semantics

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Encode Insn QCheck QCheck_alcotest Reg Riq_isa

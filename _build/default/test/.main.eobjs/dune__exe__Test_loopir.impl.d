@@ -1,0 +1,1 @@
+test/test_loopir.ml: Alcotest Codegen Distribute Interchange Ir List Machine Option Printf Riq_asm Riq_interp Riq_loopir Riq_mem Riq_workloads Unroll

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Array Cache Gen Hierarchy Int32 List QCheck QCheck_alcotest Riq_mem Store

@@ -1,0 +1,1 @@
+test/test_ooo.ml: Alcotest Array Config Fu Gen Insn Iq List Lsq QCheck QCheck_alcotest Riq_isa Riq_ooo Rob

@@ -1,0 +1,1 @@
+test/test_power.ml: Account Alcotest Array Component Model QCheck QCheck_alcotest Riq_power

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bits Fun QCheck QCheck_alcotest Riq_util Rng Stats String Table

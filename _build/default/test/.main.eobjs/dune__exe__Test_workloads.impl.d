@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Codegen Ir List Option Riq_asm Riq_interp Riq_loopir Riq_mem Riq_workloads Workloads

@@ -1,0 +1,260 @@
+open Riq_isa
+open Riq_asm
+
+(* ---- Builder ---- *)
+
+let test_builder_labels () =
+  let b = Builder.create () in
+  Builder.label b "start";
+  Builder.emit b Insn.Nop;
+  Builder.br b Insn.Bne (Reg.r 1) Reg.zero "start";
+  Builder.emit b Insn.Halt;
+  let p = Builder.finish b in
+  Alcotest.(check int) "code length" 3 (Array.length p.Program.code);
+  (match p.Program.code.(1) with
+  | Insn.Br (Bne, _, _, off) -> Alcotest.(check int) "backward offset" (-2) off
+  | i -> Alcotest.failf "unexpected %s" (Insn.to_string i));
+  Alcotest.(check (option int)) "label address" (Some p.Program.text_base)
+    (Program.address_of p "start")
+
+let test_builder_forward_label () =
+  let b = Builder.create () in
+  Builder.br b Insn.Beq Reg.zero Reg.zero "end";
+  Builder.emit b Insn.Nop;
+  Builder.label b "end";
+  Builder.emit b Insn.Halt;
+  let p = Builder.finish b in
+  match p.Program.code.(0) with
+  | Insn.Br (_, _, _, off) -> Alcotest.(check int) "forward offset" 1 off
+  | i -> Alcotest.failf "unexpected %s" (Insn.to_string i)
+
+let test_builder_undefined_label () =
+  let b = Builder.create () in
+  Builder.j b "nowhere";
+  Alcotest.(check bool) "undefined label raises" true
+    (try
+       ignore (Builder.finish b);
+       false
+     with Failure _ -> true)
+
+let test_builder_redefined_label () =
+  let b = Builder.create () in
+  Builder.label b "x";
+  Alcotest.(check bool) "redefinition raises" true
+    (try
+       Builder.label b "x";
+       false
+     with Invalid_argument _ -> true)
+
+let test_builder_li () =
+  let run v =
+    let b = Builder.create () in
+    Builder.li b (Reg.r 2) v;
+    Builder.emit b Insn.Halt;
+    let p = Builder.finish b in
+    let m = Riq_interp.Machine.create p in
+    ignore (Riq_interp.Machine.run m);
+    Riq_interp.Machine.reg m (Reg.r 2)
+  in
+  List.iter
+    (fun v -> Alcotest.(check int) (string_of_int v) v (run v))
+    [ 0; 1; -1; 32767; -32768; 65535; 0x12345678; -2147483648; 2147483647 ]
+
+let test_builder_la_lf () =
+  let b = Builder.create () in
+  Builder.data_float b "c" [| 2.5 |];
+  Builder.la b (Reg.r 3) "c";
+  Builder.lf b (Reg.f 4) 7.25;
+  Builder.emit b Insn.Halt;
+  let p = Builder.finish b in
+  let m = Riq_interp.Machine.create p in
+  ignore (Riq_interp.Machine.run m);
+  Alcotest.(check (option int)) "la value"
+    (Program.address_of p "c")
+    (Some (Riq_interp.Machine.reg m (Reg.r 3)));
+  Alcotest.(check (float 0.)) "lf value" 7.25 (Riq_interp.Machine.freg m (Reg.f 4))
+
+let test_builder_data_space () =
+  let b = Builder.create () in
+  Builder.data_word b "a" [| 1; 2; 3 |];
+  Builder.data_space b "z" 4;
+  Builder.data_word b "b" [| 9 |];
+  Builder.emit b Insn.Halt;
+  let p = Builder.finish b in
+  let a = Option.get (Program.address_of p "a") in
+  let z = Option.get (Program.address_of p "z") in
+  let bb = Option.get (Program.address_of p "b") in
+  Alcotest.(check bool) "layout ordered" true (a < z && z < bb);
+  Alcotest.(check bool) "no overlap" true (z >= a + 12 && bb >= z + 16)
+
+(* ---- Program ---- *)
+
+let test_program_insn_at () =
+  let p = Program.make ~text_base:0x1000 [| Insn.Nop; Insn.Halt |] in
+  Alcotest.(check bool) "first" true (Program.insn_at p 0x1000 = Some Insn.Nop);
+  Alcotest.(check bool) "second" true (Program.insn_at p 0x1004 = Some Insn.Halt);
+  Alcotest.(check bool) "past end" true (Program.insn_at p 0x1008 = None);
+  Alcotest.(check bool) "before" true (Program.insn_at p 0x0FFC = None);
+  Alcotest.(check bool) "misaligned" true (Program.insn_at p 0x1002 = None)
+
+let test_program_load () =
+  let p =
+    Program.make ~text_base:0x1000
+      ~data:[ Program.Words { base = 0x2000; values = [| 42 |] } ]
+      [| Insn.Halt |]
+  in
+  let words = Hashtbl.create 8 in
+  Program.load p ~write_word:(fun addr w -> Hashtbl.replace words addr w);
+  Alcotest.(check (option int)) "data word" (Some 42) (Hashtbl.find_opt words 0x2000);
+  Alcotest.(check (option int)) "text word"
+    (Some (Encode.encode Insn.Halt))
+    (Hashtbl.find_opt words 0x1000)
+
+let test_program_validation () =
+  Alcotest.(check bool) "empty code" true
+    (try
+       ignore (Program.make [||]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "misaligned base" true
+    (try
+       ignore (Program.make ~text_base:0x1002 [| Insn.Halt |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Parse ---- *)
+
+let test_parse_roundtrip () =
+  let src =
+    {|
+start:
+    addi r2, r0, 10
+    sll  r3, r2, 2
+    sub  r4, r3, r2
+loop:
+    addi r2, r2, -1
+    bgtz r2, loop
+    lw   r5, 4(r4)
+    s.s  f1, -8(r4)
+    fadd f2, f1, f1
+    fneg f3, f2
+    feq  r6, f2, f3
+    jal  sub1
+    j    done
+sub1:
+    jr   r31
+done:
+    halt
+|}
+  in
+  match Parse.program ~text_base:0x4000 src with
+  | Error m -> Alcotest.failf "parse failed: %s" m
+  | Ok p ->
+      Alcotest.(check int) "instruction count" 14 (Array.length p.Program.code);
+      (match p.Program.code.(4) with
+      | Insn.Br (Bgtz, _, _, -2) -> ()
+      | i -> Alcotest.failf "branch resolved wrong: %s" (Insn.to_string i));
+      (match p.Program.code.(10) with
+      | Insn.Jal tgt -> Alcotest.(check int) "jal target" ((0x4000 / 4) + 12) tgt
+      | i -> Alcotest.failf "jal wrong: %s" (Insn.to_string i))
+
+let test_parse_data_directives () =
+  let src = {|
+.word tab 1 2 3
+.float fs 1.5 -0.25
+.space buf 8
+    la r2, tab
+    halt
+|} in
+  let p = Parse.program_exn src in
+  Alcotest.(check bool) "tab defined" true (Program.address_of p "tab" <> None);
+  Alcotest.(check bool) "fs defined" true (Program.address_of p "fs" <> None);
+  Alcotest.(check bool) "buf defined" true (Program.address_of p "buf" <> None)
+
+let test_parse_errors () =
+  let bad = [ "frobnicate r1, r2"; "addi r2 r0"; "lw r1, nonsense"; "addi r99, r0, 1" ] in
+  List.iter
+    (fun src ->
+      match Parse.program src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" src)
+    bad
+
+let test_parse_comments_blank () =
+  let src = "# leading comment\n\n   ; another\nhalt # trailing\n" in
+  let p = Parse.program_exn src in
+  Alcotest.(check int) "one instruction" 1 (Array.length p.Program.code)
+
+(* Printing then reparsing any encodable instruction gives it back. *)
+let prop_print_parse =
+  QCheck.Test.make ~name:"to_string/parse round-trip" ~count:500
+    (QCheck.make ~print:Insn.to_string Test_isa.gen_insn)
+    (fun insn ->
+      match insn with
+      | Insn.J _ | Jal _ | Br _ -> true (* targets print as resolved numbers; skip *)
+      | _ -> (
+          let src = Insn.to_string insn ^ "\nhalt\n" in
+          match Parse.program src with
+          | Ok p -> Insn.equal p.Program.code.(0) insn
+          | Error _ -> false))
+
+let suites =
+  [
+    ( "asm",
+      [
+        Alcotest.test_case "builder labels" `Quick test_builder_labels;
+        Alcotest.test_case "builder forward label" `Quick test_builder_forward_label;
+        Alcotest.test_case "builder undefined label" `Quick test_builder_undefined_label;
+        Alcotest.test_case "builder redefined label" `Quick test_builder_redefined_label;
+        Alcotest.test_case "builder li constants" `Quick test_builder_li;
+        Alcotest.test_case "builder la/lf" `Quick test_builder_la_lf;
+        Alcotest.test_case "builder data layout" `Quick test_builder_data_space;
+        Alcotest.test_case "program insn_at" `Quick test_program_insn_at;
+        Alcotest.test_case "program load" `Quick test_program_load;
+        Alcotest.test_case "program validation" `Quick test_program_validation;
+        Alcotest.test_case "parse round-trip program" `Quick test_parse_roundtrip;
+        Alcotest.test_case "parse data directives" `Quick test_parse_data_directives;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "parse comments" `Quick test_parse_comments_blank;
+        QCheck_alcotest.to_alcotest prop_print_parse;
+      ] );
+  ]
+
+let test_builder_branch_out_of_range () =
+  let b = Builder.create () in
+  Builder.label b "top";
+  (* 40000 instructions forward is beyond a 16-bit word offset *)
+  for _ = 1 to 40000 do
+    Builder.emit b Insn.Nop
+  done;
+  Builder.br b Insn.Bne (Reg.r 1) Reg.zero "top";
+  Builder.emit b Insn.Halt;
+  Alcotest.(check bool) "finish raises" true
+    (try
+       ignore (Builder.finish b);
+       false
+     with Failure _ -> true)
+
+let test_builder_entry_label () =
+  let b = Builder.create () in
+  Builder.emit b Insn.Nop;
+  Builder.label b "go";
+  Builder.emit b Insn.Halt;
+  let p = Builder.finish ~entry_label:"go" b in
+  Alcotest.(check int) "entry at label" (p.Program.text_base + 4) p.Program.entry
+
+let test_builder_fresh_labels_unique () =
+  let b = Builder.create () in
+  let l1 = Builder.fresh_label b "x" in
+  let l2 = Builder.fresh_label b "x" in
+  Alcotest.(check bool) "unique" true (l1 <> l2)
+
+let extra_suites =
+  [
+    ( "asm-edge",
+      [
+        Alcotest.test_case "branch out of range" `Quick test_builder_branch_out_of_range;
+        Alcotest.test_case "entry label" `Quick test_builder_entry_label;
+        Alcotest.test_case "fresh labels unique" `Quick test_builder_fresh_labels_unique;
+      ] );
+  ]

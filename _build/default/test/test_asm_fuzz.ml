@@ -1,0 +1,158 @@
+(* Assembly-level differential fuzzing.
+
+   The IR-level generator (test_differential.ml) cannot produce sub-word
+   memory operations, unaligned-in-word accesses, store/load width
+   mixtures, or pathologically mispredicting branch patterns. This
+   generator works at the instruction level: a fixed loop skeleton whose
+   trip counts guarantee termination, with randomized straight-line bodies
+   whose memory accesses are confined to a scratch buffer by masking the
+   address register. Every program must produce identical architectural
+   state on the reference simulator and on the out-of-order cores. *)
+
+open Riq_util
+open Riq_isa
+open Riq_asm
+open Riq_interp
+open Riq_ooo
+open Riq_core
+
+let buf_words = 64
+
+(* Registers the generator may freely use as data; r20/r21 are loop
+   counters, r19 the buffer base, r1 reserved for the assembler. *)
+let data_regs = [| 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 |]
+
+let gen_body rng b =
+  let reg () = Reg.r (Rng.choose rng data_regs) in
+  (* A data-dependent but in-bounds address, aligned to [align] bytes:
+     mask the offset before adding the buffer base. *)
+  let emit_masked_addr ?(align = 1) dst =
+    let mask = ((buf_words * 4) - 1) land lnot (align - 1) in
+    Builder.emit b (Insn.Alui (And, dst, reg (), mask));
+    Builder.emit b (Insn.Alu (Add, dst, dst, Reg.r 19))
+  in
+  let n = Rng.int_in rng 3 10 in
+  for _ = 1 to n do
+    match Rng.int rng 14 with
+    | 0 -> Builder.emit b (Insn.Alu (Add, reg (), reg (), reg ()))
+    | 1 -> Builder.emit b (Insn.Alu (Sub, reg (), reg (), reg ()))
+    | 2 -> Builder.emit b (Insn.Alu (Xor, reg (), reg (), reg ()))
+    | 3 -> Builder.emit b (Insn.Alui (Add, reg (), reg (), Rng.int_in rng (-100) 100))
+    | 4 -> Builder.emit b (Insn.Shift (Sll, reg (), reg (), Rng.int rng 5))
+    | 5 -> Builder.emit b (Insn.Mul (reg (), reg (), reg ()))
+    | 6 ->
+        (* aligned word store then word load *)
+        let a = Reg.r 12 in
+        emit_masked_addr ~align:4 a;
+        Builder.emit b (Insn.Sw (reg (), a, 0));
+        Builder.emit b (Insn.Lw (reg (), a, 0))
+    | 7 ->
+        let a = Reg.r 12 in
+        emit_masked_addr a;
+        Builder.emit b (Insn.Sb (reg (), a, 0));
+        Builder.emit b (Insn.Lbu (reg (), a, 0))
+    | 8 ->
+        let a = Reg.r 12 in
+        emit_masked_addr a;
+        Builder.emit b (Insn.Sb (reg (), a, 1));
+        Builder.emit b (Insn.Lb (reg (), a, 1))
+    | 9 ->
+        (* halfword at a 2-aligned offset *)
+        let a = Reg.r 12 in
+        emit_masked_addr ~align:2 a;
+        Builder.emit b (Insn.Sh (reg (), a, 2));
+        Builder.emit b (Insn.Lhu (reg (), a, 2))
+    | 10 ->
+        (* overlapping widths: byte store under a word load *)
+        let a = Reg.r 12 in
+        emit_masked_addr ~align:4 a;
+        Builder.emit b (Insn.Sb (reg (), a, Rng.int rng 4));
+        Builder.emit b (Insn.Lw (reg (), a, 0))
+    | 11 ->
+        (* a data-dependent branch over one instruction: frequent
+           mispredictions in reuse mode *)
+        let skip = Builder.fresh_label b "skip" in
+        Builder.emit b (Insn.Alui (And, Reg.r 13, reg (), 1));
+        Builder.br b Insn.Bne (Reg.r 13) Reg.zero skip;
+        Builder.emit b (Insn.Alui (Add, reg (), reg (), 17));
+        Builder.label b skip
+    | 12 -> Builder.emit b (Insn.Alu (Slt, reg (), reg (), reg ()))
+    | _ ->
+        (* procedure call *)
+        Builder.jal b "leaf"
+  done
+
+let gen_program rng =
+  let b = Builder.create () in
+  Builder.data_space b "fuzzbuf" (buf_words + 4);
+  Builder.la b (Reg.r 19) "fuzzbuf";
+  (* seed data registers deterministically *)
+  Array.iteri
+    (fun i r -> Builder.li b (Reg.r r) ((i * 2654435761) land 0xFFFF))
+    data_regs;
+  (* outer loop * inner loop, counted down: always terminates *)
+  let outer_trips = Rng.int_in rng 2 6 in
+  let inner_trips = Rng.int_in rng 4 40 in
+  Builder.li b (Reg.r 20) outer_trips;
+  Builder.label b "outer";
+  Builder.li b (Reg.r 21) inner_trips;
+  Builder.label b "inner";
+  gen_body rng b;
+  Builder.emit b (Insn.Alui (Add, Reg.r 21, Reg.r 21, -1));
+  Builder.br b Insn.Bgtz (Reg.r 21) Reg.zero "inner";
+  Builder.emit b (Insn.Alui (Add, Reg.r 20, Reg.r 20, -1));
+  Builder.br b Insn.Bgtz (Reg.r 20) Reg.zero "outer";
+  Builder.emit b Insn.Halt;
+  (* a leaf procedure some bodies call *)
+  Builder.label b "leaf";
+  Builder.emit b (Insn.Alui (Add, Reg.r 14, Reg.r 14, 5));
+  Builder.emit b (Insn.Alu (Xor, Reg.r 15, Reg.r 14, Reg.r 2));
+  Builder.emit b (Insn.Jr Reg.ra);
+  Builder.finish b
+
+let configs =
+  [
+    ("baseline", Config.baseline);
+    ("reuse-16", Config.with_iq_size Config.reuse 16);
+    ("reuse-64", Config.reuse);
+    ("loopcache", Config.loop_cache 64);
+  ]
+
+let check_one program =
+  let m = Machine.create program in
+  match Machine.run ~limit:5_000_000 m with
+  | Machine.Insn_limit | Machine.Bad_pc _ -> Some "reference did not halt"
+  | Machine.Halted ->
+      let golden = Machine.arch_state m in
+      List.fold_left
+        (fun acc (name, cfg) ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+              let p = Processor.create cfg program in
+              match Processor.run ~cycle_limit:20_000_000 p with
+              | Processor.Cycle_limit -> Some (name ^ ": cycle limit")
+              | Processor.Halted ->
+                  if Machine.equal_arch golden (Processor.arch_state p) then None
+                  else
+                    Some
+                      (Format.asprintf "%s: %a" name
+                         (fun ppf () ->
+                           Machine.pp_arch_diff ppf golden (Processor.arch_state p))
+                         ())))
+        None configs
+
+let test_asm_corpus () =
+  let rng = Rng.create 0xA5EED in
+  for i = 1 to 40 do
+    let program = gen_program rng in
+    match check_one program with
+    | None -> ()
+    | Some err -> Alcotest.failf "asm fuzz program %d failed: %s" i err
+  done
+
+let suites =
+  [
+    ( "asm-fuzz",
+      [ Alcotest.test_case "40 random asm programs, all configs" `Slow test_asm_corpus ] );
+  ]

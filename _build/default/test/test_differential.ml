@@ -1,0 +1,256 @@
+(* The central correctness property of the reproduction: for any program,
+   the out-of-order processor — with or without the reusable-instruction
+   issue queue, at any queue size — must produce exactly the architectural
+   state of the functional reference simulator. Random structured loop
+   programs are generated at the IR level so they are guaranteed to halt
+   and to stay within their arrays. *)
+
+open Riq_interp
+open Riq_ooo
+open Riq_core
+open Riq_loopir
+
+let arr_n = 64
+
+let arrays =
+  [
+    { Ir.a_name = "a"; a_dims = [ arr_n ]; a_init = `Index_pattern; a_float = true };
+    { Ir.a_name = "b"; a_dims = [ arr_n ]; a_init = `Zero; a_float = true };
+    { Ir.a_name = "m2"; a_dims = [ 8; 8 ]; a_init = `Index_pattern; a_float = true };
+    { Ir.a_name = "k"; a_dims = [ arr_n ]; a_init = `Index_pattern; a_float = false };
+  ]
+
+(* Generator state: which loop variables are in scope (their values are in
+   [0, 32)), nesting depth. *)
+let gen_program =
+  let open QCheck.Gen in
+  (* an in-bounds subscript for a 64-element array *)
+  let subscript env =
+    match env with
+    | [] -> map (fun c -> Ir.Iconst c) (int_bound (arr_n - 1))
+    | vs ->
+        oneof
+          [
+            map (fun c -> Ir.Iconst c) (int_bound (arr_n - 1));
+            map (fun v -> Ir.Ivar v) (oneofl vs);
+            map2 (fun v c -> Ir.Iadd (Ir.Ivar v, Ir.Iconst c)) (oneofl vs) (int_bound 16);
+          ]
+  in
+  let sub8 env =
+    match env with
+    | [] -> map (fun c -> Ir.Iconst c) (int_bound 7)
+    | vs ->
+        oneof
+          [
+            map (fun c -> Ir.Iconst c) (int_bound 7);
+            (* loop bounds are <= 32; fold into range with a constant row *)
+            map (fun _ -> Ir.Iconst 3) (oneofl vs);
+          ]
+  in
+  let rec iexpr env depth =
+    if depth = 0 then
+      oneof
+        ([ map (fun c -> Ir.Iconst c) (int_range (-50) 50) ]
+        @ (if env = [] then [] else [ map (fun v -> Ir.Ivar v) (oneofl env) ])
+        @ [ oneofl [ Ir.Ivar "n0"; Ir.Ivar "n1" ] ])
+    else
+      frequency
+        [
+          (2, iexpr env 0);
+          (2, map2 (fun a b -> Ir.Iadd (a, b)) (iexpr env (depth - 1)) (iexpr env (depth - 1)));
+          (1, map2 (fun a b -> Ir.Isub (a, b)) (iexpr env (depth - 1)) (iexpr env (depth - 1)));
+          (1, map2 (fun a b -> Ir.Imul (a, b)) (iexpr env 0) (iexpr env 0));
+          (1, map (fun s -> Ir.Iload ("k", [ s ])) (subscript env));
+        ]
+  in
+  let rec fexpr env depth =
+    if depth = 0 then
+      oneof
+        [
+          map (fun c -> Ir.Fconst (float_of_int c *. 0.25)) (int_range (-20) 20);
+          oneofl [ Ir.Fvar "s0"; Ir.Fvar "s1" ];
+          map (fun s -> Ir.Fload ("a", [ s ])) (subscript env);
+          map (fun s -> Ir.Fload ("b", [ s ])) (subscript env);
+          map2 (fun r c -> Ir.Fload ("m2", [ r; c ])) (sub8 env) (sub8 env);
+        ]
+    else
+      frequency
+        [
+          (3, fexpr env 0);
+          (3, map2 (fun a b -> Ir.Fadd (a, b)) (fexpr env (depth - 1)) (fexpr env (depth - 1)));
+          (2, map2 (fun a b -> Ir.Fsub (a, b)) (fexpr env (depth - 1)) (fexpr env (depth - 1)));
+          (2, map2 (fun a b -> Ir.Fmul (a, b)) (fexpr env (depth - 1)) (fexpr env 0));
+          (1, map (fun a -> Ir.Fabs a) (fexpr env (depth - 1)));
+          (1, map (fun a -> Ir.Fneg a) (fexpr env (depth - 1)));
+          (1, map (fun a -> Ir.Fofint a) (iexpr env 1));
+          ( 1,
+            map2
+              (fun a b -> Ir.Fdiv (a, Ir.Fadd (Ir.Fabs b, Ir.Fconst 1.0)))
+              (fexpr env 0) (fexpr env 0) );
+        ]
+  in
+  let cond env =
+    oneof
+      [
+        map2 (fun a b -> Ir.Clt (a, b)) (fexpr env 1) (fexpr env 1);
+        map2 (fun a b -> Ir.Cle (a, b)) (fexpr env 0) (fexpr env 0);
+        map2 (fun a b -> Ir.Cilt (a, b)) (iexpr env 1) (iexpr env 1);
+        map2 (fun a b -> Ir.Cieq (a, b)) (iexpr env 0) (iexpr env 0);
+      ]
+  in
+  let rec stmt env ~loop_depth ~size =
+    let leaf =
+      frequency
+        [
+          (3, map2 (fun v e -> Ir.Sfassign (v, e)) (oneofl [ "s0"; "s1" ]) (fexpr env 2));
+          (2, map2 (fun v e -> Ir.Siassign (v, e)) (oneofl [ "n0"; "n1" ]) (iexpr env 2));
+          (3, map2 (fun s e -> Ir.Sfstore ("b", s, e)) (map (fun x -> [ x ]) (subscript env)) (fexpr env 2));
+          (1, map2 (fun s e -> Ir.Sfstore ("a", s, e)) (map (fun x -> [ x ]) (subscript env)) (fexpr env 1));
+          (1, map2 (fun s e -> Ir.Sistore ("k", s, e)) (map (fun x -> [ x ]) (subscript env)) (iexpr env 1));
+          (1, return (Ir.Scall "p0"));
+          (1, return (Ir.Scall "p1"));
+        ]
+    in
+    if size <= 1 then leaf
+    else
+      frequency
+        [
+          (4, leaf);
+          ( 2,
+            if loop_depth >= 2 then leaf
+            else
+              let var = Printf.sprintf "v%d" loop_depth in
+              int_range 1 24 >>= fun trip ->
+              body (var :: env) ~loop_depth:(loop_depth + 1) ~size:(size - 1) >>= fun b ->
+              return (Ir.Sfor { var; lo = Ir.Iconst 0; hi = Ir.Iconst trip; body = b }) );
+          ( 1,
+            cond env >>= fun c ->
+            body env ~loop_depth ~size:(size / 2) >>= fun then_b ->
+            body env ~loop_depth ~size:(size / 2) >>= fun else_b ->
+            return (Ir.Sif (c, then_b, else_b)) );
+        ]
+
+  and body env ~loop_depth ~size =
+    int_range 1 (max 1 (min 4 size)) >>= fun n ->
+    list_repeat n (stmt env ~loop_depth ~size:(size / n))
+  in
+  body [] ~loop_depth:0 ~size:8 >>= fun main ->
+  body [ "pv" ] ~loop_depth:2 ~size:2 >>= fun p0 ->
+  body [ "pv" ] ~loop_depth:2 ~size:2 >>= fun p1 ->
+  (* procedure bodies must not call procedures (generated at loop_depth 2
+     with env containing a var that is not actually bound: replace uses of
+     "pv" by a constant via a tiny rewrite) *)
+  let rec fix_i e =
+    match e with
+    | Ir.Ivar "pv" -> Ir.Iconst 5
+    | Ir.Iconst _ | Ir.Ivar _ -> e
+    | Ir.Iadd (a, b) -> Ir.Iadd (fix_i a, fix_i b)
+    | Ir.Isub (a, b) -> Ir.Isub (fix_i a, fix_i b)
+    | Ir.Imul (a, b) -> Ir.Imul (fix_i a, fix_i b)
+    | Ir.Iload (n, s) -> Ir.Iload (n, List.map fix_i s)
+  in
+  let rec fix_f e =
+    match e with
+    | Ir.Fconst _ | Ir.Fvar _ -> e
+    | Ir.Fload (n, s) -> Ir.Fload (n, List.map fix_i s)
+    | Ir.Fadd (a, b) -> Ir.Fadd (fix_f a, fix_f b)
+    | Ir.Fsub (a, b) -> Ir.Fsub (fix_f a, fix_f b)
+    | Ir.Fmul (a, b) -> Ir.Fmul (fix_f a, fix_f b)
+    | Ir.Fdiv (a, b) -> Ir.Fdiv (fix_f a, fix_f b)
+    | Ir.Fneg a -> Ir.Fneg (fix_f a)
+    | Ir.Fabs a -> Ir.Fabs (fix_f a)
+    | Ir.Fsqrt a -> Ir.Fsqrt (fix_f a)
+    | Ir.Fofint a -> Ir.Fofint (fix_i a)
+  in
+  let fix_c = function
+    | Ir.Clt (a, b) -> Ir.Clt (fix_f a, fix_f b)
+    | Ir.Cle (a, b) -> Ir.Cle (fix_f a, fix_f b)
+    | Ir.Ceq (a, b) -> Ir.Ceq (fix_f a, fix_f b)
+    | Ir.Cilt (a, b) -> Ir.Cilt (fix_i a, fix_i b)
+    | Ir.Cieq (a, b) -> Ir.Cieq (fix_i a, fix_i b)
+  in
+  let rec fix_s s =
+    match s with
+    | Ir.Sfassign (v, e) -> Ir.Sfassign (v, fix_f e)
+    | Ir.Siassign (v, e) -> Ir.Siassign (v, fix_i e)
+    | Ir.Sfstore (n, subs, e) -> Ir.Sfstore (n, List.map fix_i subs, fix_f e)
+    | Ir.Sistore (n, subs, e) -> Ir.Sistore (n, List.map fix_i subs, fix_i e)
+    | Ir.Sfor { var; lo; hi; body } ->
+        Ir.Sfor { var; lo = fix_i lo; hi = fix_i hi; body = List.map fix_s body }
+    | Ir.Sif (c, a, b) -> Ir.Sif (fix_c c, List.map fix_s a, List.map fix_s b)
+    | Ir.Scall _ -> Ir.Siassign ("n0", Ir.Iconst 1) (* no nested calls *)
+  in
+  return
+    {
+      Ir.arrays;
+      int_scalars = [ "n0"; "n1" ];
+      float_scalars = [ "s0"; "s1" ];
+      procs = [ ("p0", List.map fix_s p0); ("p1", List.map fix_s p1) ];
+      main;
+    }
+
+let configs =
+  [
+    ("baseline-64", Config.baseline);
+    ("reuse-16", Config.with_iq_size Config.reuse 16);
+    ("reuse-64", Config.reuse);
+    ("reuse-128", Config.with_iq_size Config.reuse 128);
+    ("loopcache-64", Config.loop_cache 64);
+    ("filtercache", Config.filter_cache ());
+  ]
+
+(* Returns None when all configurations match the reference, or an error
+   description. *)
+let check_program p =
+  match Ir.validate p with
+  | Error m -> Some ("invalid generated program: " ^ m)
+  | Ok () -> (
+      let program = Codegen.compile p in
+      let m = Machine.create program in
+      match Machine.run ~limit:5_000_000 m with
+      | Machine.Insn_limit | Machine.Bad_pc _ -> Some "reference did not halt"
+      | Machine.Halted ->
+          let golden = Machine.arch_state m in
+          List.fold_left
+            (fun acc (name, cfg) ->
+              match acc with
+              | Some _ -> acc
+              | None -> (
+                  let proc = Processor.create cfg program in
+                  match Processor.run ~cycle_limit:20_000_000 proc with
+                  | Processor.Cycle_limit -> Some (name ^ ": cycle limit")
+                  | Processor.Halted ->
+                      if Machine.equal_arch golden (Processor.arch_state proc) then None
+                      else
+                        Some
+                          (Format.asprintf "%s: arch mismatch:@ %a" name
+                             (fun ppf () -> Machine.pp_arch_diff ppf golden (Processor.arch_state proc))
+                             ())))
+            None configs)
+
+(* Deterministic corpus: fixed PRNG seed, so failures are reproducible. *)
+let test_fixed_corpus () =
+  let rand = Random.State.make [| 20040216 |] in
+  for i = 1 to 25 do
+    let p = QCheck.Gen.generate1 ~rand gen_program in
+    match check_program p with
+    | None -> ()
+    | Some err ->
+        Alcotest.failf "corpus program %d failed: %s@.%s" i err
+          (Format.asprintf "%a" Ir.pp_program p)
+  done
+
+(* Randomised fuzz on top (new seed each run). *)
+let prop_differential =
+  QCheck.Test.make ~name:"OoO processors match the reference simulator" ~count:15
+    (QCheck.make ~print:(Format.asprintf "%a" Ir.pp_program) gen_program)
+    (fun p -> check_program p = None)
+
+let suites =
+  [
+    ( "differential",
+      [
+        Alcotest.test_case "fixed corpus, all configurations" `Slow test_fixed_corpus;
+        QCheck_alcotest.to_alcotest prop_differential;
+      ] );
+  ]

@@ -1,0 +1,92 @@
+open Riq_ooo
+open Riq_core
+open Riq_harness
+open Riq_workloads
+
+let test_run_simulate () =
+  let w = Workloads.find "tsf" in
+  let r = Run.simulate ~check:true Config.reuse (Workloads.program w) in
+  Alcotest.(check bool) "checked" true (r.Run.arch_ok = Some true);
+  Alcotest.(check bool) "total covers groups" true
+    (r.Run.total_power
+    > r.Run.icache_power +. r.Run.bpred_power +. r.Run.iq_power +. r.Run.overhead_power);
+  Alcotest.(check bool) "gating" true (r.Run.stats.Processor.gated_fraction > 0.5)
+
+let test_reduction () =
+  Alcotest.(check (float 1e-9)) "half" 50. (Run.reduction 10. 5.);
+  Alcotest.(check (float 1e-9)) "zero base" 0. (Run.reduction 0. 5.);
+  Alcotest.(check (float 1e-9)) "increase" (-10.) (Run.reduction 10. 11.)
+
+(* A reduced sweep exercises every figure printer. *)
+let small_sweep =
+  lazy
+    (Sweep.run ~check:false ~sizes:[ 32; 64 ]
+       ~benchmarks:[ Workloads.find "tsf"; Workloads.find "wss" ]
+       ())
+
+let test_sweep_cells () =
+  let s = Lazy.force small_sweep in
+  let c = Sweep.cell s ~bench:"tsf" ~size:32 in
+  Alcotest.(check bool) "baseline no gating" true
+    (c.Sweep.baseline.Run.stats.Processor.gated_cycles = 0);
+  Alcotest.(check bool) "reuse gates" true
+    (c.Sweep.reuse.Run.stats.Processor.gated_fraction > 0.5);
+  Alcotest.(check bool) "unknown bench" true
+    (try
+       ignore (Sweep.cell s ~bench:"zzz" ~size:32);
+       false
+     with Invalid_argument _ -> true)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_figures_render () =
+  let s = Lazy.force small_sweep in
+  let t5 = Riq_util.Table.render (Figures.fig5 s) in
+  Alcotest.(check bool) "fig5 rows" true (contains t5 "tsf" && contains t5 "average");
+  let t6 = Riq_util.Table.render (Figures.fig6 s) in
+  Alcotest.(check bool) "fig6 series" true
+    (contains t6 "Icache" && contains t6 "Bpred" && contains t6 "IssueQueue"
+   && contains t6 "Overhead");
+  let t7 = Riq_util.Table.render (Figures.fig7 s) in
+  Alcotest.(check bool) "fig7" true (contains t7 "IQ 64");
+  let t8 = Riq_util.Table.render (Figures.fig8 s) in
+  Alcotest.(check bool) "fig8" true (contains t8 "wss")
+
+let test_table1_text () =
+  let t = Figures.table1 () in
+  Alcotest.(check bool) "issue queue line" true (contains t "Issue Queue        64 entries");
+  Alcotest.(check bool) "fu line" true (contains t "4 IALU, 1 IMULT, 4 FPALU, 1 FPMULT")
+
+let test_table2 () =
+  let t = Riq_util.Table.render (Figures.table2 ()) in
+  List.iter
+    (fun w -> Alcotest.(check bool) w.Workloads.name true (contains t w.Workloads.name))
+    Workloads.all
+
+let test_fig5_values_sane () =
+  let s = Lazy.force small_sweep in
+  List.iter
+    (fun (bench, per_size) ->
+      List.iter
+        (fun (_, c) ->
+          let g = c.Sweep.reuse.Run.stats.Processor.gated_fraction in
+          Alcotest.(check bool) (bench ^ " gating in [0,1]") true (g >= 0. && g <= 1.))
+        per_size)
+    s.Sweep.cells
+
+let suites =
+  [
+    ( "harness",
+      [
+        Alcotest.test_case "run simulate" `Quick test_run_simulate;
+        Alcotest.test_case "reduction" `Quick test_reduction;
+        Alcotest.test_case "sweep cells" `Slow test_sweep_cells;
+        Alcotest.test_case "figure printers" `Slow test_figures_render;
+        Alcotest.test_case "table 1 text" `Quick test_table1_text;
+        Alcotest.test_case "table 2" `Quick test_table2;
+        Alcotest.test_case "fig5 sanity" `Slow test_fig5_values_sane;
+      ] );
+  ]

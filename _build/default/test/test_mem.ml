@@ -1,0 +1,258 @@
+open Riq_mem
+
+(* ---- Store ---- *)
+
+let test_store_rw () =
+  let s = Store.create () in
+  Alcotest.(check int) "default zero" 0 (Store.read_word s 0x1000);
+  Store.write_word s 0x1000 42;
+  Alcotest.(check int) "read back" 42 (Store.read_word s 0x1000);
+  Store.write_word s 0x1000 0xDEADBEEF;
+  Alcotest.(check int) "overwrite" 0xDEADBEEF (Store.read_word s 0x1000);
+  (* cross-page addresses are independent *)
+  Store.write_word s 0x3FFC 1;
+  Store.write_word s 0x4000 2;
+  Alcotest.(check int) "page end" 1 (Store.read_word s 0x3FFC);
+  Alcotest.(check int) "page start" 2 (Store.read_word s 0x4000)
+
+let test_store_errors () =
+  let s = Store.create () in
+  Alcotest.(check bool) "misaligned" true
+    (try
+       ignore (Store.read_word s 0x1001);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative" true
+    (try
+       Store.write_word s (-4) 0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_store_float () =
+  let s = Store.create () in
+  Store.write_float s 0x100 3.14159;
+  (* single-precision round-trip *)
+  Alcotest.(check (float 0.))
+    "single round-trip"
+    (Int32.float_of_bits (Int32.bits_of_float 3.14159))
+    (Store.read_float s 0x100)
+
+let test_store_copy_equal () =
+  let s = Store.create () in
+  Store.write_word s 0 1;
+  Store.write_word s 0x8000 2;
+  let c = Store.copy s in
+  Alcotest.(check bool) "copies equal" true (Store.equal s c);
+  Store.write_word c 0x8000 3;
+  Alcotest.(check bool) "diverge" false (Store.equal s c);
+  Alcotest.(check int) "original intact" 2 (Store.read_word s 0x8000)
+
+let test_store_fold () =
+  let s = Store.create () in
+  Store.write_word s 0x2000 5;
+  Store.write_word s 0x1000 4;
+  let acc = Store.fold_nonzero s ~init:[] ~f:(fun acc addr v -> (addr, v) :: acc) in
+  Alcotest.(check (list (pair int int))) "ascending" [ (0x1000, 4); (0x2000, 5) ] (List.rev acc)
+
+let test_store_subword () =
+  let s = Store.create () in
+  Store.write_word s 0x100 0x11223344;
+  Alcotest.(check int) "byte 0 (little-endian)" 0x44 (Store.read_byte s 0x100);
+  Alcotest.(check int) "byte 3" 0x11 (Store.read_byte s 0x103);
+  Alcotest.(check int) "half 0" 0x3344 (Store.read_half s 0x100);
+  Alcotest.(check int) "half 2" 0x1122 (Store.read_half s 0x102);
+  Store.write_byte s 0x101 0xAB;
+  Alcotest.(check int) "byte write merges" 0x1122AB44 (Store.read_word s 0x100);
+  Store.write_half s 0x102 0xCDEF;
+  Alcotest.(check int) "half write merges" 0xCDEFAB44 (Store.read_word s 0x100);
+  Alcotest.(check bool) "misaligned half" true
+    (try
+       ignore (Store.read_half s 0x101);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Cache ---- *)
+
+let mk ?(sets = 4) ?(ways = 2) ?(line = 16) ?(lat = 1) () =
+  Cache.create (Cache.config ~name:"t" ~sets ~ways ~line_bytes:line ~hit_latency:lat)
+
+let test_cache_hit_miss () =
+  let c = mk () in
+  (match Cache.access c ~addr:0x100 ~write:false with
+  | Cache.Miss _ -> ()
+  | Cache.Hit -> Alcotest.fail "cold access must miss");
+  (match Cache.access c ~addr:0x104 ~write:false with
+  | Cache.Hit -> ()
+  | Cache.Miss _ -> Alcotest.fail "same line must hit");
+  Alcotest.(check int) "accesses" 2 (Cache.accesses c);
+  Alcotest.(check int) "hits" 1 (Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Cache.misses c)
+
+let test_cache_lru () =
+  (* 1 set, 2 ways, 16-byte lines: address k*16 maps to the single set. *)
+  let c = mk ~sets:1 ~ways:2 () in
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:16 ~write:false);
+  ignore (Cache.access c ~addr:0 ~write:false); (* refresh line 0 *)
+  ignore (Cache.access c ~addr:32 ~write:false); (* evicts line 16 *)
+  Alcotest.(check bool) "line 0 survives" true (Cache.probe c ~addr:0);
+  Alcotest.(check bool) "line 16 evicted" false (Cache.probe c ~addr:16);
+  Alcotest.(check bool) "line 32 present" true (Cache.probe c ~addr:32)
+
+let test_cache_dirty_eviction () =
+  let c = mk ~sets:1 ~ways:1 () in
+  ignore (Cache.access c ~addr:0 ~write:true);
+  (match Cache.access c ~addr:16 ~write:false with
+  | Cache.Miss { dirty_evict = true } -> ()
+  | Cache.Miss { dirty_evict = false } -> Alcotest.fail "expected dirty eviction"
+  | Cache.Hit -> Alcotest.fail "expected miss");
+  Alcotest.(check int) "dirty evictions" 1 (Cache.dirty_evictions c)
+
+let test_cache_flush () =
+  let c = mk () in
+  ignore (Cache.access c ~addr:0 ~write:true);
+  Cache.flush c;
+  Alcotest.(check bool) "flushed" false (Cache.probe c ~addr:0)
+
+let test_cache_config_validation () =
+  Alcotest.(check bool) "non-pow2 sets" true
+    (try
+       ignore (Cache.config ~name:"x" ~sets:3 ~ways:1 ~line_bytes:16 ~hit_latency:1);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "size" 32768
+    (Cache.size_bytes (Cache.config ~name:"x" ~sets:512 ~ways:2 ~line_bytes:32 ~hit_latency:1))
+
+(* qcheck: the cache hit/miss sequence matches a naive model with the same
+   geometry (per-set LRU lists). *)
+let naive_model ~sets ~ways ~line =
+  let table = Array.make sets [] in
+  fun addr ->
+    let lineno = addr / line in
+    let set = lineno mod sets in
+    let tag = lineno / sets in
+    let l = table.(set) in
+    let hit = List.mem tag l in
+    let l = tag :: List.filter (fun t -> t <> tag) l in
+    let l = if List.length l > ways then List.filteri (fun i _ -> i < ways) l else l in
+    table.(set) <- l;
+    hit
+
+let prop_cache_vs_model =
+  QCheck.Test.make ~name:"cache matches reference LRU model" ~count:200
+    QCheck.(list_of_size Gen.(int_range 50 200) (int_bound 1023))
+    (fun addrs ->
+      let c = mk ~sets:4 ~ways:2 ~line:16 () in
+      let m = naive_model ~sets:4 ~ways:2 ~line:16 in
+      List.for_all
+        (fun a ->
+          let addr = a * 4 in
+          let hw = match Cache.access c ~addr ~write:false with Cache.Hit -> true | Cache.Miss _ -> false in
+          hw = m addr)
+        addrs)
+
+(* ---- Hierarchy ---- *)
+
+let test_hierarchy_latencies () =
+  let h = Hierarchy.create Hierarchy.baseline in
+  (* Cold access: ITLB miss + L1 miss + L2 miss + DRAM. *)
+  let cold = Hierarchy.fetch h ~addr:0x1000 () in
+  Alcotest.(check bool) "cold is slow" true (cold > 80);
+  let warm = Hierarchy.fetch h ~addr:0x1000 () in
+  Alcotest.(check int) "warm is L1 hit" 1 warm;
+  (* L1-evicted but L2-resident data returns in L2 time. *)
+  let d1 = Hierarchy.data h ~addr:0x10000 ~write:false () in
+  Alcotest.(check bool) "cold data" true (d1 > 80);
+  let d2 = Hierarchy.data h ~addr:0x10000 ~write:false () in
+  Alcotest.(check int) "warm data" 1 d2
+
+let test_hierarchy_write_buffer () =
+  let h = Hierarchy.create Hierarchy.baseline in
+  ignore (Hierarchy.data h ~addr:0x2000 ~write:false ());
+  let w = Hierarchy.data h ~addr:0x2000 ~write:true () in
+  Alcotest.(check int) "write hits buffer" 1 w
+
+let test_hierarchy_pending_fill () =
+  let h = Hierarchy.create Hierarchy.baseline in
+  let lat1 = Hierarchy.data h ~now:100 ~addr:0x5000 ~write:false () in
+  Alcotest.(check bool) "miss" true (lat1 > 1);
+  (* A second access to the same line 10 cycles later waits for the rest
+     of the fill, not 1 cycle. The first access also paid a TLB-miss
+     penalty, which is not part of the line fill. *)
+  let tlb = Hierarchy.baseline.Hierarchy.tlb_miss_penalty in
+  let lat2 = Hierarchy.data h ~now:110 ~addr:0x5004 ~write:false () in
+  Alcotest.(check int) "remaining fill time" (lat1 - tlb - 10) lat2;
+  (* After the fill completes it is a plain hit. *)
+  let lat3 = Hierarchy.data h ~now:(100 + lat1 + 1) ~addr:0x5008 ~write:false () in
+  Alcotest.(check int) "after fill" 1 lat3
+
+let test_hierarchy_counters () =
+  let h = Hierarchy.create Hierarchy.baseline in
+  ignore (Hierarchy.data h ~addr:0x400000 ~write:false ());
+  Alcotest.(check int) "dram fills" 1 (Hierarchy.mem_accesses h);
+  Alcotest.(check int) "l1d accesses" 1 (Cache.accesses (Hierarchy.l1d h));
+  Hierarchy.reset_stats h;
+  Alcotest.(check int) "reset" 0 (Cache.accesses (Hierarchy.l1d h))
+
+let suites =
+  [
+    ( "mem",
+      [
+        Alcotest.test_case "store read/write" `Quick test_store_rw;
+        Alcotest.test_case "store address errors" `Quick test_store_errors;
+        Alcotest.test_case "store float round-trip" `Quick test_store_float;
+        Alcotest.test_case "store copy/equal" `Quick test_store_copy_equal;
+        Alcotest.test_case "store fold order" `Quick test_store_fold;
+        Alcotest.test_case "store sub-word access" `Quick test_store_subword;
+        Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
+        Alcotest.test_case "cache LRU" `Quick test_cache_lru;
+        Alcotest.test_case "cache dirty eviction" `Quick test_cache_dirty_eviction;
+        Alcotest.test_case "cache flush" `Quick test_cache_flush;
+        Alcotest.test_case "cache config validation" `Quick test_cache_config_validation;
+        Alcotest.test_case "hierarchy latencies" `Quick test_hierarchy_latencies;
+        Alcotest.test_case "hierarchy write buffer" `Quick test_hierarchy_write_buffer;
+        Alcotest.test_case "hierarchy pending fill" `Quick test_hierarchy_pending_fill;
+        Alcotest.test_case "hierarchy counters" `Quick test_hierarchy_counters;
+        QCheck_alcotest.to_alcotest prop_cache_vs_model;
+      ] );
+  ]
+
+let test_hierarchy_dirty_writeback_reaches_l2 () =
+  let h = Hierarchy.create Hierarchy.baseline in
+  (* dirty a line, then evict it with 4 conflicting lines (4-way L1D):
+     the write-back must appear as an extra L2 access *)
+  ignore (Hierarchy.data h ~addr:0x0 ~write:true ());
+  let l2_before = Cache.accesses (Hierarchy.l2 h) in
+  let stride = 256 * 32 in
+  for k = 1 to 4 do
+    ignore (Hierarchy.data h ~addr:(k * stride) ~write:false ())
+  done;
+  let l2_delta = Cache.accesses (Hierarchy.l2 h) - l2_before in
+  (* 4 fills + 1 write-back *)
+  Alcotest.(check int) "write-back counted" 5 l2_delta
+
+let test_l0_miss_penalty () =
+  let cfg =
+    { Hierarchy.baseline with
+      Hierarchy.l0i =
+        Some (Cache.config ~name:"il0" ~sets:16 ~ways:1 ~line_bytes:32 ~hit_latency:1) }
+  in
+  let h = Hierarchy.create cfg in
+  ignore (Hierarchy.fetch h ~addr:0x1000 ()); (* cold: fills L0 and L1 *)
+  let hit = Hierarchy.fetch h ~addr:0x1000 () in
+  Alcotest.(check int) "L0 hit is 1 cycle" 1 hit;
+  (* evict the L0 line (direct-mapped, 16 sets): same set, different tag *)
+  ignore (Hierarchy.fetch h ~addr:(0x1000 + (16 * 32)) ());
+  let after_evict = Hierarchy.fetch h ~addr:0x1000 () in
+  (* L0 miss + L1 hit: 1 + 1 *)
+  Alcotest.(check int) "L0 miss adds a cycle" 2 after_evict
+
+let extra_suites =
+  [
+    ( "mem-extra",
+      [
+        Alcotest.test_case "dirty write-back reaches L2" `Quick
+          test_hierarchy_dirty_writeback_reaches_l2;
+        Alcotest.test_case "filter-cache miss penalty" `Quick test_l0_miss_penalty;
+      ] );
+  ]

@@ -1,0 +1,337 @@
+open Riq_isa
+open Riq_ooo
+
+(* ---- Config ---- *)
+
+let test_config_scaling () =
+  let c = Config.with_iq_size Config.baseline 128 in
+  Alcotest.(check int) "iq" 128 c.Config.iq_entries;
+  Alcotest.(check int) "rob" 128 c.Config.rob_entries;
+  Alcotest.(check int) "lsq" 64 c.Config.lsq_entries;
+  Config.validate c;
+  Alcotest.(check bool) "reuse flag" true Config.reuse.Config.reuse_enabled;
+  Alcotest.(check bool) "baseline flag" false Config.baseline.Config.reuse_enabled
+
+let test_config_validation () =
+  Alcotest.(check bool) "rob < iq rejected" true
+    (try
+       Config.validate { Config.baseline with Config.rob_entries = 8 };
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Rob ---- *)
+
+let fill_entry rob ~seq ~dest =
+  let idx = Rob.alloc rob in
+  let e = Rob.entry rob idx in
+  e.Rob.seq <- seq;
+  e.Rob.dest <- dest;
+  e.Rob.completed <- false;
+  idx
+
+let test_rob_fifo () =
+  let rob = Rob.create 4 in
+  Alcotest.(check bool) "empty" true (Rob.is_empty rob);
+  let i1 = fill_entry rob ~seq:1 ~dest:3 in
+  let _ = fill_entry rob ~seq:2 ~dest:4 in
+  Alcotest.(check int) "count" 2 (Rob.count rob);
+  Alcotest.(check int) "head" i1 (Rob.head rob);
+  Rob.pop_head rob;
+  Alcotest.(check int) "after pop" 1 (Rob.count rob)
+
+let test_rob_full () =
+  let rob = Rob.create 2 in
+  ignore (fill_entry rob ~seq:1 ~dest:(-1));
+  ignore (fill_entry rob ~seq:2 ~dest:(-1));
+  Alcotest.(check bool) "full" true (Rob.is_full rob);
+  Alcotest.(check bool) "alloc raises" true
+    (try
+       ignore (Rob.alloc rob);
+       false
+     with Failure _ -> true)
+
+let test_rob_wraparound () =
+  let rob = Rob.create 3 in
+  for k = 1 to 10 do
+    let idx = fill_entry rob ~seq:k ~dest:(-1) in
+    Alcotest.(check int) "seq stored" k (Rob.entry rob idx).Rob.seq;
+    Rob.pop_head rob
+  done;
+  Alcotest.(check bool) "empty after" true (Rob.is_empty rob)
+
+let test_rob_squash () =
+  let rob = Rob.create 8 in
+  ignore (fill_entry rob ~seq:1 ~dest:1);
+  ignore (fill_entry rob ~seq:2 ~dest:2);
+  ignore (fill_entry rob ~seq:3 ~dest:3);
+  ignore (fill_entry rob ~seq:4 ~dest:4);
+  let squashed = ref [] in
+  Rob.squash_after rob ~seq:2 ~f:(fun _ e -> squashed := e.Rob.seq :: !squashed);
+  Alcotest.(check (list int)) "youngest first order" [ 3; 4 ] !squashed;
+  Alcotest.(check int) "survivors" 2 (Rob.count rob);
+  (* tail reuse after squash *)
+  let idx = fill_entry rob ~seq:5 ~dest:5 in
+  Alcotest.(check int) "realloc" 5 (Rob.entry rob idx).Rob.seq
+
+let test_rob_iteration () =
+  let rob = Rob.create 4 in
+  ignore (fill_entry rob ~seq:1 ~dest:(-1));
+  ignore (fill_entry rob ~seq:2 ~dest:(-1));
+  ignore (fill_entry rob ~seq:3 ~dest:(-1));
+  let oldest = ref [] in
+  Rob.iter_oldest_first rob (fun _ e -> oldest := e.Rob.seq :: !oldest);
+  Alcotest.(check (list int)) "oldest first" [ 1; 2; 3 ] (List.rev !oldest);
+  let youngest = ref [] in
+  Rob.iter_youngest_first rob (fun _ e -> youngest := e.Rob.seq :: !youngest);
+  Alcotest.(check (list int)) "youngest first" [ 3; 2; 1 ] (List.rev !youngest)
+
+(* ---- Iq ---- *)
+
+let dispatch_simple iq ~seq ~reusable ~ready =
+  let s = Iq.dispatch iq in
+  s.Iq.seq <- seq;
+  s.Iq.insn <- Insn.Nop;
+  s.Iq.src1_tag <- (if ready then -1 else seq + 100);
+  s.Iq.src2_tag <- -1;
+  s.Iq.reusable <- reusable;
+  s.Iq.pred_npc <- 0;
+  s
+
+let test_iq_dispatch_compact () =
+  let iq = Iq.create 4 in
+  let s1 = dispatch_simple iq ~seq:1 ~reusable:false ~ready:true in
+  let _s2 = dispatch_simple iq ~seq:2 ~reusable:false ~ready:true in
+  Alcotest.(check int) "count" 2 (Iq.count iq);
+  s1.Iq.dead <- true;
+  let removed = Iq.compact iq in
+  Alcotest.(check int) "removed" 1 removed;
+  Alcotest.(check int) "count after" 1 (Iq.count iq);
+  Alcotest.(check int) "survivor shifted" 2 (Iq.slots iq).(0).Iq.seq
+
+let test_iq_wakeup () =
+  let iq = Iq.create 4 in
+  let s = dispatch_simple iq ~seq:1 ~reusable:false ~ready:false in
+  s.Iq.src1_tag <- 7;
+  Iq.wakeup iq ~tag:7 ~value_i:42 ~value_f:1.5;
+  Alcotest.(check int) "tag cleared" (-1) s.Iq.src1_tag;
+  Alcotest.(check int) "value captured" 42 s.Iq.src1_i;
+  (* issued entries are not woken *)
+  let s2 = dispatch_simple iq ~seq:2 ~reusable:true ~ready:false in
+  s2.Iq.src1_tag <- 9;
+  s2.Iq.issued <- true;
+  Iq.wakeup iq ~tag:9 ~value_i:1 ~value_f:0.;
+  Alcotest.(check int) "issued untouched" 9 s2.Iq.src1_tag
+
+let test_iq_classification () =
+  let iq = Iq.create 8 in
+  let s1 = dispatch_simple iq ~seq:1 ~reusable:true ~ready:true in
+  s1.Iq.issued <- true;
+  let s2 = dispatch_simple iq ~seq:2 ~reusable:true ~ready:true in
+  s2.Iq.issued <- false;
+  Iq.clear_classification iq;
+  Alcotest.(check bool) "issued reusable dies" true s1.Iq.dead;
+  Alcotest.(check bool) "live instance survives" false s2.Iq.dead;
+  Alcotest.(check bool) "classification cleared" false s2.Iq.reusable
+
+let test_iq_squash () =
+  let iq = Iq.create 8 in
+  let s1 = dispatch_simple iq ~seq:1 ~reusable:false ~ready:true in
+  let s2 = dispatch_simple iq ~seq:5 ~reusable:false ~ready:true in
+  let s3 = dispatch_simple iq ~seq:6 ~reusable:true ~ready:true in
+  s3.Iq.issued <- false;
+  Iq.squash_after iq ~seq:4;
+  Alcotest.(check bool) "older survives" false s1.Iq.dead;
+  Alcotest.(check bool) "younger conventional dies" true s2.Iq.dead;
+  Alcotest.(check bool) "younger reusable kept" false s3.Iq.dead;
+  Alcotest.(check bool) "reusable reset to issued" true s3.Iq.issued
+
+let test_iq_reuse_ptr_compact () =
+  let iq = Iq.create 8 in
+  let s1 = dispatch_simple iq ~seq:1 ~reusable:false ~ready:true in
+  let _s2 = dispatch_simple iq ~seq:2 ~reusable:true ~ready:true in
+  let _s3 = dispatch_simple iq ~seq:3 ~reusable:true ~ready:true in
+  Iq.set_reuse_ptr iq 2;
+  s1.Iq.dead <- true;
+  ignore (Iq.compact iq);
+  (* the pointer must still reference the same slot (now index 1) *)
+  Alcotest.(check int) "pointer adjusted" 1 (Iq.reuse_ptr iq);
+  Alcotest.(check int) "points at seq 3" 3 (Iq.slots iq).(Iq.reuse_ptr iq).Iq.seq
+
+let test_iq_first_reusable () =
+  let iq = Iq.create 8 in
+  ignore (dispatch_simple iq ~seq:1 ~reusable:false ~ready:true);
+  Alcotest.(check int) "none" (-1) (Iq.first_reusable iq);
+  ignore (dispatch_simple iq ~seq:2 ~reusable:true ~ready:true);
+  Alcotest.(check int) "found" 1 (Iq.first_reusable iq)
+
+let test_iq_full () =
+  let iq = Iq.create 2 in
+  ignore (dispatch_simple iq ~seq:1 ~reusable:false ~ready:true);
+  ignore (dispatch_simple iq ~seq:2 ~reusable:false ~ready:true);
+  Alcotest.(check bool) "full" true (Iq.is_full iq);
+  Alcotest.(check int) "free" 0 (Iq.free iq)
+
+(* ---- Lsq ---- *)
+
+let alloc_mem lsq ~seq ~store =
+  let idx = Lsq.alloc lsq in
+  let e = Lsq.entry lsq idx in
+  e.Lsq.seq <- seq;
+  e.Lsq.is_store <- store;
+  (idx, e)
+
+let test_lsq_forwarding () =
+  let lsq = Lsq.create 8 in
+  let _, st = alloc_mem lsq ~seq:1 ~store:true in
+  let li, _ = alloc_mem lsq ~seq:2 ~store:false in
+  (* store address unknown: load must wait *)
+  Alcotest.(check bool) "wait on unknown" true (Lsq.check_load lsq ~idx:li ~addr:0x100 ~width:4 = Lsq.Wait);
+  st.Lsq.addr_ready <- true;
+  st.Lsq.addr <- 0x200;
+  Alcotest.(check bool) "no conflict" true (Lsq.check_load lsq ~idx:li ~addr:0x100 ~width:4 = Lsq.Access);
+  st.Lsq.addr <- 0x100;
+  Alcotest.(check bool) "match no data" true (Lsq.check_load lsq ~idx:li ~addr:0x100 ~width:4 = Lsq.Wait);
+  st.Lsq.data_ready <- true;
+  st.Lsq.data_i <- 77;
+  (match Lsq.check_load lsq ~idx:li ~addr:0x100 ~width:4 with
+  | Lsq.Forward e -> Alcotest.(check int) "forwarded value" 77 e.Lsq.data_i
+  | Lsq.Wait | Lsq.Access -> Alcotest.fail "expected forward")
+
+let test_lsq_youngest_older_store_wins () =
+  let lsq = Lsq.create 8 in
+  let _, st1 = alloc_mem lsq ~seq:1 ~store:true in
+  let _, st2 = alloc_mem lsq ~seq:2 ~store:true in
+  let li, _ = alloc_mem lsq ~seq:3 ~store:false in
+  st1.Lsq.addr_ready <- true;
+  st1.Lsq.addr <- 0x40;
+  st1.Lsq.data_ready <- true;
+  st1.Lsq.data_i <- 1;
+  st2.Lsq.addr_ready <- true;
+  st2.Lsq.addr <- 0x40;
+  st2.Lsq.data_ready <- true;
+  st2.Lsq.data_i <- 2;
+  match Lsq.check_load lsq ~idx:li ~addr:0x40 ~width:4 with
+  | Lsq.Forward e -> Alcotest.(check int) "youngest older" 2 e.Lsq.data_i
+  | Lsq.Wait | Lsq.Access -> Alcotest.fail "expected forward"
+
+let test_lsq_squash_and_pop () =
+  let lsq = Lsq.create 4 in
+  let i1, _ = alloc_mem lsq ~seq:1 ~store:true in
+  let _ = alloc_mem lsq ~seq:2 ~store:false in
+  Lsq.squash_after lsq ~seq:1;
+  Alcotest.(check int) "count" 1 (Lsq.count lsq);
+  Alcotest.(check bool) "head is store" true (Lsq.head_is lsq i1);
+  Lsq.pop_head lsq;
+  Alcotest.(check int) "empty" 0 (Lsq.count lsq)
+
+let test_lsq_capture_data () =
+  let lsq = Lsq.create 4 in
+  let _, st = alloc_mem lsq ~seq:1 ~store:true in
+  st.Lsq.rob_idx <- 9;
+  st.Lsq.data_tag <- 5;
+  let captured = Lsq.capture_data lsq ~tag:5 ~value_i:33 ~value_f:0. in
+  Alcotest.(check (list (pair int int))) "captured" [ (9, 1) ] captured;
+  Alcotest.(check bool) "ready" true st.Lsq.data_ready;
+  Alcotest.(check int) "value" 33 st.Lsq.data_i;
+  Alcotest.(check (list (pair int int))) "no double capture" []
+    (Lsq.capture_data lsq ~tag:5 ~value_i:0 ~value_f:0.)
+
+let test_lsq_partial_overlap () =
+  let lsq = Lsq.create 8 in
+  let _, st = alloc_mem lsq ~seq:1 ~store:true in
+  let li, _ = alloc_mem lsq ~seq:2 ~store:false in
+  st.Lsq.addr_ready <- true;
+  st.Lsq.addr <- 0x100;
+  st.Lsq.width <- 1;
+  st.Lsq.data_ready <- true;
+  st.Lsq.data_i <- 0xAB;
+  (* word load overlapping a byte store: no forwarding, must wait *)
+  Alcotest.(check bool) "overlap waits" true
+    (Lsq.check_load lsq ~idx:li ~addr:0x100 ~width:4 = Lsq.Wait);
+  (* byte load of the exact byte: forwards *)
+  (match Lsq.check_load lsq ~idx:li ~addr:0x100 ~width:1 with
+  | Lsq.Forward e -> Alcotest.(check int) "byte forward" 0xAB e.Lsq.data_i
+  | Lsq.Wait | Lsq.Access -> Alcotest.fail "expected forward");
+  (* disjoint byte: clear *)
+  Alcotest.(check bool) "disjoint byte" true
+    (Lsq.check_load lsq ~idx:li ~addr:0x104 ~width:1 = Lsq.Access)
+
+let test_lsq_load_at_head () =
+  let lsq = Lsq.create 4 in
+  let li, _ = alloc_mem lsq ~seq:1 ~store:false in
+  Alcotest.(check bool) "no older stores" true (Lsq.check_load lsq ~idx:li ~addr:0 ~width:4 = Lsq.Access)
+
+(* ---- Fu ---- *)
+
+let test_fu_pool () =
+  let fu = Fu.create ~n_ialu:2 ~n_imult:1 ~n_fpalu:1 ~n_fpmult:1 ~n_memport:1 in
+  Alcotest.(check bool) "first" true (Fu.acquire fu Insn.FU_ialu ~now:0 ~latency:1 ~pipelined:true);
+  Alcotest.(check bool) "second" true (Fu.acquire fu Insn.FU_ialu ~now:0 ~latency:1 ~pipelined:true);
+  Alcotest.(check bool) "third denied" false
+    (Fu.acquire fu Insn.FU_ialu ~now:0 ~latency:1 ~pipelined:true);
+  Alcotest.(check bool) "next cycle ok" true
+    (Fu.acquire fu Insn.FU_ialu ~now:1 ~latency:1 ~pipelined:true);
+  Alcotest.(check int) "issued count" 3 (Fu.issued_of fu Insn.FU_ialu)
+
+let test_fu_unpipelined () =
+  let fu = Fu.create ~n_ialu:1 ~n_imult:1 ~n_fpalu:1 ~n_fpmult:1 ~n_memport:1 in
+  Alcotest.(check bool) "div starts" true
+    (Fu.acquire fu Insn.FU_imult ~now:0 ~latency:20 ~pipelined:false);
+  Alcotest.(check bool) "busy at 10" false
+    (Fu.acquire fu Insn.FU_imult ~now:10 ~latency:20 ~pipelined:false);
+  Alcotest.(check bool) "free at 20" true
+    (Fu.acquire fu Insn.FU_imult ~now:20 ~latency:20 ~pipelined:false)
+
+let test_fu_none_always () =
+  let fu = Fu.create ~n_ialu:1 ~n_imult:1 ~n_fpalu:1 ~n_fpmult:1 ~n_memport:1 in
+  for _ = 1 to 10 do
+    Alcotest.(check bool) "nop free" true
+      (Fu.acquire fu Insn.FU_none ~now:0 ~latency:1 ~pipelined:true)
+  done
+
+(* qcheck: compact preserves relative order of survivors *)
+let prop_iq_compact_order =
+  QCheck.Test.make ~name:"compact preserves survivor order" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 16) bool)
+    (fun kills ->
+      let iq = Iq.create 16 in
+      List.iteri
+        (fun i kill ->
+          let s = dispatch_simple iq ~seq:(i + 1) ~reusable:false ~ready:true in
+          s.Iq.dead <- kill)
+        kills;
+      ignore (Iq.compact iq);
+      let seqs = List.init (Iq.count iq) (fun i -> (Iq.slots iq).(i).Iq.seq) in
+      List.sort compare seqs = seqs
+      && List.length seqs = List.length (List.filter not kills))
+
+let suites =
+  [
+    ( "ooo",
+      [
+        Alcotest.test_case "config scaling" `Quick test_config_scaling;
+        Alcotest.test_case "config validation" `Quick test_config_validation;
+        Alcotest.test_case "rob fifo" `Quick test_rob_fifo;
+        Alcotest.test_case "rob full" `Quick test_rob_full;
+        Alcotest.test_case "rob wraparound" `Quick test_rob_wraparound;
+        Alcotest.test_case "rob squash" `Quick test_rob_squash;
+        Alcotest.test_case "rob iteration" `Quick test_rob_iteration;
+        Alcotest.test_case "iq dispatch/compact" `Quick test_iq_dispatch_compact;
+        Alcotest.test_case "iq wakeup" `Quick test_iq_wakeup;
+        Alcotest.test_case "iq classification" `Quick test_iq_classification;
+        Alcotest.test_case "iq squash semantics" `Quick test_iq_squash;
+        Alcotest.test_case "iq reuse pointer under compact" `Quick test_iq_reuse_ptr_compact;
+        Alcotest.test_case "iq first reusable" `Quick test_iq_first_reusable;
+        Alcotest.test_case "iq full" `Quick test_iq_full;
+        Alcotest.test_case "lsq forwarding" `Quick test_lsq_forwarding;
+        Alcotest.test_case "lsq youngest older store" `Quick test_lsq_youngest_older_store_wins;
+        Alcotest.test_case "lsq squash/pop" `Quick test_lsq_squash_and_pop;
+        Alcotest.test_case "lsq capture data" `Quick test_lsq_capture_data;
+        Alcotest.test_case "lsq partial overlap" `Quick test_lsq_partial_overlap;
+        Alcotest.test_case "lsq load at head" `Quick test_lsq_load_at_head;
+        Alcotest.test_case "fu pool" `Quick test_fu_pool;
+        Alcotest.test_case "fu unpipelined" `Quick test_fu_unpipelined;
+        Alcotest.test_case "fu none" `Quick test_fu_none_always;
+        QCheck_alcotest.to_alcotest prop_iq_compact_order;
+      ] );
+  ]

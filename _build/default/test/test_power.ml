@@ -1,0 +1,152 @@
+open Riq_power
+
+let geometry = Model.baseline_geometry
+let model = Model.create geometry
+
+(* ---- Component ---- *)
+
+let test_component_indexing () =
+  Alcotest.(check int) "count matches all" Component.count (Array.length Component.all);
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int) (Component.name c) i (Component.index c);
+      Alcotest.(check bool) "roundtrip" true (Component.of_index i = c))
+    Component.all
+
+let test_component_groups () =
+  Alcotest.(check bool) "icache group" true (Component.group Component.Icache = Component.G_icache);
+  Alcotest.(check bool) "btb in bpred" true (Component.group Component.Btb = Component.G_bpred);
+  Alcotest.(check bool) "wakeup in iq" true
+    (Component.group Component.Iq_wakeup = Component.G_iq);
+  Alcotest.(check bool) "nblt overhead" true
+    (Component.group Component.Nblt = Component.G_overhead);
+  Alcotest.(check bool) "clock other" true (Component.group Component.Clock = Component.G_other)
+
+(* ---- Model scaling ---- *)
+
+let test_model_iq_scaling () =
+  let big = Model.create { geometry with Model.iq_entries = 256; rob_entries = 256 } in
+  (* Wakeup CAM energy is linear in entries. *)
+  Alcotest.(check (float 1e-6)) "wakeup x4"
+    (4. *. Model.energy model Component.Iq_wakeup)
+    (Model.energy big Component.Iq_wakeup);
+  Alcotest.(check bool) "payload grows sublinearly" true
+    (Model.energy big Component.Iq_payload < 4. *. Model.energy model Component.Iq_payload
+    && Model.energy big Component.Iq_payload > 2. *. Model.energy model Component.Iq_payload);
+  Alcotest.(check bool) "clock grows" true
+    (Model.clock_per_cycle big > Model.clock_per_cycle model)
+
+let test_model_idle_residual () =
+  Array.iter
+    (fun c ->
+      if c <> Component.Clock then
+        Alcotest.(check bool) (Component.name c) true
+          (Model.idle model c <= Model.energy model c *. 0.1 *. 8.1
+          && Model.idle model c >= 0.))
+    Component.all
+
+let test_model_positive () =
+  Array.iter
+    (fun c ->
+      match c with
+      | Component.Clock -> ()
+      | Component.L0cache | Component.Loopcache ->
+          (* absent in the baseline geometry: zero energy, zero residual *)
+          Alcotest.(check (float 0.)) (Component.name c) 0. (Model.energy model c)
+      | _ -> Alcotest.(check bool) (Component.name c) true (Model.energy model c > 0.))
+    Component.all;
+  Alcotest.(check bool) "partial update fraction" true
+    (Model.iq_partial_update_fraction > 0. && Model.iq_partial_update_fraction < 1.)
+
+(* ---- Account ---- *)
+
+let test_account_active_vs_idle () =
+  let a = Account.create model in
+  (* one cycle with 2 icache accesses *)
+  Account.add a Component.Icache 2.;
+  Account.tick a;
+  let active = Account.energy_of a Component.Icache in
+  Alcotest.(check (float 1e-9)) "active cycle" (2. *. Model.energy model Component.Icache) active;
+  (* one idle cycle charges the residual *)
+  Account.tick a;
+  Alcotest.(check (float 1e-9)) "idle residual"
+    (active +. Model.idle model Component.Icache)
+    (Account.energy_of a Component.Icache);
+  Alcotest.(check int) "cycles" 2 (Account.cycles a)
+
+let test_account_clock_always () =
+  let a = Account.create model in
+  Account.tick a;
+  Account.tick a;
+  Alcotest.(check (float 1e-9)) "clock per cycle"
+    (2. *. Model.clock_per_cycle model)
+    (Account.energy_of a Component.Clock)
+
+let test_account_activity_reset () =
+  let a = Account.create model in
+  Account.add a Component.Ialu 3.;
+  Account.tick a;
+  Account.tick a;
+  (* second tick must not re-charge the 3 accesses *)
+  Alcotest.(check (float 1e-9)) "no leakage of counts"
+    ((3. *. Model.energy model Component.Ialu) +. Model.idle model Component.Ialu)
+    (Account.energy_of a Component.Ialu)
+
+let test_account_groups_sum () =
+  let a = Account.create model in
+  Account.add a Component.Icache 1.;
+  Account.add a Component.Btb 1.;
+  Account.tick a;
+  let total = Account.total_energy a in
+  let sum =
+    Array.fold_left (fun acc g -> acc +. Account.group_energy a g) 0. Component.groups
+  in
+  Alcotest.(check (float 1e-6)) "groups partition total" total sum
+
+let test_account_avg_power () =
+  let a = Account.create model in
+  Alcotest.(check (float 0.)) "no cycles" 0. (Account.avg_power a);
+  Account.tick a;
+  Account.tick a;
+  Alcotest.(check (float 1e-9)) "avg" (Account.total_energy a /. 2.) (Account.avg_power a)
+
+let test_account_breakdown () =
+  let a = Account.create model in
+  Account.add a Component.Icache 100.;
+  Account.tick a;
+  let bd = Account.breakdown a in
+  let total = Array.fold_left (fun acc (_, f) -> acc +. f) 0. bd in
+  Alcotest.(check (float 1e-6)) "fractions sum to 1" 1. total;
+  let c0, _ = bd.(0) in
+  Alcotest.(check string) "dominant first" "icache" (Component.name c0)
+
+let prop_account_monotone =
+  QCheck.Test.make ~name:"energy is monotone in activity" ~count:200
+    QCheck.(pair (int_bound 20) (int_bound 20))
+    (fun (n1, n2) ->
+      let run n =
+        let a = Account.create model in
+        Account.add a Component.Dcache (float_of_int n);
+        Account.tick a;
+        Account.total_energy a
+      in
+      n1 = n2 || (run (min n1 n2) < run (max n1 n2)) || min n1 n2 = 0)
+
+let suites =
+  [
+    ( "power",
+      [
+        Alcotest.test_case "component indexing" `Quick test_component_indexing;
+        Alcotest.test_case "component groups" `Quick test_component_groups;
+        Alcotest.test_case "model IQ scaling" `Quick test_model_iq_scaling;
+        Alcotest.test_case "model idle residual" `Quick test_model_idle_residual;
+        Alcotest.test_case "model energies positive" `Quick test_model_positive;
+        Alcotest.test_case "account active vs idle" `Quick test_account_active_vs_idle;
+        Alcotest.test_case "account clock" `Quick test_account_clock_always;
+        Alcotest.test_case "account activity reset" `Quick test_account_activity_reset;
+        Alcotest.test_case "account groups" `Quick test_account_groups_sum;
+        Alcotest.test_case "account avg power" `Quick test_account_avg_power;
+        Alcotest.test_case "account breakdown" `Quick test_account_breakdown;
+        QCheck_alcotest.to_alcotest prop_account_monotone;
+      ] );
+  ]
