@@ -1,0 +1,278 @@
+(* riq-lint: static bufferability report for RIQ32 assembly.
+
+   Runs the Riq_analysis pipeline (CFG -> dominators -> natural loops ->
+   liveness -> bufferability) over one or more .s files or built-in
+   benchmarks and prints, for every backward transfer the dynamic detector
+   would consider, whether the loop is bufferable, why not, the predicted
+   automatic unroll factor and the predicted reuse coverage.
+
+   With --expect, `#=` directives embedded in the assembly comments are
+   checked and the exit status reports mismatches (used by `dune build
+   @lint`):
+
+     #= loops N                      expect N analysed backward transfers
+     #= loop LABEL ok                loop headed at LABEL is bufferable
+     #= loop LABEL ok promotes       ... and predicted to reach Code Reuse
+     #= loop LABEL inner-loop        non-bufferable, with the given reason
+                                     (too-large, inner-loop, call-overflow,
+                                     callee-loops, indirect, contains-halt,
+                                     side-entry, irreducible)
+
+   With --dynamic, the simulator runs the same program on the same queue
+   size and the measured per-loop decisions and reuse coverage are printed
+   next to the predictions. *)
+
+open Cmdliner
+open Riq_asm
+open Riq_analysis
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let reason_keyword = function
+  | Bufferability.Too_large _ -> "too-large"
+  | Inner_transfer _ -> "inner-loop"
+  | Call_overflow _ -> "call-overflow"
+  | Callee_loops _ -> "callee-loops"
+  | Indirect _ -> "indirect"
+  | Contains_halt _ -> "contains-halt"
+  | Side_entry -> "side-entry"
+  | Irreducible -> "irreducible"
+
+let prediction_string = function
+  | Bufferability.Promotes -> "promotes"
+  | Never_promotes -> "never"
+  | Marginal -> "marginal"
+
+let print_loop (report : Bufferability.report) (l : Bufferability.loop_report) =
+  let cov =
+    match Bufferability.coverage_of report ~tail:l.tail with
+    | Some c -> Printf.sprintf " coverage %.1f%%" c
+    | None -> ""
+  in
+  let trip =
+    match l.trip with Some t -> Printf.sprintf " trip %d" t | None -> ""
+  in
+  match l.verdict with
+  | Ok () ->
+      Printf.printf
+        "  loop %08x..%08x span %3d depth %d%s%s  BUFFERABLE unroll %d (%s)%s%s\n"
+        l.head l.tail l.span l.depth
+        (if l.innermost then " innermost" else "")
+        trip l.unroll
+        (prediction_string l.prediction)
+        cov
+        (if l.nblt_risk then " [nblt-risk]" else "")
+  | Error r ->
+      Printf.printf "  loop %08x..%08x span %3d depth %d%s  NON-BUFFERABLE: %s (%s)\n"
+        l.head l.tail l.span l.depth trip
+        (Bufferability.reason_to_string r)
+        (prediction_string l.prediction)
+
+(* ------------------------------------------------------------------ *)
+(* Expectation directives.                                             *)
+(* ------------------------------------------------------------------ *)
+
+type expect =
+  | Exp_loops of int
+  | Exp_loop of string * string option * string option (* label, verdict, prediction *)
+
+let parse_expects src =
+  let out = ref [] in
+  String.split_on_char '\n' src
+  |> List.iteri (fun lineno line ->
+         let line = String.trim line in
+         match String.index_opt line '#' with
+         | Some i
+           when i + 1 < String.length line
+                && line.[i + 1] = '='
+                && (i = 0 || line.[0] = '#') -> (
+             let d = String.trim (String.sub line (i + 2) (String.length line - i - 2)) in
+             match String.split_on_char ' ' d |> List.filter (fun s -> s <> "") with
+             | [ "loops"; n ] -> (
+                 match int_of_string_opt n with
+                 | Some n -> out := Exp_loops n :: !out
+                 | None -> failwith (Printf.sprintf "line %d: bad loop count %S" (lineno + 1) n))
+             | "loop" :: label :: rest ->
+                 let verdict, pred =
+                   match rest with
+                   | [] -> (None, None)
+                   | [ v ] -> (Some v, None)
+                   | [ v; p ] -> (Some v, Some p)
+                   | _ -> failwith (Printf.sprintf "line %d: bad directive %S" (lineno + 1) d)
+                 in
+                 out := Exp_loop (label, verdict, pred) :: !out
+             | _ -> failwith (Printf.sprintf "line %d: bad directive %S" (lineno + 1) d))
+         | _ -> ());
+  List.rev !out
+
+let check_expects ~name program (report : Bufferability.report) expects =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  List.iter
+    (function
+      | Exp_loops n ->
+          let got = List.length report.Bufferability.loops in
+          if got <> n then fail "expected %d loops, analysed %d" n got
+      | Exp_loop (label, verdict, pred) -> (
+          match Program.address_of program label with
+          | None -> fail "no such label %S" label
+          | Some addr -> (
+              match
+                List.find_opt
+                  (fun l -> l.Bufferability.head = addr)
+                  report.Bufferability.loops
+              with
+              | None -> fail "no analysed loop headed at %S (%08x)" label addr
+              | Some l ->
+                  (match verdict with
+                  | None -> ()
+                  | Some v ->
+                      let got =
+                        match l.Bufferability.verdict with
+                        | Ok () -> "ok"
+                        | Error r -> reason_keyword r
+                      in
+                      let v = if v = "bufferable" then "ok" else v in
+                      if got <> v then fail "loop %S: expected %s, got %s" label v got);
+                  match pred with
+                  | None -> ()
+                  | Some p ->
+                      let got = prediction_string l.Bufferability.prediction in
+                      if got <> p then
+                        fail "loop %S: expected prediction %s, got %s" label p got)))
+    expects;
+  List.iter (fun f -> Printf.printf "  EXPECT FAILED [%s]: %s\n" name f) (List.rev !failures);
+  !failures = []
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic comparison.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_dynamic cfg program =
+  let p = Riq_core.Processor.create cfg program in
+  (match Riq_core.Processor.run p with
+  | Riq_core.Processor.Halted -> ()
+  | Cycle_limit -> failwith "cycle limit hit");
+  p
+
+let print_dynamic cfg program =
+  let open Riq_core in
+  let p = run_dynamic cfg program in
+  let s = Processor.stats p in
+  Printf.printf "  dynamic: %d committed, %d from reuse (%.1f%% coverage)\n"
+    s.Processor.committed s.Processor.reuse_committed
+    (if s.Processor.committed = 0 then 0.
+     else
+       100. *. float_of_int s.Processor.reuse_committed /. float_of_int s.Processor.committed);
+  List.iter
+    (fun d ->
+      Printf.printf
+        "  dynamic loop %08x..%08x span %3d: %d detections (%d nblt-filtered), %d attempts, %d revokes (%d nblt), %d promotions, %d reused\n"
+        d.Processor.ld_head d.Processor.ld_tail d.Processor.ld_span d.Processor.ld_detections
+        d.Processor.ld_nblt_filtered d.Processor.ld_attempts d.Processor.ld_revokes
+        d.Processor.ld_nblt_registered d.Processor.ld_promotions d.Processor.ld_reuse_committed)
+    (Processor.loop_decisions p)
+
+(* ------------------------------------------------------------------ *)
+
+let lint ~iq ~multi ~expect ~dynamic ~name ~src_opt program =
+  let report = Bufferability.analyze ~multi_iter:multi ~iq_size:iq program in
+  Printf.printf "%s: iq %d, %d loop%s analysed%s\n" name iq
+    (List.length report.Bufferability.loops)
+    (if List.length report.Bufferability.loops = 1 then "" else "s")
+    (if report.Bufferability.exact_trips then "" else " (some trip counts estimated)");
+  List.iter (print_loop report) report.Bufferability.loops;
+  (match report.Bufferability.coverage with
+  | Some c -> Printf.printf "  predicted reuse coverage %.1f%% of committed instructions\n" c
+  | None -> ());
+  List.iter
+    (fun (s, d) -> Printf.printf "  warning: irreducible edge B%d -> B%d\n" s d)
+    report.Bufferability.irreducible_edges;
+  if dynamic then
+    print_dynamic
+      (Riq_ooo.Config.with_iq_size Riq_ooo.Config.reuse iq)
+      program;
+  if expect then
+    match src_opt with
+    | None -> failwith "--expect requires assembly files (directives live in comments)"
+    | Some src -> check_expects ~name program report (parse_expects src)
+  else true
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("riq-lint: " ^ s); exit 2) fmt
+
+let main files benches iq single expect dynamic =
+  if expect && benches <> [] then
+    die "--expect requires assembly files (directives live in comments), not --bench";
+  let jobs =
+    List.map
+      (fun path ->
+        let src = read_file path in
+        let program =
+          try Parse.program_exn src with Failure msg -> die "%s: %s" path msg
+        in
+        (Filename.basename path, Some src, program))
+      files
+    @ List.map
+        (fun b ->
+          match
+            List.find_opt
+              (fun w -> w.Riq_workloads.Workloads.name = b)
+              Riq_workloads.Workloads.all
+          with
+          | Some w -> (b, None, Riq_workloads.Workloads.program w)
+          | None ->
+              die "unknown benchmark %S (try one of: %s, or all)" b
+                (String.concat ", "
+                   (List.map (fun w -> w.Riq_workloads.Workloads.name) Riq_workloads.Workloads.all)))
+        (if benches = [ "all" ] then
+           List.map (fun w -> w.Riq_workloads.Workloads.name) Riq_workloads.Workloads.all
+         else benches)
+  in
+  if jobs = [] then begin
+    prerr_endline "riq-lint: nothing to do (give .s files or --bench)";
+    exit 2
+  end;
+  let ok =
+    List.fold_left
+      (fun acc (name, src_opt, program) ->
+        (try lint ~iq ~multi:(not single) ~expect ~dynamic ~name ~src_opt program
+         with Failure msg -> die "%s: %s" name msg)
+        && acc)
+      true jobs
+  in
+  if not ok then exit 1
+
+let cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE.s" ~doc:"RIQ32 assembly files to lint.")
+  in
+  let benches =
+    Arg.(value & opt_all string [] & info [ "bench"; "b" ] ~docv:"NAME"
+           ~doc:"Built-in benchmark to lint ($(b,all) for every one).")
+  in
+  let iq =
+    Arg.(value & opt int 32 & info [ "iq" ] ~docv:"N" ~doc:"Issue queue size to lint against.")
+  in
+  let single =
+    Arg.(value & flag & info [ "single-iter" ]
+           ~doc:"Model single-iteration buffering (the paper's strategy 1).")
+  in
+  let expect =
+    Arg.(value & flag & info [ "expect" ]
+           ~doc:"Check $(b,#=) expectation directives; exit non-zero on mismatch.")
+  in
+  let dynamic =
+    Arg.(value & flag & info [ "dynamic" ]
+           ~doc:"Also run the simulator and print the measured per-loop decisions.")
+  in
+  Cmd.v
+    (Cmd.info "riq-lint" ~version:"%%VERSION%%"
+       ~doc:"Static loop-bufferability lint for the reusable issue queue")
+    Term.(const main $ files $ benches $ iq $ single $ expect $ dynamic)
+
+let () = exit (Cmd.eval cmd)

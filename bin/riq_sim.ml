@@ -47,6 +47,9 @@ let print_stats cfg (r : Run.result) breakdown_requested account =
     Printf.printf "gated cycles        %d (%.1f%%)\n" s.Processor.gated_cycles
       (100. *. s.Processor.gated_fraction);
     Printf.printf "reuse dispatches    %d\n" s.Processor.reuse_dispatches;
+    Printf.printf "reuse committed     %d (%.1f%% coverage)\n" s.Processor.reuse_committed
+      (if s.Processor.committed = 0 then 0.
+       else 100. *. float_of_int s.Processor.reuse_committed /. float_of_int s.Processor.committed);
     Printf.printf "buffering           %d attempts, %d revokes, %d promotions, %d exits\n"
       s.Processor.buffer_attempts s.Processor.revokes s.Processor.promotions
       s.Processor.reuse_exits
@@ -139,7 +142,7 @@ let bench_cmd =
 let fig_cmd =
   let which =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE"
-           ~doc:"One of: table1 table2 fig5 fig6 fig7 fig8 fig9 nblt strategy related predictor unroll all")
+           ~doc:"One of: table1 table2 fig5 fig6 fig7 fig8 fig9 coverage nblt strategy related predictor unroll all")
   in
   let no_check =
     Arg.(value & flag & info [ "no-check" ]
@@ -161,6 +164,7 @@ let fig_cmd =
       | "fig7" -> emit (Figures.fig7 (Lazy.force sweep))
       | "fig8" -> emit (Figures.fig8 (Lazy.force sweep))
       | "fig9" -> emit (Figures.fig9 ~check ())
+      | "coverage" -> emit (Figures.coverage (Lazy.force sweep))
       | "nblt" -> emit (Figures.nblt_ablation ~check ())
       | "strategy" -> emit (Figures.strategy_ablation ~check ())
       | "related" -> emit (Figures.related_work ~check ())
@@ -174,8 +178,8 @@ let fig_cmd =
           print_fig f;
           print_newline ())
         [
-          "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "nblt"; "strategy";
-          "related"; "predictor"; "unroll";
+          "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "coverage"; "nblt";
+          "strategy"; "related"; "predictor"; "unroll";
         ]
     else print_fig which
   in

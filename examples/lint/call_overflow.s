@@ -1,0 +1,50 @@
+# A small loop that calls a procedure too large to buffer alongside it:
+# the issue queue fills while the callee streams in, buffering is revoked
+# (Section 2.2.2), and the loop registers in the non-bufferable loop table.
+#
+#= loops 1
+#= loop loop call-overflow never
+
+start:
+    addi r16, r0, 0
+loop:
+    jal  work
+    addi r16, r16, 1
+    slti r2, r16, 200
+    bne  r2, r0, loop
+    halt
+
+work:
+    addi r3, r3, 1
+    addi r4, r4, 2
+    addi r5, r5, 3
+    addi r6, r6, 4
+    addi r7, r7, 5
+    addi r8, r8, 6
+    addi r9, r9, 7
+    addi r10, r10, 8
+    addi r3, r3, 1
+    addi r4, r4, 2
+    addi r5, r5, 3
+    addi r6, r6, 4
+    addi r7, r7, 5
+    addi r8, r8, 6
+    addi r9, r9, 7
+    addi r10, r10, 8
+    addi r3, r3, 1
+    addi r4, r4, 2
+    addi r5, r5, 3
+    addi r6, r6, 4
+    addi r7, r7, 5
+    addi r8, r8, 6
+    addi r9, r9, 7
+    addi r10, r10, 8
+    addi r3, r3, 1
+    addi r4, r4, 2
+    addi r5, r5, 3
+    addi r6, r6, 4
+    addi r7, r7, 5
+    addi r8, r8, 6
+    addi r9, r9, 7
+    addi r10, r10, 8
+    jr   r31

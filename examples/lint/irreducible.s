@@ -1,0 +1,18 @@
+# Irreducible control flow: the backward branch targets a block that does
+# not dominate it (the "loop" has a second entry from above). The analyzer
+# must reject it as irreducible rather than mis-detecting a natural loop.
+#
+#= loops 1
+#= loop second_entry irreducible
+
+start:
+    addi r2, r0, 1
+    beq  r2, r0, body       # one entry jumps past the "header"
+second_entry:
+    addi r3, r3, 1
+    j    body
+body:
+    addi r3, r3, 2
+    slti r4, r3, 10
+    bne  r4, r0, second_entry
+    halt

@@ -1,0 +1,21 @@
+# A two-deep loop nest. The inner loop is bufferable; the outer loop is
+# not, because the inner loop's backward branch decodes inside its window
+# (Section 2.2.3: an inner loop revokes the outer loop's buffering).
+#
+#= loops 2
+#= loop inner ok promotes
+#= loop outer inner-loop
+
+start:
+    addi r16, r0, 0         # i
+outer:
+    addi r17, r0, 0         # j
+inner:
+    add  r18, r17, r16
+    addi r17, r17, 1
+    slti r2, r17, 40
+    bne  r2, r0, inner
+    addi r16, r16, 1
+    slti r2, r16, 20
+    bne  r2, r0, outer
+    halt

@@ -1,0 +1,17 @@
+# A tight counted loop: the bread-and-butter case for the reusable issue
+# queue. Small span, exact trip count, no calls — bufferable, and with a
+# trip count far above the automatic unroll factor the buffering is
+# predicted to reach Code Reuse.
+#
+#= loops 1
+#= loop loop ok promotes
+
+start:
+    addi r16, r0, 0         # i = 0
+    addi r17, r0, 0         # acc = 0
+loop:
+    add  r17, r17, r16      # acc += i
+    addi r16, r16, 1
+    slti r2, r16, 500
+    bne  r2, r0, loop
+    halt

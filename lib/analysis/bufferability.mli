@@ -1,0 +1,83 @@
+open Riq_asm
+
+(** Static classification of backward transfers against the paper's
+    decode-time bufferability criteria (Sections 2.1-2.3).
+
+    The analysis mirrors what the dynamic core decides while running:
+
+    - the {!Riq_core.Detector} candidate test (backward conditional branch
+      or direct jump whose static span fits the issue queue);
+    - the revoke conditions of Sections 2.2.2-2.2.3 (an inner loop, a
+      procedure that overflows the queue, an indirect transfer, leaving
+      the loop while buffering);
+    - the promote condition of Section 2.2.1 (multiple-iteration
+      buffering while iterations fit), which yields the predicted
+      automatic unroll factor;
+    - and, from statically estimated trip counts and block execution
+      frequencies, the fraction of committed instructions the issue queue
+      is expected to supply (predicted reuse coverage).
+
+    Irreducible control flow is rejected, never mis-detected: a backward
+    branch participating in a retreating edge whose target does not
+    dominate it gets {!constructor-Irreducible}. *)
+
+type reason =
+  | Too_large of int (** static span exceeds the issue queue; carries the span *)
+  | Inner_transfer of int
+      (** another backward branch/jump inside the window (inner loop,
+          sibling back edge, or backward exit); carries its pc *)
+  | Call_overflow of int
+      (** iteration footprint including direct callees exceeds the queue;
+          carries the footprint in instructions *)
+  | Callee_loops of int (** a direct callee contains a loop; carries the callee entry *)
+  | Indirect of int (** [jr]/[jalr] in the window or a callee; carries its pc *)
+  | Contains_halt of int
+  | Side_entry (** the loop body is entered other than through the header *)
+  | Irreducible (** retreating edge whose target does not dominate it *)
+
+type prediction =
+  | Promotes (** buffering is expected to reach Code Reuse *)
+  | Never_promotes (** detected but expected to revoke or exit early, every time *)
+  | Marginal (** too close to a capacity or trip-count boundary to call *)
+
+type loop_report = {
+  head : int; (** byte address of the loop's first instruction *)
+  tail : int; (** byte address of the backward transfer *)
+  span : int; (** static body size in instructions, as the detector measures it *)
+  depth : int; (** loop-nest depth (1 = outermost); 0 when no natural loop exists *)
+  innermost : bool;
+  verdict : (unit, reason) result;
+  trip : int option; (** statically derived per-entry iteration count *)
+  entries : float option; (** estimated number of times the loop is entered *)
+  iter_insns : float; (** expected dynamic instructions per iteration, callees included *)
+  unroll : int; (** predicted automatic unroll factor (iterations buffered) *)
+  prediction : prediction;
+  intra_branches : int; (** conditional branches in the window besides the tail *)
+  early_exits : int; (** forward branches leaving the window *)
+  nblt_risk : bool; (** expected to register in the non-bufferable loop table *)
+  lrl : Int64.t; (** live registers at the loop head (the logical register list) *)
+  reused_insns : float option; (** predicted committed instructions supplied by reuse *)
+}
+
+type report = {
+  iq_size : int;
+  multi_iter : bool;
+  loops : loop_report list; (** every executable backward transfer, by tail address *)
+  total_insns : float option; (** estimated dynamic committed instructions *)
+  coverage : float option; (** predicted reuse coverage, percent of committed *)
+  exact_trips : bool; (** every trip count involved was statically derived *)
+  irreducible_edges : (int * int) list; (** retreating non-back edges (block ids) *)
+}
+
+val analyze : ?multi_iter:bool -> iq_size:int -> Program.t -> report
+(** [multi_iter] defaults to true (the paper's strategy 2). *)
+
+val analyze_config : Riq_ooo.Config.t -> Program.t -> report
+(** Pull [iq_entries] and [buffer_multiple_iterations] from a machine
+    configuration. *)
+
+val reason_to_string : reason -> string
+
+val coverage_of : report -> tail:int -> float option
+(** Predicted coverage contribution (percent of all committed
+    instructions) of the loop ending at [tail]. *)

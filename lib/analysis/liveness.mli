@@ -1,0 +1,39 @@
+open Riq_isa
+
+(** Backward logical-register liveness over a {!Cfg.t}.
+
+    Computes, for every basic block, the set of logical registers live on
+    entry and exit, and exposes a per-instruction query. This is the
+    static derivation of the paper's per-entry {e logical register list}:
+    the registers live around a buffered loop body are exactly the names
+    the modified issue queue must keep renaming on every reused pass.
+
+    Register sets cover the full flat namespace of {!Reg} (64 names) as
+    [Int64] bitmasks. Calls are handled through the CFG's call edges (the
+    callee's live-in flows into the call site alongside the return path),
+    so no interprocedural summary is needed. Blocks ending in indirect
+    transfers ([jr]/[jalr]) have no static successors; [jr r31] is a
+    return, whose conservative live-out is {!return_live_out}. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val live_in : t -> int -> Int64.t
+(** Live set at entry of a block id. *)
+
+val live_out : t -> int -> Int64.t
+
+val live_before : t -> pc:int -> Int64.t
+(** Live set immediately before the instruction at [pc]. Raises
+    [Invalid_argument] outside the text segment. *)
+
+val return_live_out : Int64.t
+(** Registers conservatively assumed live at a return: the caller-visible
+    scalar pools ([r16]-[r28], [f16]-[f31]), the stack pointer and the
+    link register. *)
+
+val mem : Int64.t -> Reg.t -> bool
+val to_list : Int64.t -> Reg.t list
+val cardinal : Int64.t -> int
+val pp_set : Format.formatter -> Int64.t -> unit

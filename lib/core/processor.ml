@@ -30,6 +30,22 @@ type ev = {
 
 type replay = { rp_seq : int; rp_rob : int; rp_addr : int }
 
+(* Per-loop decision record, keyed by the loop-ending instruction's pc —
+   the same key the detector and NBLT use. Queryable after a run to
+   compare the dynamic decisions with the static bufferability pass. *)
+type loop_decision = {
+  ld_head : int;
+  ld_tail : int;
+  ld_span : int;
+  mutable ld_detections : int; (* detector hits at the tail *)
+  mutable ld_nblt_filtered : int; (* detections suppressed by the NBLT *)
+  mutable ld_attempts : int; (* buffering attempts started *)
+  mutable ld_revokes : int;
+  mutable ld_nblt_registered : int; (* revokes that registered in the NBLT *)
+  mutable ld_promotions : int; (* reached Code Reuse *)
+  mutable ld_reuse_committed : int; (* committed instructions supplied by reuse *)
+}
+
 type t = {
   cfg : Config.t;
   program : Program.t;
@@ -64,6 +80,9 @@ type t = {
   mutable n_loads : int;
   mutable n_stores : int;
   mutable n_reuse_dispatch : int;
+  mutable n_reuse_commit : int;
+  loop_log : (int, loop_decision) Hashtbl.t; (* keyed by tail pc *)
+  mutable cur_reuse_tail : int; (* tail of the last promoted loop, -1 = none *)
 }
 
 type stop = Halted | Cycle_limit
@@ -114,7 +133,31 @@ let create cfg program =
     n_loads = 0;
     n_stores = 0;
     n_reuse_dispatch = 0;
+    n_reuse_commit = 0;
+    loop_log = Hashtbl.create 16;
+    cur_reuse_tail = -1;
   }
+
+let loop_record t ~head ~tail =
+  match Hashtbl.find_opt t.loop_log tail with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          ld_head = head;
+          ld_tail = tail;
+          ld_span = ((tail - head) / 4) + 1;
+          ld_detections = 0;
+          ld_nblt_filtered = 0;
+          ld_attempts = 0;
+          ld_revokes = 0;
+          ld_nblt_registered = 0;
+          ld_promotions = 0;
+          ld_reuse_committed = 0;
+        }
+      in
+      Hashtbl.replace t.loop_log tail r;
+      r
 
 let charge t c n = Account.add t.acct c n
 let charge1 t c = Account.add t.acct c 1.
@@ -254,7 +297,12 @@ let flush_front_end t =
   Queue.clear t.decode_latch
 
 let revoke_buffering t ~register_nblt =
+  let r =
+    loop_record t ~head:t.reuse.Reuse_state.head ~tail:t.reuse.Reuse_state.tail
+  in
+  r.ld_revokes <- r.ld_revokes + 1;
   if register_nblt then begin
+    r.ld_nblt_registered <- r.ld_nblt_registered + 1;
     charge1 t Component.Nblt;
     Nblt.insert t.nblt t.reuse.Reuse_state.tail
   end;
@@ -326,6 +374,22 @@ let commit_one t (e : Rob.entry) =
       t.halted <- true;
       t.halt_pc <- e.Rob.pc
   | _ -> ());
+  if e.Rob.from_reuse then begin
+    t.n_reuse_commit <- t.n_reuse_commit + 1;
+    (* Attribute to the smallest logged window containing the pc; callee
+       instructions (outside every window) go to the loop being reused. *)
+    let best = ref None in
+    Hashtbl.iter
+      (fun _ r ->
+        if e.Rob.pc >= r.ld_head && e.Rob.pc <= r.ld_tail then
+          match !best with
+          | Some b when b.ld_span <= r.ld_span -> ()
+          | _ -> best := Some r)
+      t.loop_log;
+    match (!best, Hashtbl.find_opt t.loop_log t.cur_reuse_tail) with
+    | Some r, _ | None, Some r -> r.ld_reuse_committed <- r.ld_reuse_committed + 1
+    | None, None -> ()
+  end;
   t.committed <- t.committed + 1;
   Rob.pop_head t.rob
 
@@ -663,6 +727,12 @@ let dispatch_one t (f : fetched) =
           t.cfg.Config.buffer_multiple_iterations && Iq.free t.iq >= iter_size
         in
         if not continue_buffering then begin
+          let r =
+            loop_record t ~head:t.reuse.Reuse_state.head
+              ~tail:t.reuse.Reuse_state.tail
+          in
+          r.ld_promotions <- r.ld_promotions + 1;
+          t.cur_reuse_tail <- t.reuse.Reuse_state.tail;
           Reuse_state.promote t.reuse;
           Iq.set_reuse_ptr t.iq (Iq.first_reusable t.iq);
           flush_front_end t
@@ -767,14 +837,20 @@ let decode_reuse_hooks t (f : fetched) =
         match Detector.examine ~iq_size:t.cfg.Config.iq_entries ~pc:f.f_pc f.f_insn with
         | Detector.Capturable { head; tail; span = _ } ->
             r.Reuse_state.n_detections <- r.Reuse_state.n_detections + 1;
+            let ld = loop_record t ~head ~tail in
+            ld.ld_detections <- ld.ld_detections + 1;
             charge1 t Component.Nblt;
-            if Nblt.mem t.nblt tail then
-              r.Reuse_state.n_nblt_filtered <- r.Reuse_state.n_nblt_filtered + 1
-            else if f.f_pred_npc = head then
+            if Nblt.mem t.nblt tail then begin
+              r.Reuse_state.n_nblt_filtered <- r.Reuse_state.n_nblt_filtered + 1;
+              ld.ld_nblt_filtered <- ld.ld_nblt_filtered + 1
+            end
+            else if f.f_pred_npc = head then begin
+              ld.ld_attempts <- ld.ld_attempts + 1;
               (* Detection works on the predicted target (Section 2.1):
                  buffering begins with the second iteration, so it only
                  makes sense when the branch is predicted to loop back. *)
               Reuse_state.start_buffering r ~head ~tail
+            end
         | Detector.Too_large _ | Detector.Not_a_loop -> ())
     | Reuse_state.Buffering ->
         let in_loop = Reuse_state.in_loop r ~pc:f.f_pc in
@@ -964,6 +1040,10 @@ let arch_state t =
       List.rev (Store.fold_nonzero t.memory ~init:[] ~f:(fun acc addr v -> (addr, v) :: acc));
   }
 
+let loop_decisions t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.loop_log []
+  |> List.sort (fun a b -> compare a.ld_tail b.ld_tail)
+
 let account t = t.acct
 let hierarchy t = t.hier
 let reuse_state t = t.reuse
@@ -982,6 +1062,7 @@ type stats = {
   loads : int;
   stores : int;
   reuse_dispatches : int;
+  reuse_committed : int;
   buffer_attempts : int;
   revokes : int;
   promotions : int;
@@ -1005,6 +1086,7 @@ let stats t =
     loads = t.n_loads;
     stores = t.n_stores;
     reuse_dispatches = t.n_reuse_dispatch;
+    reuse_committed = t.n_reuse_commit;
     buffer_attempts = t.reuse.Reuse_state.n_buffer_attempts;
     revokes = t.reuse.Reuse_state.n_revokes;
     promotions = t.reuse.Reuse_state.n_promotions;

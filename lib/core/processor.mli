@@ -49,6 +49,27 @@ val arch_state : t -> Machine.arch_state
 (** Architectural snapshot in the reference simulator's format, for
     differential testing against {!Riq_interp.Machine}. *)
 
+(** Per-loop decision record of the dynamic reuse machinery, keyed by the
+    loop-ending instruction's pc (the detector's and the NBLT's key).
+    Queryable after a run to compare against the static bufferability
+    pass ([Riq_analysis.Bufferability]). *)
+type loop_decision = {
+  ld_head : int; (** byte address of the loop's first instruction *)
+  ld_tail : int; (** byte address of the backward transfer *)
+  ld_span : int;
+  mutable ld_detections : int; (** detector hits at this tail *)
+  mutable ld_nblt_filtered : int; (** detections suppressed by the NBLT *)
+  mutable ld_attempts : int; (** buffering attempts started *)
+  mutable ld_revokes : int;
+  mutable ld_nblt_registered : int; (** revokes that registered in the NBLT *)
+  mutable ld_promotions : int; (** times the loop reached Code Reuse *)
+  mutable ld_reuse_committed : int;
+      (** committed instructions this loop supplied from the queue *)
+}
+
+val loop_decisions : t -> loop_decision list
+(** All loops the detector ever flagged, sorted by tail address. *)
+
 val account : t -> Riq_power.Account.t
 val hierarchy : t -> Hierarchy.t
 val reuse_state : t -> Reuse_state.t
@@ -69,6 +90,7 @@ type stats = {
   loads : int;
   stores : int;
   reuse_dispatches : int; (** instructions supplied by the issue queue *)
+  reuse_committed : int; (** committed instructions that came from reuse *)
   buffer_attempts : int;
   revokes : int;
   promotions : int;

@@ -56,6 +56,52 @@ let fig8 sweep =
       Run.reduction c.Sweep.baseline.Run.stats.Processor.ipc
         c.Sweep.reuse.Run.stats.Processor.ipc)
 
+(* Static bufferability analysis vs. dynamic measurement: for every
+   benchmark and queue size, the reuse coverage (percent of committed
+   instructions supplied by the issue queue) as the analyzer predicts it
+   and as the simulator measures it. *)
+let coverage sweep =
+  let cols =
+    ("Benchmark", Table.Left)
+    :: List.concat_map
+         (fun s ->
+           [ (Printf.sprintf "IQ %d pred" s, Table.Right); ("meas", Table.Right) ])
+         sweep.Sweep.sizes
+  in
+  let t =
+    Table.create
+      ~title:
+        "Static bufferability analysis: predicted vs. measured reuse coverage \
+         (percent of committed instructions supplied by the issue queue)."
+      cols
+  in
+  List.iter
+    (fun (bench, per_size) ->
+      let w = Workloads.find bench in
+      let program = Workloads.program w in
+      let cells =
+        List.concat_map
+          (fun (size, c) ->
+            let cfg = Config.with_iq_size Config.reuse size in
+            let report = Riq_analysis.Bufferability.analyze_config cfg program in
+            let predicted =
+              Option.value ~default:0. report.Riq_analysis.Bufferability.coverage
+            in
+            let s = c.Sweep.reuse.Run.stats in
+            let measured =
+              if s.Processor.committed = 0 then 0.
+              else
+                100.
+                *. float_of_int s.Processor.reuse_committed
+                /. float_of_int s.Processor.committed
+            in
+            [ Table.cell_pct ~digits:1 predicted; Table.cell_pct ~digits:1 measured ])
+          per_size
+      in
+      Table.add_row t (bench :: cells))
+    sweep.Sweep.cells;
+  t
+
 let fig6 sweep =
   let t =
     Table.create

@@ -26,6 +26,11 @@ val fig8 : Sweep.t -> Table.t
 (** IPC degradation (percent, positive = slower than the conventional
     queue) per benchmark per size. *)
 
+val coverage : Sweep.t -> Table.t
+(** Static bufferability analysis ({!Riq_analysis.Bufferability}) against
+    the dynamic core: predicted vs. simulator-measured reuse coverage per
+    benchmark per issue-queue size. *)
+
 val fig9 : ?check:bool -> unit -> Table.t
 (** Section 4: overall power reduction with original vs. loop-distributed
     code at the 64-entry baseline configuration, plus the gated-cycle
