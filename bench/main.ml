@@ -12,7 +12,13 @@
 
    Run with: dune exec bench/main.exe
    (pass --quick to skip the full sweep and only run the microbenchmarks,
-   or --figures-only to skip the microbenchmarks) *)
+   or --figures-only to skip the microbenchmarks; --jobs N parallelizes
+   the figure regeneration over N worker processes, --no-cache disables
+   the on-disk result cache)
+
+   The sweep behind Figures 5-8 is also exported machine-readably to
+   BENCH_sweep.json so the performance trajectory is comparable across
+   PRs. *)
 
 open Riq_util
 open Riq_isa
@@ -28,7 +34,7 @@ open Riq_harness
 (* Part 1: the paper's tables and figures.                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_figures () =
+let run_figures ~jobs ~use_cache () =
   print_endline "==============================================================";
   print_endline " Reproduction of Hu et al., \"Scheduling Reusable Instructions";
   print_endline " for Power Reduction\" (DATE 2004) — all tables and figures";
@@ -39,12 +45,24 @@ let run_figures () =
   print_newline ();
   Table.print (Figures.table2 ());
   print_newline ();
+  let engine =
+    let cache = if use_cache then Some (Riq_exp.Cache.open_ ()) else None in
+    Riq_exp.Engine.create ~workers:jobs ?cache
+      ~on_progress:(fun p ->
+        Printf.eprintf "\r[engine] %d/%d done (%d cached, %d simulated)%!"
+          p.Riq_exp.Engine.finished p.Riq_exp.Engine.total p.Riq_exp.Engine.cache_hits
+          p.Riq_exp.Engine.executed;
+        if p.Riq_exp.Engine.finished = p.Riq_exp.Engine.total then Printf.eprintf "\n%!")
+      ()
+  in
   let t0 = Unix.gettimeofday () in
-  let sweep = Sweep.run ~check:true ~progress:(fun l -> Printf.eprintf "[sweep] %s\n%!" l) () in
+  let sweep = Sweep.run ~engine ~check:true () in
   Printf.printf "(sweep of %d simulations finished in %.1f s; every run validated\n"
     (2 * List.length sweep.Sweep.sizes * List.length sweep.Sweep.cells)
     (Unix.gettimeofday () -. t0);
   print_endline " against the functional reference simulator)";
+  Riq_util.Json.to_file "BENCH_sweep.json" (Sweep.to_json ~engine sweep);
+  print_endline "(per-cell sweep statistics written to BENCH_sweep.json)";
   print_newline ();
   Table.print (Figures.fig5 sweep);
   print_newline ();
@@ -54,19 +72,28 @@ let run_figures () =
   print_newline ();
   Table.print (Figures.fig8 sweep);
   print_newline ();
-  Table.print (Figures.fig9 ~check:true ());
+  Table.print (Figures.fig9 ~engine ~check:true ());
   print_newline ();
-  Table.print (Figures.nblt_ablation ~check:true ());
+  Table.print (Figures.nblt_ablation ~engine ~check:true ());
   print_newline ();
-  Table.print (Figures.strategy_ablation ~check:true ());
+  Table.print (Figures.strategy_ablation ~engine ~check:true ());
   print_newline ();
-  Table.print (Figures.related_work ~check:true ~iq_size:64 ());
+  Table.print (Figures.related_work ~engine ~check:true ~iq_size:64 ());
   print_newline ();
-  Table.print (Figures.related_work ~check:true ~iq_size:256 ());
+  Table.print (Figures.related_work ~engine ~check:true ~iq_size:256 ());
   print_newline ();
-  Table.print (Figures.predictor_ablation ~check:true ());
+  Table.print (Figures.predictor_ablation ~engine ~check:true ());
   print_newline ();
-  Table.print (Figures.unroll_ablation ~check:true ());
+  Table.print (Figures.unroll_ablation ~engine ~check:true ());
+  print_newline ();
+  let s = Riq_exp.Engine.stats engine in
+  Printf.printf
+    "(engine totals: %d jobs = %d cache hits + %d deduped + %d simulated; %.1f s wall,\n\
+    \ %d workers at %.0f%% utilization)\n"
+    s.Riq_exp.Engine.jobs s.Riq_exp.Engine.cache_hits s.Riq_exp.Engine.deduped
+    s.Riq_exp.Engine.executed s.Riq_exp.Engine.wall_seconds
+    (Riq_exp.Engine.workers engine)
+    (100. *. Riq_exp.Engine.utilization engine);
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -206,5 +233,18 @@ let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let figures_only = List.mem "--figures-only" args in
-  if not quick then run_figures ();
+  let use_cache = not (List.mem "--no-cache" args) in
+  let jobs =
+    let rec find = function
+      | "--jobs" :: n :: _ | "-j" :: n :: _ -> (
+          match int_of_string_opt n with
+          | Some n when n >= 1 -> n
+          | _ -> failwith "bench: --jobs expects a positive integer"
+          )
+      | _ :: rest -> find rest
+      | [] -> 1
+    in
+    find args
+  in
+  if not quick then run_figures ~jobs ~use_cache ();
   if not figures_only then run_microbench ()

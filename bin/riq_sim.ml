@@ -4,6 +4,8 @@
      run    — simulate one benchmark (or an assembly file) on a chosen
               configuration and print statistics
      bench  — list the built-in benchmarks
+     sweep  — run the paper's issue-queue sweep through the experiment
+              engine (parallel workers, content-addressed result cache)
      fig    — regenerate one of the paper's tables/figures
      disasm — print the compiled RIQ32 code of a benchmark *)
 
@@ -139,6 +141,108 @@ let bench_cmd =
   in
   Cmd.v (Cmd.info "bench" ~doc:"List the built-in benchmarks") Term.(const action $ const ())
 
+(* Shared engine flags: worker count, cache policy, per-job timeout. *)
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Number of worker processes (1 = in-process, no fork).")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ]
+         ~doc:"Disable the on-disk result cache.")
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Result cache root (default \\$RIQ_CACHE_DIR or .riq-cache).")
+
+let timeout_arg =
+  Arg.(value & opt float 600. & info [ "timeout" ] ~docv:"SECONDS"
+         ~doc:"Per-job wall-clock budget in worker-pool mode (<= 0 disables).")
+
+let progress_reporter () =
+  let last = ref "" in
+  fun (p : Riq_exp.Engine.progress) ->
+    let line =
+      Printf.sprintf "[sweep] %d/%d done | %d cache hits, %d dedup, %d run, %d failed | %d worker%s"
+        p.Riq_exp.Engine.finished p.Riq_exp.Engine.total p.Riq_exp.Engine.cache_hits
+        p.Riq_exp.Engine.deduped p.Riq_exp.Engine.executed p.Riq_exp.Engine.failures
+        p.Riq_exp.Engine.workers
+        (if p.Riq_exp.Engine.workers > 1 then "s" else "")
+    in
+    if line <> !last then begin
+      last := line;
+      Printf.eprintf "\r%s%!" line;
+      if p.Riq_exp.Engine.finished = p.Riq_exp.Engine.total then Printf.eprintf "\n%!"
+    end
+
+let make_engine ~jobs ~no_cache ~cache_dir ~timeout ~progress =
+  let cache =
+    if no_cache then None else Some (Riq_exp.Cache.open_ ?root:cache_dir ())
+  in
+  Riq_exp.Engine.create ~workers:jobs ?cache ~timeout
+    ?on_progress:(if progress then Some (progress_reporter ()) else None)
+    ()
+
+let print_engine_summary engine =
+  let s = Riq_exp.Engine.stats engine in
+  Printf.printf
+    "engine: %d jobs = %d cache hits + %d deduped + %d simulated (%d failed)\n"
+    s.Riq_exp.Engine.jobs s.Riq_exp.Engine.cache_hits s.Riq_exp.Engine.deduped
+    s.Riq_exp.Engine.executed s.Riq_exp.Engine.failures;
+  Printf.printf "        %.1f s wall, %.1f s worker-busy, %d workers, %.0f%% utilization\n"
+    s.Riq_exp.Engine.wall_seconds s.Riq_exp.Engine.busy_seconds
+    (Riq_exp.Engine.workers engine)
+    (100. *. Riq_exp.Engine.utilization engine)
+
+let sweep_cmd =
+  let sizes =
+    Arg.(value & opt (list int) Sweep.default_sizes & info [ "sizes"; "s" ] ~docv:"N,N,..."
+           ~doc:"Issue-queue sizes to sweep (default the paper's 32,64,128,256).")
+  in
+  let benches =
+    Arg.(value & opt (list string) [] & info [ "bench"; "b" ] ~docv:"NAME,NAME,..."
+           ~doc:"Benchmarks to sweep (default all of Table 2).")
+  in
+  let no_check =
+    Arg.(value & flag & info [ "no-check" ]
+           ~doc:"Skip the per-run differential validation (faster).")
+  in
+  let json_file =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also export per-cell statistics, power groups and engine counters as JSON.")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values instead of tables.")
+  in
+  let action jobs no_cache cache_dir timeout sizes benches no_check json_file csv =
+    let benchmarks =
+      if benches = [] then Workloads.all else List.map Workloads.find benches
+    in
+    let engine = make_engine ~jobs ~no_cache ~cache_dir ~timeout ~progress:true in
+    let sweep = Sweep.run ~engine ~sizes ~benchmarks ~check:(not no_check) () in
+    let emit t = if csv then print_string (Table.to_csv t) else Table.print t in
+    emit (Figures.fig5 sweep);
+    print_newline ();
+    emit (Figures.fig6 sweep);
+    print_newline ();
+    emit (Figures.fig7 sweep);
+    print_newline ();
+    emit (Figures.fig8 sweep);
+    print_newline ();
+    (match json_file with
+    | Some path ->
+        Riq_util.Json.to_file path (Sweep.to_json ~engine sweep);
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    print_engine_summary engine
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run the issue-queue sweep through the experiment engine (parallel workers, \
+          content-addressed result cache) and print Figures 5-8")
+    Term.(const action $ jobs_arg $ no_cache_arg $ cache_dir_arg $ timeout_arg $ sizes
+          $ benches $ no_check $ json_file $ csv)
+
 let fig_cmd =
   let which =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE"
@@ -151,10 +255,10 @@ let fig_cmd =
   let csv =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values instead of a table.")
   in
-  let action which no_check csv =
+  let action which no_check csv jobs no_cache cache_dir timeout =
     let check = not no_check in
-    let progress label = Printf.eprintf "[riq] %s\n%!" label in
-    let sweep = lazy (Sweep.run ~check ~progress ()) in
+    let engine = make_engine ~jobs ~no_cache ~cache_dir ~timeout ~progress:true in
+    let sweep = lazy (Sweep.run ~engine ~check ()) in
     let emit t = if csv then print_string (Table.to_csv t) else Table.print t in
     let print_fig = function
       | "table1" -> print_string (Figures.table1 ())
@@ -163,13 +267,13 @@ let fig_cmd =
       | "fig6" -> emit (Figures.fig6 (Lazy.force sweep))
       | "fig7" -> emit (Figures.fig7 (Lazy.force sweep))
       | "fig8" -> emit (Figures.fig8 (Lazy.force sweep))
-      | "fig9" -> emit (Figures.fig9 ~check ())
+      | "fig9" -> emit (Figures.fig9 ~engine ~check ())
       | "coverage" -> emit (Figures.coverage (Lazy.force sweep))
-      | "nblt" -> emit (Figures.nblt_ablation ~check ())
-      | "strategy" -> emit (Figures.strategy_ablation ~check ())
-      | "related" -> emit (Figures.related_work ~check ())
-      | "predictor" -> emit (Figures.predictor_ablation ~check ())
-      | "unroll" -> emit (Figures.unroll_ablation ~check ())
+      | "nblt" -> emit (Figures.nblt_ablation ~engine ~check ())
+      | "strategy" -> emit (Figures.strategy_ablation ~engine ~check ())
+      | "related" -> emit (Figures.related_work ~engine ~check ())
+      | "predictor" -> emit (Figures.predictor_ablation ~engine ~check ())
+      | "unroll" -> emit (Figures.unroll_ablation ~engine ~check ())
       | other -> failwith ("unknown figure: " ^ other)
     in
     if which = "all" then
@@ -185,7 +289,8 @@ let fig_cmd =
   in
   Cmd.v
     (Cmd.info "fig" ~doc:"Regenerate a table or figure of the paper")
-    Term.(const action $ which $ no_check $ csv)
+    Term.(const action $ which $ no_check $ csv $ jobs_arg $ no_cache_arg $ cache_dir_arg
+          $ timeout_arg)
 
 let trace_cmd =
   let bench =
@@ -296,4 +401,5 @@ let () =
   let info = Cmd.info "riq-sim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; bench_cmd; fig_cmd; disasm_cmd; trace_cmd; pipeview_cmd ]))
+       (Cmd.group info
+          [ run_cmd; bench_cmd; sweep_cmd; fig_cmd; disasm_cmd; trace_cmd; pipeview_cmd ]))

@@ -1,0 +1,69 @@
+(* On-disk content-addressed result store.
+
+   Layout:  <root>/v<format>/<revision-stamp>/<k0k1>/<fingerprint>
+   where <k0k1> is the first two hex digits of the fingerprint (256-way
+   fan-out keeps directories small on big sweeps). Each entry is the
+   marshalled pair (revision stamp, outcome); the stamp inside the file is
+   checked again on read so a mislaid file can never leak stale results.
+
+   Writes go through a per-process temporary file renamed into place, so
+   concurrent writers (parallel workers, or two sweeps racing) are safe:
+   rename is atomic and last-writer-wins with identical contents. *)
+
+let default_root () =
+  match Sys.getenv_opt "RIQ_CACHE_DIR" with
+  | Some dir when dir <> "" -> dir
+  | _ -> ".riq-cache"
+
+type t = { root : string; dir : string }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ ?root () =
+  let root = match root with Some r -> r | None -> default_root () in
+  let dir =
+    Filename.concat
+      (Filename.concat root (Printf.sprintf "v%d" Revision.format_version))
+      Revision.stamp
+  in
+  mkdir_p dir;
+  { root; dir }
+
+let root t = t.root
+
+let path t key =
+  if String.length key < 2 then invalid_arg "Cache.path: key too short";
+  Filename.concat (Filename.concat t.dir (String.sub key 0 2)) key
+
+let find t key : Outcome.t option =
+  let file = path t key in
+  if not (Sys.file_exists file) then None
+  else
+    try
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let stamp, (outcome : Outcome.t) = Marshal.from_channel ic in
+          if stamp = Revision.stamp then Some outcome else None)
+    with _ -> None (* truncated/corrupt entries behave like misses *)
+
+let store t key (outcome : Outcome.t) =
+  if Outcome.cacheable outcome then begin
+    let file = path t key in
+    mkdir_p (Filename.dirname file);
+    let tmp = Printf.sprintf "%s.tmp.%d" file (Unix.getpid ()) in
+    let oc = open_out_bin tmp in
+    (try
+       Marshal.to_channel oc (Revision.stamp, outcome) [];
+       close_out oc;
+       Sys.rename tmp file
+     with exn ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with _ -> ());
+       raise exn)
+  end

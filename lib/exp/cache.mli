@@ -1,0 +1,29 @@
+(** On-disk content-addressed result cache.
+
+    Entries live under [<root>/v<format>/<revision-stamp>/<k0k1>/<key>],
+    keyed by {!Job.fingerprint}; bumping {!Revision.stamp} orphans every
+    old entry. Corrupt or stale files read as misses. Writes are atomic
+    (temp file + rename), so parallel workers and concurrent sweeps can
+    share one cache. *)
+
+type t
+
+val default_root : unit -> string
+(** [$RIQ_CACHE_DIR] when set and non-empty, else [".riq-cache"] in the
+    working directory. *)
+
+val open_ : ?root:string -> unit -> t
+(** Open (and create if needed) the cache under [root]
+    (default {!default_root}). *)
+
+val root : t -> string
+
+val path : t -> string -> string
+(** Absolute entry path for a fingerprint — exposed for tests and for the
+    CLI's cache description. *)
+
+val find : t -> string -> Outcome.t option
+
+val store : t -> string -> Outcome.t -> unit
+(** No-op for outcomes that are not {!Outcome.cacheable} (crashes,
+    timeouts). *)

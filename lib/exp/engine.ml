@@ -1,0 +1,182 @@
+type progress = {
+  total : int;
+  finished : int;
+  cache_hits : int;
+  deduped : int;
+  executed : int;
+  failures : int;
+  workers : int;
+}
+
+type stats = {
+  jobs : int;
+  cache_hits : int;
+  deduped : int;
+  executed : int;
+  failures : int;
+  wall_seconds : float;
+  busy_seconds : float;
+}
+
+type t = {
+  workers : int;
+  timeout : float option;
+  cache : Cache.t option;
+  on_progress : (progress -> unit) option;
+  mutable s_jobs : int;
+  mutable s_hits : int;
+  mutable s_dedup : int;
+  mutable s_exec : int;
+  mutable s_fail : int;
+  mutable s_wall : float;
+  mutable s_busy : float;
+}
+
+let create ?(workers = 1) ?cache ?(timeout = 600.) ?on_progress () =
+  if workers < 1 then invalid_arg "Engine.create: workers must be >= 1";
+  let timeout = if timeout <= 0. then None else Some timeout in
+  {
+    workers;
+    timeout;
+    cache;
+    on_progress;
+    s_jobs = 0;
+    s_hits = 0;
+    s_dedup = 0;
+    s_exec = 0;
+    s_fail = 0;
+    s_wall = 0.;
+    s_busy = 0.;
+  }
+
+let workers t = t.workers
+let cache t = t.cache
+
+let stats t =
+  {
+    jobs = t.s_jobs;
+    cache_hits = t.s_hits;
+    deduped = t.s_dedup;
+    executed = t.s_exec;
+    failures = t.s_fail;
+    wall_seconds = t.s_wall;
+    busy_seconds = t.s_busy;
+  }
+
+let utilization t =
+  if t.s_wall <= 0. then 0.
+  else min 1. (t.s_busy /. (t.s_wall *. float_of_int t.workers))
+
+let run t (jobs : Job.t array) : Outcome.t array =
+  let n = Array.length jobs in
+  if n = 0 then [||]
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let out : Outcome.t option array = Array.make n None in
+    let finished = ref 0 and hits = ref 0 and executed = ref 0 and failures = ref 0 in
+    let deduped = ref 0 in
+    let emit () =
+      match t.on_progress with
+      | None -> ()
+      | Some f ->
+          f
+            {
+              total = n;
+              finished = !finished;
+              cache_hits = !hits;
+              deduped = !deduped;
+              executed = !executed;
+              failures = !failures;
+              workers = t.workers;
+            }
+    in
+    (* Identical jobs inside one batch (the ablations re-request many sweep
+       cells) collapse onto one representative execution. *)
+    let fps = Array.map Job.fingerprint jobs in
+    let rep = Hashtbl.create (2 * n) in
+    let uniques = ref [] in
+    let duplicates = ref [] in
+    Array.iteri
+      (fun i fp ->
+        match Hashtbl.find_opt rep fp with
+        | Some j -> duplicates := (i, j) :: !duplicates
+        | None ->
+            Hashtbl.add rep fp i;
+            uniques := i :: !uniques)
+      fps;
+    let uniques = List.rev !uniques in
+    let record i outcome =
+      out.(i) <- Some outcome;
+      incr finished;
+      (match outcome with Error _ -> incr failures | Ok _ -> ());
+      emit ()
+    in
+    (* Warm entries first. *)
+    let misses =
+      List.filter
+        (fun i ->
+          match t.cache with
+          | None -> true
+          | Some c -> (
+              match Cache.find c fps.(i) with
+              | Some outcome ->
+                  incr hits;
+                  record i outcome;
+                  false
+              | None -> true))
+        uniques
+    in
+    let complete i outcome =
+      (match t.cache with Some c -> Cache.store c fps.(i) outcome | None -> ());
+      incr executed;
+      record i outcome
+    in
+    let run_inprocess indices =
+      List.iter (fun i -> complete i (Runner.execute_safe jobs.(i))) indices
+    in
+    (if t.workers > 1 && List.length misses > 1 && Pool.available () then begin
+       try
+         let busy =
+           Pool.run ~workers:t.workers ~timeout:t.timeout ~jobs ~indices:misses
+             ~on_result:complete ()
+         in
+         t.s_busy <- t.s_busy +. busy
+       with _ ->
+         (* Pool failure (fork exhaustion, platform quirk): gracefully fall
+            back to in-process execution for whatever is still missing. *)
+         run_inprocess (List.filter (fun i -> out.(i) = None) misses)
+     end
+     else run_inprocess misses);
+    (* Resolve duplicates from their representatives. *)
+    List.iter
+      (fun (i, j) ->
+        match out.(j) with
+        | Some outcome ->
+            incr deduped;
+            record i outcome
+        | None -> record i (Error (Outcome.Worker_crashed "representative job missing")))
+      (List.rev !duplicates);
+    let wall = Unix.gettimeofday () -. t0 in
+    t.s_jobs <- t.s_jobs + n;
+    t.s_hits <- t.s_hits + !hits;
+    t.s_dedup <- t.s_dedup + !deduped;
+    t.s_exec <- t.s_exec + !executed;
+    t.s_fail <- t.s_fail + !failures;
+    t.s_wall <- t.s_wall +. wall;
+    Array.map
+      (function
+        | Some o -> o
+        | None -> Error (Outcome.Worker_crashed "job never completed"))
+      out
+  end
+
+let run_exn t jobs =
+  Array.mapi
+    (fun i outcome ->
+      match outcome with
+      | Ok r -> r
+      | Error e -> failwith (Printf.sprintf "job %d: %s" i (Outcome.error_to_string e)))
+    (run t jobs)
+
+let simulate_exn t ?check ?cycle_limit cfg program =
+  (run_exn t [| Job.make ?check ?cycle_limit cfg program |]).(0)

@@ -1,0 +1,62 @@
+open Riq_asm
+open Riq_ooo
+
+(** The experiment engine: schedules {!Job.t}s over a fork worker pool,
+    serves repeats from the content-addressed {!Cache}, deduplicates
+    identical jobs inside a batch, and reports live progress.
+
+    Results are bit-identical regardless of [workers]: parallelism only
+    changes who computes each outcome, never what is computed. *)
+
+type progress = {
+  total : int;
+  finished : int;
+  cache_hits : int;
+  deduped : int; (** served by another identical job in the same batch *)
+  executed : int;
+  failures : int;
+  workers : int;
+}
+
+type stats = {
+  jobs : int; (** jobs submitted across all [run] calls *)
+  cache_hits : int;
+  deduped : int;
+  executed : int; (** actual simulations performed *)
+  failures : int;
+  wall_seconds : float;
+  busy_seconds : float; (** summed worker busy time *)
+}
+
+type t
+
+val create :
+  ?workers:int ->
+  ?cache:Cache.t ->
+  ?timeout:float ->
+  ?on_progress:(progress -> unit) ->
+  unit ->
+  t
+(** [workers] (default 1) > 1 enables the fork pool when the platform
+    supports it; otherwise jobs run in-process. Omitting [cache] disables
+    result caching. [timeout] (default 600 s; [<= 0.] disables) is the
+    per-job wall-clock budget in pool mode. [on_progress] fires after
+    every job completion. *)
+
+val run : t -> Job.t array -> Outcome.t array
+(** Outcomes in job order. Per-job failures are recorded, never raised:
+    one diverging simulation cannot kill a sweep. *)
+
+val run_exn : t -> Job.t array -> Outcome.sim_result array
+(** Like {!run} but raises [Failure] on the first failed job — for
+    experiments whose tables need every cell. *)
+
+val simulate_exn :
+  t -> ?check:bool -> ?cycle_limit:int -> Config.t -> Program.t -> Outcome.sim_result
+(** One-job convenience wrapper over {!run_exn}. *)
+
+val workers : t -> int
+val cache : t -> Cache.t option
+val stats : t -> stats
+val utilization : t -> float
+(** [busy / (wall * workers)] over the engine's lifetime, in [0, 1]. *)

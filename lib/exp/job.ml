@@ -1,0 +1,47 @@
+open Riq_isa
+open Riq_asm
+open Riq_ooo
+
+type t = {
+  cfg : Config.t;
+  program : Program.t;
+  check : bool;
+  cycle_limit : int;
+}
+
+let default_cycle_limit = 100_000_000
+
+let make ?(check = false) ?(cycle_limit = default_cycle_limit) cfg program =
+  { cfg; program; check; cycle_limit }
+
+(* The fingerprint hashes exactly what determines the simulation's output:
+   the encoded program image (the same 32-bit words both simulators load),
+   the machine configuration, the check flag and the cycle limit, prefixed
+   by the simulator-revision stamp. The program is hashed through
+   [Encode.encode] rather than the AST so that any two programs that load
+   identically fingerprint identically; labels/symbols are deliberately
+   excluded. [Config.t] is a closed tree of scalars and immutable records,
+   so its marshalled bytes are a canonical encoding. *)
+let fingerprint t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b Revision.stamp;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Marshal.to_string t.cfg []);
+  Buffer.add_string b (Printf.sprintf "|%b|%d|" t.check t.cycle_limit);
+  Buffer.add_string b (Printf.sprintf "text@%x entry@%x|" t.program.Program.text_base t.program.Program.entry);
+  Array.iter
+    (fun insn -> Buffer.add_string b (Printf.sprintf "%08x" (Encode.encode insn)))
+    t.program.Program.code;
+  List.iter
+    (fun init ->
+      match init with
+      | Program.Words { base; values } ->
+          Buffer.add_string b (Printf.sprintf "|W%x:" base);
+          Array.iter (fun v -> Buffer.add_string b (Printf.sprintf "%x," v)) values
+      | Program.Floats { base; values } ->
+          Buffer.add_string b (Printf.sprintf "|F%x:" base);
+          Array.iter
+            (fun v -> Buffer.add_string b (Printf.sprintf "%Lx," (Int64.bits_of_float v)))
+            values)
+    t.program.Program.data;
+  Digest.to_hex (Digest.bytes (Buffer.to_bytes b))

@@ -1,0 +1,26 @@
+open Riq_asm
+open Riq_ooo
+
+(** A job is one simulation the engine may run, cache, or farm out: a
+    machine configuration, a program image, whether to differentially
+    validate, and the cycle budget. *)
+
+type t = {
+  cfg : Config.t;
+  program : Program.t;
+  check : bool;
+  cycle_limit : int;
+}
+
+val default_cycle_limit : int
+(** 100 million cycles, matching the harness's historical default. *)
+
+val make : ?check:bool -> ?cycle_limit:int -> Config.t -> Program.t -> t
+(** [check] defaults to false. *)
+
+val fingerprint : t -> string
+(** Deterministic content address (hex MD5) of the job: covers the
+    simulator-revision stamp, the configuration, the encoded program
+    words and data image, the check flag and the cycle limit. Stable
+    across processes and binaries; two jobs with equal fingerprints
+    produce bit-identical outcomes. *)

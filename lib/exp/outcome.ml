@@ -1,0 +1,35 @@
+open Riq_core
+
+type sim_result = {
+  stats : Processor.stats;
+  icache_power : float;
+  bpred_power : float;
+  iq_power : float;
+  overhead_power : float;
+  total_power : float;
+  arch_ok : bool option;
+}
+
+type error =
+  | Cycle_limit_exceeded of int
+  | Arch_state_mismatch
+  | Reference_did_not_halt
+  | Worker_crashed of string
+  | Job_timeout of float
+
+type t = (sim_result, error) result
+
+(* Deterministic errors are properties of the job itself and may be cached;
+   crashes and timeouts depend on the host and must be retried next run. *)
+let error_is_deterministic = function
+  | Cycle_limit_exceeded _ | Arch_state_mismatch | Reference_did_not_halt -> true
+  | Worker_crashed _ | Job_timeout _ -> false
+
+let error_to_string = function
+  | Cycle_limit_exceeded n -> Printf.sprintf "cycle limit exceeded (%d cycles)" n
+  | Arch_state_mismatch -> "architectural state mismatch vs reference simulator"
+  | Reference_did_not_halt -> "reference simulator did not halt"
+  | Worker_crashed msg -> "worker crashed: " ^ msg
+  | Job_timeout s -> Printf.sprintf "job timed out after %.1f s" s
+
+let cacheable = function Ok _ -> true | Error e -> error_is_deterministic e

@@ -1,0 +1,32 @@
+open Riq_core
+
+(** The result of one simulation job: either the full measurement record
+    every experiment consumes, or a structured per-job failure. Plain data
+    on both sides so outcomes marshal across worker pipes and onto disk. *)
+
+type sim_result = {
+  stats : Processor.stats;
+  icache_power : float; (** per-cycle, Figure 6 grouping *)
+  bpred_power : float;
+  iq_power : float;
+  overhead_power : float;
+  total_power : float;
+  arch_ok : bool option; (** differential check result when requested *)
+}
+
+type error =
+  | Cycle_limit_exceeded of int (** the simulated program did not halt *)
+  | Arch_state_mismatch (** differential validation failed *)
+  | Reference_did_not_halt
+  | Worker_crashed of string (** worker process died; host-dependent *)
+  | Job_timeout of float (** per-job wall-clock budget exhausted *)
+
+type t = (sim_result, error) result
+
+val error_is_deterministic : error -> bool
+(** Whether the error is a property of the job (cacheable) rather than of
+    the host it ran on (retry next time). *)
+
+val cacheable : t -> bool
+
+val error_to_string : error -> string

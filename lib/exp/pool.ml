@@ -1,0 +1,248 @@
+(* Unix-fork worker pool.
+
+   The parent builds the full job array first, then forks workers, so the
+   jobs travel to the children for free via copy-on-write memory: over the
+   pipes only a 4-byte job index flows parent->worker and a marshalled
+   (index, outcome) record flows back, length-prefixed.
+
+   The parent runs a select loop over the result pipes. Per-worker state is
+   the index it is running and when it started; a worker that exceeds the
+   per-job timeout is SIGKILLed and its job is recorded as [Job_timeout]; a
+   worker that dies (EOF on its pipe / failed dispatch write) gets its job
+   retried exactly once on a fresh worker before the job is recorded as
+   [Worker_crashed]. Replacement workers are forked on demand, so one bad
+   job cannot drain the pool. *)
+
+let available () = Sys.unix
+
+type worker = {
+  pid : int;
+  req_w : Unix.file_descr; (* parent writes the next job index here *)
+  res_r : Unix.file_descr; (* parent reads (index, outcome) records here *)
+  mutable busy : int option; (* job index currently running, if any *)
+  mutable started : float;
+}
+
+let rec restart_on_intr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_intr f
+
+(* [read_exact fd n] returns [None] on EOF before [n] bytes. *)
+let read_exact fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then Some b
+    else
+      let r = restart_on_intr (fun () -> Unix.read fd b off (n - off)) in
+      if r = 0 then None else go (off + r)
+  in
+  go 0
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let w = restart_on_intr (fun () -> Unix.write fd b off (n - off)) in
+      go (off + w)
+  in
+  go 0
+
+let encode_index idx =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int idx);
+  b
+
+(* ------------------------------------------------------------------ *)
+(* Worker side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let worker_main (jobs : Job.t array) req_r res_w =
+  let rec loop () =
+    match read_exact req_r 4 with
+    | None -> () (* parent closed the request pipe: shut down *)
+    | Some b ->
+        let idx = Int32.to_int (Bytes.get_int32_le b 0) in
+        if idx < 0 then ()
+        else begin
+          let outcome = Runner.execute_safe jobs.(idx) in
+          let payload = Marshal.to_bytes (idx, outcome) [] in
+          let hdr = Bytes.create 8 in
+          Bytes.set_int64_le hdr 0 (Int64.of_int (Bytes.length payload));
+          write_all res_w hdr;
+          write_all res_w payload;
+          loop ()
+        end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Parent side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let spawn jobs live =
+  let req_r, req_w = Unix.pipe () in
+  let res_r, res_w = Unix.pipe () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      Unix.close req_w;
+      Unix.close res_r;
+      (* Close the parent-side ends of every sibling's pipes, otherwise a
+         sibling's death would not read as EOF in the parent. *)
+      List.iter
+        (fun w ->
+          (try Unix.close w.req_w with _ -> ());
+          try Unix.close w.res_r with _ -> ())
+        !live;
+      (try worker_main jobs req_r res_w with _ -> ());
+      (* _exit: do not run the parent's at_exit handlers or flush its
+         channels a second time. *)
+      Unix._exit 0
+  | pid ->
+      Unix.close req_r;
+      Unix.close res_w;
+      let w = { pid; req_w; res_r; busy = None; started = 0. } in
+      live := w :: !live;
+      w
+
+let reap w =
+  (try Unix.close w.req_w with _ -> ());
+  (try Unix.close w.res_r with _ -> ());
+  try ignore (restart_on_intr (fun () -> Unix.waitpid [] w.pid)) with _ -> ()
+
+let kill_and_reap w =
+  (try Unix.kill w.pid Sys.sigkill with _ -> ());
+  reap w
+
+exception Worker_died of worker
+
+(* Read one (index, outcome) record off a worker's result pipe. The worker
+   writes records whole and each is far smaller than the pipe buffer, so
+   once the pipe selects readable the blocking reads below complete
+   immediately; EOF at any point means the worker died. *)
+let read_result w : int * Outcome.t =
+  match read_exact w.res_r 8 with
+  | None -> raise (Worker_died w)
+  | Some hdr -> (
+      let len = Int64.to_int (Bytes.get_int64_le hdr 0) in
+      if len <= 0 || len > 1 lsl 30 then raise (Worker_died w);
+      match read_exact w.res_r len with
+      | None -> raise (Worker_died w)
+      | Some payload -> (Marshal.from_bytes payload 0 : int * Outcome.t))
+
+let run ~workers ~timeout ~(jobs : Job.t array) ~indices ~on_result () =
+  if workers < 1 then invalid_arg "Pool.run: workers must be >= 1";
+  let pending = Queue.create () in
+  List.iter (fun i -> Queue.add i pending) indices;
+  let remaining = ref (Queue.length pending) in
+  if !remaining = 0 then 0.
+  else begin
+    let n_workers = min workers !remaining in
+    let live = ref [] in
+    let retried = Hashtbl.create 16 in
+    let busy_seconds = ref 0. in
+    let old_sigpipe =
+      (* A worker dying between select and dispatch must surface as EPIPE,
+         not kill the whole experiment. *)
+      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with _ -> None
+    in
+    let finish w idx outcome =
+      w.busy <- None;
+      busy_seconds := !busy_seconds +. (Unix.gettimeofday () -. w.started);
+      decr remaining;
+      on_result idx outcome
+    in
+    (* A worker died while [idx] was in flight: retry the job once on a
+       fresh worker, then give up on it. *)
+    let crashed w msg =
+      (match w.busy with
+      | None -> ()
+      | Some idx ->
+          if Hashtbl.mem retried idx then finish w idx (Error (Outcome.Worker_crashed msg))
+          else begin
+            Hashtbl.add retried idx ();
+            w.busy <- None;
+            busy_seconds := !busy_seconds +. (Unix.gettimeofday () -. w.started);
+            Queue.add idx pending
+          end);
+      live := List.filter (fun w' -> w'.pid <> w.pid) !live;
+      reap w
+    in
+    let dispatch w idx =
+      w.busy <- Some idx;
+      w.started <- Unix.gettimeofday ();
+      try write_all w.req_w (encode_index idx)
+      with Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
+        crashed w "worker process exited before accepting the job"
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun w ->
+            (try write_all w.req_w (encode_index (-1)) with _ -> ());
+            reap w)
+          !live;
+        match old_sigpipe with
+        | Some b -> ( try Sys.set_signal Sys.sigpipe b with _ -> ())
+        | None -> ())
+      (fun () ->
+        for _ = 1 to n_workers do
+          ignore (spawn jobs live)
+        done;
+        while !remaining > 0 do
+          (* Refork if crashes shrank the pool below the work left. *)
+          if List.length !live < min n_workers !remaining then ignore (spawn jobs live);
+          (* Feed every idle worker. *)
+          List.iter
+            (fun w ->
+              if w.busy = None && not (Queue.is_empty pending) then
+                dispatch w (Queue.pop pending))
+            !live;
+          let busy = List.filter (fun w -> w.busy <> None) !live in
+          if busy = [] then begin
+            (* Every job is pending, in flight, or finished; with nothing
+               in flight and nothing pending, remaining must be 0. Being
+               here means dispatch itself keeps failing. *)
+            if Queue.is_empty pending then
+              failwith "Pool.run: workers lost with no jobs in flight"
+          end
+          else begin
+            let now = Unix.gettimeofday () in
+            let select_timeout =
+              match timeout with
+              | None -> -1.0 (* block until a result or a worker EOF *)
+              | Some t ->
+                  List.fold_left
+                    (fun acc w -> min acc (max 0.05 (t -. (now -. w.started))))
+                    1.0 busy
+            in
+            let readable, _, _ =
+              restart_on_intr (fun () ->
+                  Unix.select (List.map (fun w -> w.res_r) busy) [] [] select_timeout)
+            in
+            List.iter
+              (fun w ->
+                if List.memq w.res_r readable then
+                  match read_result w with
+                  | idx, outcome -> finish w idx outcome
+                  | exception Worker_died w -> crashed w "worker process died mid-job"
+                  | exception _ -> crashed w "unreadable result from worker")
+              busy;
+            (* Enforce the per-job wall-clock budget. *)
+            match timeout with
+            | None -> ()
+            | Some t ->
+                let now = Unix.gettimeofday () in
+                List.iter
+                  (fun w ->
+                    match w.busy with
+                    | Some idx when now -. w.started > t ->
+                        finish w idx (Error (Outcome.Job_timeout t));
+                        live := List.filter (fun w' -> w'.pid <> w.pid) !live;
+                        kill_and_reap w
+                    | _ -> ())
+                  !live
+          end
+        done;
+        !busy_seconds)
+  end

@@ -1,0 +1,22 @@
+(** Unix-fork worker pool: jobs travel to workers as copy-on-write memory
+    (only a job {e index} crosses the pipe), results come back marshalled.
+    Handles per-job timeouts (SIGKILL + [Job_timeout]), crash detection
+    with one retry per job, and on-demand replacement workers. *)
+
+val available : unit -> bool
+(** Whether fork-based pools work on this platform. *)
+
+val run :
+  workers:int ->
+  timeout:float option ->
+  jobs:Job.t array ->
+  indices:int list ->
+  on_result:(int -> Outcome.t -> unit) ->
+  unit ->
+  float
+(** Execute [jobs.(i)] for every [i] in [indices] on [workers] forked
+    processes; [on_result] fires in completion order, exactly once per
+    index. [timeout] is the per-job wall-clock budget in seconds ([None]
+    disables it). Returns the summed worker busy seconds (for utilization
+    reporting). Raises if the pool cannot make progress (e.g. fork keeps
+    failing) — callers fall back to in-process execution. *)

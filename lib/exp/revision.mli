@@ -1,0 +1,9 @@
+(** Cache-invalidation stamps for the experiment engine. *)
+
+val stamp : string
+(** Simulator-revision stamp. Part of every job fingerprint and of the
+    cache path: bump it whenever a simulator change can alter any result,
+    and every previously cached entry becomes unreachable. *)
+
+val format_version : int
+(** Version of the marshalled on-disk cache entry format. *)

@@ -1,0 +1,40 @@
+open Riq_power
+open Riq_core
+open Riq_interp
+
+(* In-process execution of one job. This is the single place that turns a
+   (config, program) pair into measurements; the harness's [Run] module and
+   the worker pool both delegate here. *)
+let execute (job : Job.t) : Outcome.t =
+  let p = Processor.create job.Job.cfg job.Job.program in
+  match Processor.run ~cycle_limit:job.Job.cycle_limit p with
+  | Processor.Cycle_limit -> Error (Outcome.Cycle_limit_exceeded job.Job.cycle_limit)
+  | Processor.Halted -> (
+      let checked =
+        if not job.Job.check then Ok None
+        else
+          let m = Machine.create job.Job.program in
+          match Machine.run m with
+          | Machine.Halted ->
+              Ok (Some (Machine.equal_arch (Machine.arch_state m) (Processor.arch_state p)))
+          | Machine.Insn_limit | Machine.Bad_pc _ -> Error Outcome.Reference_did_not_halt
+      in
+      match checked with
+      | Error e -> Error e
+      | Ok (Some false) -> Error Outcome.Arch_state_mismatch
+      | Ok arch_ok ->
+          let acct = Processor.account p in
+          Ok
+            {
+              Outcome.stats = Processor.stats p;
+              icache_power = Account.group_power acct Component.G_icache;
+              bpred_power = Account.group_power acct Component.G_bpred;
+              iq_power = Account.group_power acct Component.G_iq;
+              overhead_power = Account.group_power acct Component.G_overhead;
+              total_power = Account.avg_power acct;
+              arch_ok;
+            })
+
+let execute_safe job =
+  try execute job
+  with exn -> Error (Outcome.Worker_crashed (Printexc.to_string exn))

@@ -1,0 +1,12 @@
+(** In-process job execution — the one code path from a {!Job.t} to its
+    measurements, used directly for sequential runs and inside every
+    pool worker. *)
+
+val execute : Job.t -> Outcome.t
+(** Run the job in this process. Never raises for the simulation-level
+    failure modes (cycle limit, differential mismatch, non-halting
+    reference); unexpected exceptions propagate. *)
+
+val execute_safe : Job.t -> Outcome.t
+(** Like {!execute} but converts unexpected exceptions into
+    [Error (Worker_crashed _)]. *)

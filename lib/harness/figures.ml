@@ -2,6 +2,7 @@ open Riq_util
 open Riq_ooo
 open Riq_core
 open Riq_workloads
+open Riq_exp
 
 let table1 () = Format.asprintf "%a" Config.pp Config.baseline
 
@@ -131,7 +132,27 @@ let fig6 sweep =
     (avg (fun c -> 100. *. c.Sweep.reuse.Run.overhead_power /. c.Sweep.reuse.Run.total_power));
   t
 
-let fig9 ?(check = true) () =
+(* ------------------------------------------------------------------ *)
+(* Ablations: each builds one job batch over all benchmarks and hands   *)
+(* it to the engine, so a parallel/cached engine accelerates them the   *)
+(* same way it accelerates the main sweep. [per_bench] runs [variants]  *)
+(* jobs per benchmark and gives the row printer that benchmark's slice. *)
+(* ------------------------------------------------------------------ *)
+
+let per_bench ?engine ~jobs_of row_of =
+  let engine = match engine with Some e -> e | None -> Engine.create () in
+  let specs = List.map (fun w -> (w, jobs_of w)) Workloads.all in
+  let batch = Array.of_list (List.concat_map snd specs) in
+  let results = Engine.run_exn engine batch in
+  let off = ref 0 in
+  List.iter
+    (fun (w, jobs) ->
+      let slice = Array.sub results !off (List.length jobs) in
+      off := !off + List.length jobs;
+      row_of w slice)
+    specs
+
+let fig9 ?engine ?(check = true) () =
   let t =
     Table.create
       ~title:
@@ -148,13 +169,17 @@ let fig9 ?(check = true) () =
       ]
   in
   let acc = Array.make 6 0. in
-  List.iter
-    (fun w ->
-      let orig = Workloads.program w in
-      let opt = Workloads.optimized w in
-      let run cfg prog = Run.simulate ~check cfg prog in
-      let bo = run Config.baseline orig and ro = run Config.reuse orig in
-      let bp = run Config.baseline opt and rp = run Config.reuse opt in
+  per_bench ?engine
+    ~jobs_of:(fun w ->
+      let orig = Workloads.program w and opt = Workloads.optimized w in
+      [
+        Job.make ~check Config.baseline orig;
+        Job.make ~check Config.reuse orig;
+        Job.make ~check Config.baseline opt;
+        Job.make ~check Config.reuse opt;
+      ])
+    (fun w r ->
+      let bo = r.(0) and ro = r.(1) and bp = r.(2) and rp = r.(3) in
       let vals =
         [|
           Run.reduction bo.Run.total_power ro.Run.total_power;
@@ -167,15 +192,14 @@ let fig9 ?(check = true) () =
       in
       Array.iteri (fun i v -> acc.(i) <- acc.(i) +. v) vals;
       Table.add_row t
-        (w.Workloads.name :: Array.to_list (Array.map (Table.cell_pct ~digits:1) vals)))
-    Workloads.all;
+        (w.Workloads.name :: Array.to_list (Array.map (Table.cell_pct ~digits:1) vals)));
   Table.add_sep t;
   let n = float_of_int (List.length Workloads.all) in
   Table.add_row t
     ("average" :: Array.to_list (Array.map (fun v -> Table.cell_pct ~digits:1 (v /. n)) acc));
   t
 
-let nblt_ablation ?(check = true) () =
+let nblt_ablation ?engine ?(check = true) () =
   let t =
     Table.create
       ~title:
@@ -189,15 +213,17 @@ let nblt_ablation ?(check = true) () =
         ("Gated (NBLT 8)", Table.Right);
       ]
   in
-  List.iter
-    (fun w ->
+  per_bench ?engine
+    ~jobs_of:(fun w ->
       let prog = Workloads.program w in
-      let run nblt =
-        Run.simulate ~check { Config.reuse with Config.nblt_entries = nblt } prog
-      in
-      let without = run 0 and with_ = run 8 in
-      let rate r =
-        let s = r.Run.stats in
+      [
+        Job.make ~check { Config.reuse with Config.nblt_entries = 0 } prog;
+        Job.make ~check { Config.reuse with Config.nblt_entries = 8 } prog;
+      ])
+    (fun w r ->
+      let without = r.(0) and with_ = r.(1) in
+      let rate (x : Run.result) =
+        let s = x.Run.stats in
         Stats.percent
           (float_of_int s.Processor.revokes)
           (float_of_int (max 1 s.Processor.buffer_attempts))
@@ -209,11 +235,10 @@ let nblt_ablation ?(check = true) () =
           Table.cell_pct ~digits:1 (rate with_);
           Table.cell_pct ~digits:1 (100. *. without.Run.stats.Processor.gated_fraction);
           Table.cell_pct ~digits:1 (100. *. with_.Run.stats.Processor.gated_fraction);
-        ])
-    Workloads.all;
+        ]);
   t
 
-let strategy_ablation ?(check = true) () =
+let strategy_ablation ?engine ?(check = true) () =
   let t =
     Table.create
       ~title:
@@ -227,15 +252,15 @@ let strategy_ablation ?(check = true) () =
         ("IPC (s2)", Table.Right);
       ]
   in
-  List.iter
-    (fun w ->
+  per_bench ?engine
+    ~jobs_of:(fun w ->
       let prog = Workloads.program w in
-      let run multi =
-        Run.simulate ~check
-          { Config.reuse with Config.buffer_multiple_iterations = multi }
-          prog
-      in
-      let s1 = run false and s2 = run true in
+      [
+        Job.make ~check { Config.reuse with Config.buffer_multiple_iterations = false } prog;
+        Job.make ~check { Config.reuse with Config.buffer_multiple_iterations = true } prog;
+      ])
+    (fun w r ->
+      let s1 = r.(0) and s2 = r.(1) in
       Table.add_row t
         [
           w.Workloads.name;
@@ -243,11 +268,10 @@ let strategy_ablation ?(check = true) () =
           Table.cell_pct ~digits:1 (100. *. s2.Run.stats.Processor.gated_fraction);
           Table.cell_f ~digits:2 s1.Run.stats.Processor.ipc;
           Table.cell_f ~digits:2 s2.Run.stats.Processor.ipc;
-        ])
-    Workloads.all;
+        ]);
   t
 
-let related_work ?(check = true) ?(iq_size = 64) () =
+let related_work ?engine ?(check = true) ?(iq_size = 64) () =
   let t =
     Table.create
       ~title:
@@ -268,14 +292,18 @@ let related_work ?(check = true) ?(iq_size = 64) () =
       ]
   in
   let acc = Array.make 8 0. in
-  List.iter
-    (fun w ->
+  per_bench ?engine
+    ~jobs_of:(fun w ->
       let prog = Workloads.program w in
       let size cfg = Config.with_iq_size cfg iq_size in
-      let base = Run.simulate ~check (size Config.baseline) prog in
-      let lc = Run.simulate ~check (size (Config.loop_cache 64)) prog in
-      let fc = Run.simulate ~check (size (Config.filter_cache ())) prog in
-      let ru = Run.simulate ~check (size Config.reuse) prog in
+      [
+        Job.make ~check (size Config.baseline) prog;
+        Job.make ~check (size (Config.loop_cache 64)) prog;
+        Job.make ~check (size (Config.filter_cache ())) prog;
+        Job.make ~check (size Config.reuse) prog;
+      ])
+    (fun w r ->
+      let base = r.(0) and lc = r.(1) and fc = r.(2) and ru = r.(3) in
       let vals =
         [|
           Run.reduction base.Run.icache_power lc.Run.icache_power;
@@ -290,15 +318,14 @@ let related_work ?(check = true) ?(iq_size = 64) () =
       in
       Array.iteri (fun i v -> acc.(i) <- acc.(i) +. v) vals;
       Table.add_row t
-        (w.Workloads.name :: Array.to_list (Array.map (Table.cell_pct ~digits:1) vals)))
-    Workloads.all;
+        (w.Workloads.name :: Array.to_list (Array.map (Table.cell_pct ~digits:1) vals)));
   Table.add_sep t;
   let n = float_of_int (List.length Workloads.all) in
   Table.add_row t
     ("average" :: Array.to_list (Array.map (fun v -> Table.cell_pct ~digits:1 (v /. n)) acc));
   t
 
-let predictor_ablation ?(check = true) () =
+let predictor_ablation ?engine ?(check = true) () =
   let t =
     Table.create
       ~title:
@@ -316,17 +343,21 @@ let predictor_ablation ?(check = true) () =
     { Riq_branch.Predictor.baseline with
       Riq_branch.Predictor.scheme = Riq_branch.Predictor.Gshare { history_bits = 8 } }
   in
-  List.iter
-    (fun w ->
+  per_bench ?engine
+    ~jobs_of:(fun w ->
       let prog = Workloads.program w in
-      let run bpred reuse_on =
+      let job bpred reuse_on =
         let cfg = if reuse_on then Config.reuse else Config.baseline in
-        Run.simulate ~check { cfg with Config.bpred } prog
+        Job.make ~check { cfg with Config.bpred } prog
       in
-      let bb = run Config.baseline.Config.bpred false in
-      let br = run Config.baseline.Config.bpred true in
-      let gb = run gshare_bpred false in
-      let gr = run gshare_bpred true in
+      [
+        job Config.baseline.Config.bpred false;
+        job Config.baseline.Config.bpred true;
+        job gshare_bpred false;
+        job gshare_bpred true;
+      ])
+    (fun w r ->
+      let bb = r.(0) and br = r.(1) and gb = r.(2) and gr = r.(3) in
       Table.add_row t
         [
           w.Workloads.name;
@@ -334,11 +365,10 @@ let predictor_ablation ?(check = true) () =
           Table.cell_pct ~digits:1 (100. *. gr.Run.stats.Processor.gated_fraction);
           Table.cell_pct ~digits:1 (Run.reduction bb.Run.total_power br.Run.total_power);
           Table.cell_pct ~digits:1 (Run.reduction gb.Run.total_power gr.Run.total_power);
-        ])
-    Workloads.all;
+        ]);
   t
 
-let unroll_ablation ?(check = true) ?(factor = 4) () =
+let unroll_ablation ?engine ?(check = true) ?(factor = 4) () =
   let t =
     Table.create
       ~title:
@@ -356,17 +386,22 @@ let unroll_ablation ?(check = true) ?(factor = 4) () =
         ("IPC (unrolled)", Table.Right);
       ]
   in
-  List.iter
-    (fun w ->
-      let base_cfg = Config.with_iq_size Config.baseline 32 in
-      let reuse_cfg = Config.with_iq_size Config.reuse 32 in
+  let base_cfg = Config.with_iq_size Config.baseline 32 in
+  let reuse_cfg = Config.with_iq_size Config.reuse 32 in
+  per_bench ?engine
+    ~jobs_of:(fun w ->
       let orig = Riq_loopir.Codegen.compile w.Workloads.ir in
       let unrolled =
         Riq_loopir.Codegen.compile (Riq_loopir.Unroll.unroll_program ~factor w.Workloads.ir)
       in
-      let run cfg prog = Run.simulate ~check cfg prog in
-      let bo = run base_cfg orig and ro = run reuse_cfg orig in
-      let bu = run base_cfg unrolled and ru = run reuse_cfg unrolled in
+      [
+        Job.make ~check base_cfg orig;
+        Job.make ~check reuse_cfg orig;
+        Job.make ~check base_cfg unrolled;
+        Job.make ~check reuse_cfg unrolled;
+      ])
+    (fun w r ->
+      let bo = r.(0) and ro = r.(1) and bu = r.(2) and ru = r.(3) in
       Table.add_row t
         [
           w.Workloads.name;
@@ -376,6 +411,5 @@ let unroll_ablation ?(check = true) ?(factor = 4) () =
           Table.cell_pct ~digits:1 (Run.reduction bu.Run.total_power ru.Run.total_power);
           Table.cell_f ~digits:2 ro.Run.stats.Processor.ipc;
           Table.cell_f ~digits:2 ru.Run.stats.Processor.ipc;
-        ])
-    Workloads.all;
+        ]);
   t

@@ -2,7 +2,13 @@ open Riq_util
 
 (** Regeneration of every table and figure of the paper as ASCII tables
     whose rows/series mirror the published plots. See EXPERIMENTS.md for
-    the paper-vs-measured record. *)
+    the paper-vs-measured record.
+
+    The ablation printers submit all their simulations as one batch to an
+    experiment engine: pass [engine] to run them on a worker pool and/or
+    serve repeats from the result cache (many ablation cells coincide with
+    sweep cells and dedupe for free). With no [engine] they run
+    sequentially in-process, as before. *)
 
 val table1 : unit -> string
 (** The baseline configuration, rendered like the paper's Table 1. *)
@@ -31,20 +37,21 @@ val coverage : Sweep.t -> Table.t
     the dynamic core: predicted vs. simulator-measured reuse coverage per
     benchmark per issue-queue size. *)
 
-val fig9 : ?check:bool -> unit -> Table.t
+val fig9 : ?engine:Riq_exp.Engine.t -> ?check:bool -> unit -> Table.t
 (** Section 4: overall power reduction with original vs. loop-distributed
     code at the 64-entry baseline configuration, plus the gated-cycle
     percentages quoted in the text. *)
 
-val nblt_ablation : ?check:bool -> unit -> Table.t
+val nblt_ablation : ?engine:Riq_exp.Engine.t -> ?check:bool -> unit -> Table.t
 (** Section 3 text: buffering-revoke rate with and without the 8-entry
     NBLT. *)
 
-val strategy_ablation : ?check:bool -> unit -> Table.t
+val strategy_ablation : ?engine:Riq_exp.Engine.t -> ?check:bool -> unit -> Table.t
 (** Section 2.2.1: single-iteration buffering (strategy 1) vs.
     multiple-iteration buffering (strategy 2): gated cycles and IPC. *)
 
-val related_work : ?check:bool -> ?iq_size:int -> unit -> Table.t
+val related_work :
+  ?engine:Riq_exp.Engine.t -> ?check:bool -> ?iq_size:int -> unit -> Table.t
 (** The paper's introduction contrasts the reusable issue queue with
     fetch-side loop caches and filter caches, which save instruction-cache
     energy but keep the branch predictor and decoder running. This
@@ -52,13 +59,14 @@ val related_work : ?check:bool -> ?iq_size:int -> unit -> Table.t
     group and total power reduction plus IPC impact for a 64-entry loop
     cache, a 512-byte filter cache, and the reuse issue queue. *)
 
-val predictor_ablation : ?check:bool -> unit -> Table.t
+val predictor_ablation : ?engine:Riq_exp.Engine.t -> ?check:bool -> unit -> Table.t
 (** Sensitivity of the mechanism to the direction predictor: bimodal
     (Table 1) vs. gshare. Detection arms on a predicted-taken backward
     branch, so a predictor that recognises loop branches sooner gates
     sooner. *)
 
-val unroll_ablation : ?check:bool -> ?factor:int -> unit -> Table.t
+val unroll_ablation :
+  ?engine:Riq_exp.Engine.t -> ?check:bool -> ?factor:int -> unit -> Table.t
 (** The compiler lever opposite to Section 4's loop distribution: unroll
     every loop by [factor] (default 4) and measure, at the 32-entry queue,
     how grown bodies lose capturability — and with it the gating and power

@@ -1,9 +1,7 @@
-open Riq_power
-open Riq_core
-open Riq_interp
+open Riq_exp
 
-type result = {
-  stats : Processor.stats;
+type result = Outcome.sim_result = {
+  stats : Riq_core.Processor.stats;
   icache_power : float;
   bpred_power : float;
   iq_power : float;
@@ -12,34 +10,21 @@ type result = {
   arch_ok : bool option;
 }
 
-let simulate ?(check = false) ?(cycle_limit = 100_000_000) cfg program =
-  let p = Processor.create cfg program in
-  (match Processor.run ~cycle_limit p with
-  | Processor.Halted -> ()
-  | Processor.Cycle_limit -> failwith "Run.simulate: cycle limit exceeded");
-  let arch_ok =
-    if not check then None
-    else begin
-      let m = Machine.create program in
-      match Machine.run m with
-      | Machine.Halted ->
-          Some (Machine.equal_arch (Machine.arch_state m) (Processor.arch_state p))
-      | Machine.Insn_limit | Machine.Bad_pc _ ->
-          failwith "Run.simulate: reference simulator did not halt"
-    end
-  in
-  (match arch_ok with
-  | Some false -> failwith "Run.simulate: architectural state mismatch"
-  | Some true | None -> ());
-  let acct = Processor.account p in
-  {
-    stats = Processor.stats p;
-    icache_power = Account.group_power acct Component.G_icache;
-    bpred_power = Account.group_power acct Component.G_bpred;
-    iq_power = Account.group_power acct Component.G_iq;
-    overhead_power = Account.group_power acct Component.G_overhead;
-    total_power = Account.avg_power acct;
-    arch_ok;
-  }
+type error = Outcome.error =
+  | Cycle_limit_exceeded of int
+  | Arch_state_mismatch
+  | Reference_did_not_halt
+  | Worker_crashed of string
+  | Job_timeout of float
+
+let error_to_string = Outcome.error_to_string
+
+let simulate_result ?check ?(cycle_limit = 100_000_000) cfg program =
+  Runner.execute (Job.make ?check ~cycle_limit cfg program)
+
+let simulate ?check ?cycle_limit cfg program =
+  match simulate_result ?check ?cycle_limit cfg program with
+  | Ok r -> r
+  | Error e -> failwith ("Run.simulate: " ^ Outcome.error_to_string e)
 
 let reduction base with_ = if base = 0. then 0. else 100. *. (1. -. (with_ /. base))

@@ -2,9 +2,12 @@ open Riq_asm
 open Riq_ooo
 open Riq_core
 
-(** Single-simulation driver used by every experiment. *)
+(** Single-simulation driver used by every experiment. Since the
+    experiment engine landed this is a thin veneer over
+    {!Riq_exp.Runner}: the result and error types are re-exports, so
+    harness results and engine outcomes interchange freely. *)
 
-type result = {
+type result = Riq_exp.Outcome.sim_result = {
   stats : Processor.stats;
   icache_power : float; (** per-cycle, Figure 6 grouping *)
   bpred_power : float;
@@ -14,10 +17,25 @@ type result = {
   arch_ok : bool option; (** differential check result when requested *)
 }
 
-val simulate : ?check:bool -> ?cycle_limit:int -> Config.t -> Program.t -> result
+type error = Riq_exp.Outcome.error =
+  | Cycle_limit_exceeded of int
+  | Arch_state_mismatch
+  | Reference_did_not_halt
+  | Worker_crashed of string
+  | Job_timeout of float
+
+val error_to_string : error -> string
+
+val simulate_result :
+  ?check:bool -> ?cycle_limit:int -> Config.t -> Program.t -> (result, error) Stdlib.result
 (** Run to completion. [check] (default false) also runs the functional
-    reference simulator and compares architectural states. Raises
-    [Failure] if the cycle limit is hit or the differential check fails. *)
+    reference simulator and compares architectural states. Never raises
+    for simulation-level failures — a parallel sweep records the error and
+    keeps going. *)
+
+val simulate : ?check:bool -> ?cycle_limit:int -> Config.t -> Program.t -> result
+(** Raising wrapper around {!simulate_result} for call sites that treat
+    failure as fatal: raises [Failure] with the rendered error. *)
 
 val reduction : float -> float -> float
 (** [reduction base with_] = percent reduction, [100*(1 - with_/base)]. *)

@@ -1,5 +1,8 @@
+open Riq_util
 open Riq_ooo
+open Riq_core
 open Riq_workloads
+open Riq_exp
 
 type cell = { baseline : Run.result; reuse : Run.result }
 
@@ -11,20 +14,49 @@ type t = {
 
 let default_sizes = [ 32; 64; 128; 256 ]
 
-let run ?(sizes = default_sizes) ?(benchmarks = Workloads.all) ?(check = true)
+(* The sweep is two jobs (baseline, reuse) per benchmark x size, submitted
+   as one batch so the engine can parallelize and cache across all of it.
+   Job order is fixed (benchmark-major, then size, then baseline before
+   reuse), which makes the result array trivially re-assemblable and the
+   output independent of completion order. *)
+let jobs ?(sizes = default_sizes) ?(benchmarks = Workloads.all) ?(check = true) () =
+  Array.of_list
+    (List.concat_map
+       (fun w ->
+         let program = Workloads.program w in
+         List.concat_map
+           (fun size ->
+             [
+               Job.make ~check (Config.with_iq_size Config.baseline size) program;
+               Job.make ~check (Config.with_iq_size Config.reuse size) program;
+             ])
+           sizes)
+       benchmarks)
+
+let run ?engine ?(sizes = default_sizes) ?(benchmarks = Workloads.all) ?(check = true)
     ?(progress = fun _ -> ()) () =
+  let engine = match engine with Some e -> e | None -> Engine.create () in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun size -> progress (Printf.sprintf "%s/IQ%d" w.Workloads.name size))
+        sizes)
+    benchmarks;
+  let results = Engine.run_exn engine (jobs ~sizes ~benchmarks ~check ()) in
+  let idx = ref 0 in
+  let next () =
+    let r = results.(!idx) in
+    incr idx;
+    r
+  in
   let cells =
     List.map
       (fun w ->
-        let program = Workloads.program w in
         let per_size =
           List.map
             (fun size ->
-              progress (Printf.sprintf "%s/IQ%d" w.Workloads.name size);
-              let baseline =
-                Run.simulate ~check (Config.with_iq_size Config.baseline size) program
-              in
-              let reuse = Run.simulate ~check (Config.with_iq_size Config.reuse size) program in
+              let baseline = next () in
+              let reuse = next () in
               (size, { baseline; reuse }))
             sizes
         in
@@ -40,3 +72,101 @@ let cell t ~bench ~size =
       match List.assoc_opt size per_size with
       | None -> invalid_arg (Printf.sprintf "Sweep.cell: size %d not swept" size)
       | Some c -> c)
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable export                                             *)
+(* ------------------------------------------------------------------ *)
+
+let stats_json (s : Processor.stats) =
+  Json.Obj
+    [
+      ("cycles", Json.Int s.Processor.cycles);
+      ("committed", Json.Int s.Processor.committed);
+      ("ipc", Json.Float s.Processor.ipc);
+      ("gated_cycles", Json.Int s.Processor.gated_cycles);
+      ("gated_fraction", Json.Float s.Processor.gated_fraction);
+      ("branches", Json.Int s.Processor.branches);
+      ("mispredicts", Json.Int s.Processor.mispredicts);
+      ("loads", Json.Int s.Processor.loads);
+      ("stores", Json.Int s.Processor.stores);
+      ("reuse_dispatches", Json.Int s.Processor.reuse_dispatches);
+      ("reuse_committed", Json.Int s.Processor.reuse_committed);
+      ("buffer_attempts", Json.Int s.Processor.buffer_attempts);
+      ("revokes", Json.Int s.Processor.revokes);
+      ("promotions", Json.Int s.Processor.promotions);
+      ("reuse_exits", Json.Int s.Processor.reuse_exits);
+      ("avg_power", Json.Float s.Processor.avg_power);
+      ("icache_accesses", Json.Int s.Processor.icache_accesses);
+      ("icache_misses", Json.Int s.Processor.icache_misses);
+      ("dcache_accesses", Json.Int s.Processor.dcache_accesses);
+      ("dcache_misses", Json.Int s.Processor.dcache_misses);
+    ]
+
+let result_json (r : Run.result) =
+  Json.Obj
+    [
+      ("stats", stats_json r.Run.stats);
+      ( "power",
+        Json.Obj
+          [
+            ("icache", Json.Float r.Run.icache_power);
+            ("bpred", Json.Float r.Run.bpred_power);
+            ("iq", Json.Float r.Run.iq_power);
+            ("overhead", Json.Float r.Run.overhead_power);
+            ("total", Json.Float r.Run.total_power);
+          ] );
+      ( "arch_ok",
+        match r.Run.arch_ok with None -> Json.Null | Some b -> Json.Bool b );
+    ]
+
+let engine_json engine =
+  let s = Engine.stats engine in
+  Json.Obj
+    [
+      ("workers", Json.Int (Engine.workers engine));
+      ("jobs", Json.Int s.Engine.jobs);
+      ("cache_hits", Json.Int s.Engine.cache_hits);
+      ("deduped", Json.Int s.Engine.deduped);
+      ("executed", Json.Int s.Engine.executed);
+      ("failures", Json.Int s.Engine.failures);
+      ("wall_seconds", Json.Float s.Engine.wall_seconds);
+      ("busy_seconds", Json.Float s.Engine.busy_seconds);
+      ("utilization", Json.Float (Engine.utilization engine));
+    ]
+
+let to_json ?engine t =
+  let cells =
+    List.concat_map
+      (fun (bench, per_size) ->
+        List.map
+          (fun (size, c) ->
+            Json.Obj
+              [
+                ("benchmark", Json.String bench);
+                ("iq_size", Json.Int size);
+                ("baseline", result_json c.baseline);
+                ("reuse", result_json c.reuse);
+                ( "power_reduction_pct",
+                  Json.Float
+                    (Run.reduction c.baseline.Run.total_power c.reuse.Run.total_power) );
+                ( "ipc_degradation_pct",
+                  Json.Float
+                    (Run.reduction c.baseline.Run.stats.Processor.ipc
+                       c.reuse.Run.stats.Processor.ipc) );
+                ( "gated_pct",
+                  Json.Float (100. *. c.reuse.Run.stats.Processor.gated_fraction) );
+              ])
+          per_size)
+      t.cells
+  in
+  Json.Obj
+    (("schema", Json.String "riq-sweep/1")
+    :: ("revision", Json.String Revision.stamp)
+    :: ("sizes", Json.List (List.map (fun s -> Json.Int s) t.sizes))
+    :: ( "benchmarks",
+         Json.List (List.map (fun w -> Json.String w.Workloads.name) t.benchmarks) )
+    :: ("cells", Json.List cells)
+    ::
+    (match engine with
+    | None -> []
+    | Some e -> [ ("engine", engine_json e) ]))

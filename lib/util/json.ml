@@ -1,0 +1,88 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_float b f =
+  match Float.classify_float f with
+  | Float.FP_nan | Float.FP_infinite -> Buffer.add_string b "null"
+  | _ ->
+      (* Shortest representation that round-trips a binary64. *)
+      let s = Printf.sprintf "%.17g" f in
+      let shorter = Printf.sprintf "%.12g" f in
+      Buffer.add_string b (if float_of_string shorter = f then shorter else s)
+
+let rec add ~indent ~level b t =
+  let pad n = if indent then Buffer.add_string b (String.make (2 * n) ' ') in
+  let nl () = if indent then Buffer.add_char b '\n' in
+  match t with
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int v -> Buffer.add_string b (string_of_int v)
+  | Float v -> add_float b v
+  | String v -> escape_string b v
+  | List [] -> Buffer.add_string b "[]"
+  | List xs ->
+      Buffer.add_char b '[';
+      nl ();
+      List.iteri
+        (fun i x ->
+          if i > 0 then begin
+            Buffer.add_char b ',';
+            nl ()
+          end;
+          pad (level + 1);
+          add ~indent ~level:(level + 1) b x)
+        xs;
+      nl ();
+      pad level;
+      Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      nl ();
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then begin
+            Buffer.add_char b ',';
+            nl ()
+          end;
+          pad (level + 1);
+          escape_string b k;
+          Buffer.add_string b (if indent then ": " else ":");
+          add ~indent ~level:(level + 1) b v)
+        kvs;
+      nl ();
+      pad level;
+      Buffer.add_char b '}'
+
+let to_string ?(indent = false) t =
+  let b = Buffer.create 1024 in
+  add ~indent ~level:0 b t;
+  if indent then Buffer.add_char b '\n';
+  Buffer.contents b
+
+let to_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ~indent:true t))

@@ -1,0 +1,19 @@
+(** Minimal JSON document tree and serializer (no external dependency) —
+    enough for the machine-readable experiment exports. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Serialize; [indent] (default false) pretty-prints with two-space
+    indentation and a trailing newline. NaN and infinities serialize as
+    [null]; finite floats use the shortest digit string that round-trips. *)
+
+val to_file : string -> t -> unit
+(** Pretty-printed [to_string] written to [path]. *)

@@ -1,0 +1,243 @@
+(* The experiment engine: fingerprint stability, the content-addressed
+   cache, and the guarantee the whole subsystem rests on — a parallel
+   sweep is bit-identical to a sequential one. *)
+
+open Riq_asm
+open Riq_ooo
+open Riq_harness
+open Riq_workloads
+open Riq_exp
+
+let tiny_program =
+  Parse.program_exn
+    {|
+    li r2, 0
+    li r3, 0
+loop:
+    add r2, r2, r3
+    addi r3, r3, 1
+    slti r4, r3, 50
+    bne r4, r0, loop
+    halt
+|}
+
+let tiny_job ?(check = false) ?(cycle_limit = Job.default_cycle_limit) () =
+  Job.make ~check ~cycle_limit Config.baseline tiny_program
+
+let with_temp_cache f =
+  let root = Filename.temp_dir "riq-cache-test" "" in
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote root))))
+    (fun () -> f (Cache.open_ ~root ()))
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprint_deterministic () =
+  let fp1 = Job.fingerprint (tiny_job ()) in
+  let fp2 = Job.fingerprint (tiny_job ()) in
+  Alcotest.(check string) "same job, same fingerprint" fp1 fp2;
+  Alcotest.(check int) "hex md5 length" 32 (String.length fp1)
+
+let test_fingerprint_sensitivity () =
+  let fp = Job.fingerprint (tiny_job ()) in
+  let with_check = Job.fingerprint (tiny_job ~check:true ()) in
+  let with_limit = Job.fingerprint (tiny_job ~cycle_limit:1234 ()) in
+  let bigger_iq =
+    Job.fingerprint (Job.make (Config.with_iq_size Config.baseline 128) tiny_program)
+  in
+  let reuse_cfg = Job.fingerprint (Job.make Config.reuse tiny_program) in
+  let fps = [ fp; with_check; with_limit; bigger_iq; reuse_cfg ] in
+  Alcotest.(check int) "all distinct" (List.length fps)
+    (List.length (List.sort_uniq compare fps))
+
+(* The property the on-disk cache depends on: the fingerprint of the same
+   job computed in a different process is byte-identical. *)
+let test_fingerprint_cross_process () =
+  if not (Pool.available ()) then ()
+  else begin
+    let job = Job.make ~check:true (Config.with_iq_size Config.reuse 128) tiny_program in
+    let parent_fp = Job.fingerprint job in
+    let r, w = Unix.pipe () in
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        Unix.close r;
+        let fp = Bytes.of_string (Job.fingerprint job) in
+        let rec write_all off =
+          if off < Bytes.length fp then
+            write_all (off + Unix.write w fp off (Bytes.length fp - off))
+        in
+        write_all 0;
+        Unix.close w;
+        Unix._exit 0
+    | pid ->
+        Unix.close w;
+        let buf = Buffer.create 32 in
+        let chunk = Bytes.create 64 in
+        let rec drain () =
+          let n = Unix.read r chunk 0 64 in
+          if n > 0 then begin
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+          end
+        in
+        drain ();
+        Unix.close r;
+        ignore (Unix.waitpid [] pid);
+        Alcotest.(check string) "child fingerprint matches parent" parent_fp
+          (Buffer.contents buf)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_round_trip () =
+  with_temp_cache (fun cache ->
+      let job = tiny_job () in
+      let key = Job.fingerprint job in
+      Alcotest.(check bool) "cold miss" true (Cache.find cache key = None);
+      let outcome = Runner.execute job in
+      Alcotest.(check bool) "tiny job succeeds" true (Result.is_ok outcome);
+      Cache.store cache key outcome;
+      (match Cache.find cache key with
+      | None -> Alcotest.fail "stored entry not found"
+      | Some cached -> Alcotest.(check bool) "bit-identical round trip" true (cached = outcome));
+      (* Deterministic errors cache too. *)
+      let err : Outcome.t = Error (Outcome.Cycle_limit_exceeded 42) in
+      let key2 = Job.fingerprint (tiny_job ~cycle_limit:42 ()) in
+      Cache.store cache key2 err;
+      Alcotest.(check bool) "error round trip" true (Cache.find cache key2 = Some err);
+      (* Host-dependent failures never do. *)
+      let key3 = Job.fingerprint (tiny_job ~cycle_limit:43 ()) in
+      Cache.store cache key3 (Error (Outcome.Worker_crashed "boom"));
+      Alcotest.(check bool) "crash not cached" true (Cache.find cache key3 = None))
+
+let test_cache_corruption_is_miss () =
+  with_temp_cache (fun cache ->
+      let job = tiny_job () in
+      let key = Job.fingerprint job in
+      Cache.store cache key (Runner.execute job);
+      let path = Cache.path cache key in
+      let oc = open_out path in
+      output_string oc "garbage";
+      close_out oc;
+      Alcotest.(check bool) "corrupt entry reads as miss" true (Cache.find cache key = None))
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let small_benchmarks () = [ Workloads.find "tsf"; Workloads.find "wss" ]
+
+(* The acceptance property: a 4-worker parallel sweep is bit-identical to
+   the sequential sweep. Structural equality covers every statistic and
+   every power number in every cell. *)
+let test_parallel_sweep_bit_identical () =
+  let sizes = [ 32; 64 ] in
+  let benchmarks = small_benchmarks () in
+  let sequential = Sweep.run ~sizes ~benchmarks ~check:false () in
+  let parallel =
+    Sweep.run ~engine:(Engine.create ~workers:4 ()) ~sizes ~benchmarks ~check:false ()
+  in
+  Alcotest.(check bool) "cells bit-identical" true
+    (sequential.Sweep.cells = parallel.Sweep.cells)
+
+let test_warm_cache_executes_nothing () =
+  with_temp_cache (fun cache ->
+      let jobs = [| tiny_job (); Job.make Config.reuse tiny_program |] in
+      let cold = Engine.create ~cache () in
+      let cold_out = Engine.run cold jobs in
+      Alcotest.(check int) "cold run simulates" 2 (Engine.stats cold).Engine.executed;
+      let warm = Engine.create ~cache ~workers:2 () in
+      let warm_out = Engine.run warm jobs in
+      let s = Engine.stats warm in
+      Alcotest.(check int) "warm run simulates nothing" 0 s.Engine.executed;
+      Alcotest.(check int) "every job a cache hit" 2 s.Engine.cache_hits;
+      Alcotest.(check bool) "warm results identical" true (cold_out = warm_out))
+
+let test_engine_dedup () =
+  let jobs = [| tiny_job (); tiny_job (); tiny_job () |] in
+  let engine = Engine.create () in
+  let out = Engine.run engine jobs in
+  let s = Engine.stats engine in
+  Alcotest.(check int) "one execution" 1 s.Engine.executed;
+  Alcotest.(check int) "two deduped" 2 s.Engine.deduped;
+  Alcotest.(check bool) "identical outcomes" true (out.(0) = out.(1) && out.(1) = out.(2))
+
+(* One diverging job must not take the batch down — and must keep its
+   structured error. Run through the pool to exercise the worker path. *)
+let test_per_job_failure_recorded () =
+  let jobs = [| tiny_job (); tiny_job ~cycle_limit:10 () |] in
+  let engine = Engine.create ~workers:2 () in
+  let out = Engine.run engine jobs in
+  Alcotest.(check bool) "good job ok" true (Result.is_ok out.(0));
+  Alcotest.(check bool) "starved job structured" true
+    (out.(1) = Error (Outcome.Cycle_limit_exceeded 10));
+  Alcotest.(check int) "failure counted" 1 (Engine.stats engine).Engine.failures
+
+let test_run_simulate_result () =
+  match Run.simulate_result ~cycle_limit:10 Config.baseline tiny_program with
+  | Ok _ -> Alcotest.fail "expected cycle-limit error"
+  | Error e ->
+      Alcotest.(check bool) "structured error" true (e = Run.Cycle_limit_exceeded 10);
+      (* The raising wrapper still raises for legacy call sites. *)
+      Alcotest.(check bool) "wrapper raises" true
+        (try
+           ignore (Run.simulate ~cycle_limit:10 Config.baseline tiny_program);
+           false
+         with Failure _ -> true)
+
+let test_json_export () =
+  let sizes = [ 32 ] in
+  let benchmarks = [ Workloads.find "tsf" ] in
+  let engine = Engine.create () in
+  let sweep = Sweep.run ~engine ~sizes ~benchmarks ~check:false () in
+  let s = Riq_util.Json.to_string (Sweep.to_json ~engine sweep) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("export contains " ^ needle) true
+        (let n = String.length needle and h = String.length s in
+         let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+         go 0))
+    [
+      "\"schema\":\"riq-sweep/1\"";
+      "\"benchmark\":\"tsf\"";
+      "\"iq_size\":32";
+      "\"gated_fraction\"";
+      "\"power\"";
+      "\"engine\"";
+      "\"executed\":2";
+    ]
+
+let test_json_printer () =
+  let open Riq_util.Json in
+  Alcotest.(check string) "compact"
+    {|{"a":1,"b":[true,null,"x\n"],"c":{"d":0.5}}|}
+    (to_string
+       (Obj [ ("a", Int 1); ("b", List [ Bool true; Null; String "x\n" ]); ("c", Obj [ ("d", Float 0.5) ]) ]));
+  Alcotest.(check string) "nan is null" {|[null]|} (to_string (List [ Float Float.nan ]))
+
+let suites =
+  [
+    ( "exp",
+      [
+        Alcotest.test_case "fingerprint deterministic" `Quick test_fingerprint_deterministic;
+        Alcotest.test_case "fingerprint sensitivity" `Quick test_fingerprint_sensitivity;
+        Alcotest.test_case "fingerprint cross-process" `Quick test_fingerprint_cross_process;
+        Alcotest.test_case "cache round trip" `Quick test_cache_round_trip;
+        Alcotest.test_case "cache corruption" `Quick test_cache_corruption_is_miss;
+        Alcotest.test_case "parallel sweep bit-identical" `Slow
+          test_parallel_sweep_bit_identical;
+        Alcotest.test_case "warm cache executes nothing" `Quick
+          test_warm_cache_executes_nothing;
+        Alcotest.test_case "engine dedup" `Quick test_engine_dedup;
+        Alcotest.test_case "per-job failure recorded" `Quick test_per_job_failure_recorded;
+        Alcotest.test_case "run simulate_result" `Quick test_run_simulate_result;
+        Alcotest.test_case "sweep json export" `Slow test_json_export;
+        Alcotest.test_case "json printer" `Quick test_json_printer;
+      ] );
+  ]
