@@ -18,10 +18,18 @@ open Riq_core
 open Riq_workloads
 open Riq_harness
 
+let find_workload name =
+  try Workloads.find name
+  with Not_found ->
+    failwith
+      (Printf.sprintf "unknown benchmark %S (valid: %s)" name
+         (String.concat ", "
+            (List.map (fun w -> w.Workloads.name) (Workloads.all @ Workloads.extras))))
+
 let load_program bench file optimized =
   match (bench, file) with
   | Some name, None ->
-      let w = Workloads.find name in
+      let w = find_workload name in
       if optimized then Workloads.optimized w else Workloads.program w
   | None, Some path ->
       let ic = open_in path in
@@ -92,10 +100,20 @@ let run_cmd =
     Arg.(value & flag & info [ "check" ]
            ~doc:"Validate the final architectural state against the reference simulator.")
   in
-  let action bench file iq reuse optimized breakdown check =
+  let report =
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE"
+           ~doc:"Write the unified run report (stats, power groups, loop decisions, \
+                 sampler summary) as schema-versioned JSON.")
+  in
+  let action bench file iq reuse optimized breakdown check report =
     let program = load_program bench file optimized in
     let cfg = Config.with_iq_size (if reuse then Config.reuse else Config.baseline) iq in
-    let p = Processor.create cfg program in
+    let sampler =
+      match report with
+      | None -> None
+      | Some _ -> Some (Riq_obs.Sampler.create ~channels:Processor.sample_channels ())
+    in
+    let p = Processor.create ?sampler cfg program in
     (match Processor.run p with
     | Processor.Halted -> ()
     | Processor.Cycle_limit -> failwith "cycle limit exceeded");
@@ -125,11 +143,16 @@ let run_cmd =
         arch_ok = None;
       }
     in
-    print_stats cfg result breakdown acct
+    print_stats cfg result breakdown acct;
+    match report with
+    | None -> ()
+    | Some path ->
+        Json.to_file path (Report.make ?benchmark:bench p);
+        Printf.printf "wrote %s\n" path
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a benchmark or an assembly file")
-    Term.(const action $ bench $ file $ iq $ reuse $ optimized $ breakdown $ check)
+    Term.(const action $ bench $ file $ iq $ reuse $ optimized $ breakdown $ check $ report)
 
 let bench_cmd =
   let action () =
@@ -215,7 +238,7 @@ let sweep_cmd =
   in
   let action jobs no_cache cache_dir timeout sizes benches no_check json_file csv =
     let benchmarks =
-      if benches = [] then Workloads.all else List.map Workloads.find benches
+      if benches = [] then Workloads.all else List.map find_workload benches
     in
     let engine = make_engine ~jobs ~no_cache ~cache_dir ~timeout ~progress:true in
     let sweep = Sweep.run ~engine ~sizes ~benchmarks ~check:(not no_check) () in
@@ -293,6 +316,10 @@ let fig_cmd =
           $ timeout_arg)
 
 let trace_cmd =
+  let bench_pos =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME"
+           ~doc:"Built-in benchmark to trace (same as $(b,--bench)).")
+  in
   let bench =
     Arg.(value & opt (some string) None & info [ "bench"; "b" ] ~docv:"NAME"
            ~doc:"Built-in benchmark to trace.")
@@ -303,9 +330,59 @@ let trace_cmd =
   in
   let limit =
     Arg.(value & opt int 200 & info [ "n" ] ~docv:"N"
-           ~doc:"Number of instructions to trace (from the start).")
+           ~doc:"Commit-log mode: number of instructions to trace (from the start).")
   in
-  let action bench file limit =
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Run the cycle-accurate simulator instead and stream a Chrome trace-event \
+                 JSON file (load it in ui.perfetto.dev or chrome://tracing).")
+  in
+  let reuse =
+    Arg.(value & flag & info [ "reuse"; "r" ]
+           ~doc:"Chrome-trace mode: enable the reusable-instruction issue queue.")
+  in
+  let iq =
+    Arg.(value & opt int 64 & info [ "iq" ] ~docv:"N"
+           ~doc:"Chrome-trace mode: issue queue size.")
+  in
+  let stride =
+    Arg.(value & opt int 64 & info [ "stride" ] ~docv:"CYCLES"
+           ~doc:"Chrome-trace mode: cycles between counter-track samples.")
+  in
+  let chrome_trace bench file path reuse iq stride =
+    let program = load_program bench file false in
+    let cfg = Config.with_iq_size (if reuse then Config.reuse else Config.baseline) iq in
+    let label = match bench with Some b -> "riq-sim " ^ b | None -> "riq-sim" in
+    let oc = open_out path in
+    let tracer = Riq_obs.Tracer.stream ~process_name:label oc in
+    let sampler = Riq_obs.Sampler.create ~stride ~channels:Processor.sample_channels () in
+    let p = Processor.create ~tracer ~sampler cfg program in
+    (match Processor.run p with
+    | Processor.Halted -> ()
+    | Processor.Cycle_limit -> failwith "cycle limit exceeded");
+    (* Close any gating span still open when the halt committed, so the
+       viewer never sees an unterminated slice. *)
+    (match (Processor.reuse_state p).Reuse_state.state with
+    | Reuse_state.Buffering ->
+        Riq_obs.Tracer.end_span tracer ~now:(Processor.cycles p) ~cat:"reuse" "loop-buffering"
+    | Reuse_state.Reusing ->
+        Riq_obs.Tracer.end_span tracer ~now:(Processor.cycles p) ~cat:"reuse" "code-reuse"
+    | Reuse_state.Normal -> ());
+    Riq_obs.Tracer.close tracer;
+    close_out oc;
+    Printf.printf "wrote %s: %d events over %d cycles (open in ui.perfetto.dev)\n" path
+      (Riq_obs.Tracer.recorded tracer) (Processor.cycles p)
+  in
+  let action bench_pos bench file limit out reuse iq stride =
+    let bench =
+      match (bench_pos, bench) with
+      | Some _, Some _ -> failwith "give the benchmark either positionally or with --bench"
+      | Some _, None -> bench_pos
+      | None, b -> b
+    in
+    match out with
+    | Some path -> chrome_trace bench file path reuse iq stride
+    | None ->
     let program = load_program bench file false in
     let m = Riq_interp.Machine.create program in
     let continue_ = ref true in
@@ -332,8 +409,12 @@ let trace_cmd =
     done
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Architectural commit log from the reference simulator")
-    Term.(const action $ bench $ file $ limit)
+    (Cmd.info "trace"
+       ~doc:
+         "Architectural commit log from the reference simulator, or — with $(b,--out) — a \
+          Chrome trace of the cycle-accurate pipeline (reuse-engine spans, pipeline \
+          events, IPC/occupancy/power counter tracks)")
+    Term.(const action $ bench_pos $ bench $ file $ limit $ out $ reuse $ iq $ stride)
 
 let pipeview_cmd =
   let bench =
@@ -388,7 +469,7 @@ let disasm_cmd =
     Arg.(value & flag & info [ "optimized"; "O" ] ~doc:"Disassemble the loop-distributed code.")
   in
   let action bench optimized =
-    let w = Workloads.find bench in
+    let w = find_workload bench in
     let program = if optimized then Workloads.optimized w else Workloads.program w in
     Format.printf "%a" Program.pp_listing program
   in
@@ -399,7 +480,16 @@ let disasm_cmd =
 let () =
   let doc = "Reusable-instruction issue queue simulator (Hu et al., DATE 2004)" in
   let info = Cmd.info "riq-sim" ~version:"1.0.0" ~doc in
+  let cmd =
+    Cmd.group info
+      [ run_cmd; bench_cmd; sweep_cmd; fig_cmd; disasm_cmd; trace_cmd; pipeview_cmd ]
+  in
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [ run_cmd; bench_cmd; sweep_cmd; fig_cmd; disasm_cmd; trace_cmd; pipeview_cmd ]))
+    (try Cmd.eval ~catch:false cmd with
+    | Failure msg ->
+        Printf.eprintf "riq-sim: %s\n" msg;
+        2
+    | e ->
+        Printf.eprintf "riq-sim: internal error, uncaught exception:\n  %s\n"
+          (Printexc.to_string e);
+        125)

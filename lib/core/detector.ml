@@ -1,19 +1,37 @@
 open Riq_isa
+open Riq_obs
 
 type verdict =
   | Not_a_loop
   | Too_large of int
   | Capturable of { head : int; tail : int; span : int }
 
-let examine ~iq_size ~pc insn =
+let examine ?tracer ?(now = 0) ~iq_size ~pc insn =
   let candidate =
     match Insn.kind insn with
     | Insn.K_branch | K_jump -> Insn.ctrl_target insn ~pc
     | K_call | K_return | K_ijump | K_int | K_fp | K_load | K_store | K_nop | K_halt -> None
   in
-  match candidate with
-  | Some target when target <= pc ->
-      let span = ((pc - target) / 4) + 1 in
-      if span <= iq_size then Capturable { head = target; tail = pc; span }
-      else Too_large span
-  | Some _ | None -> Not_a_loop
+  let verdict =
+    match candidate with
+    | Some target when target <= pc ->
+        let span = ((pc - target) / 4) + 1 in
+        if span <= iq_size then Capturable { head = target; tail = pc; span }
+        else Too_large span
+    | Some _ | None -> Not_a_loop
+  in
+  (match tracer with
+  | Some tr when Tracer.enabled tr -> (
+      match verdict with
+      | Capturable { head; tail; span } ->
+          Tracer.instant tr ~now
+            ~args:
+              [ ("head", Tracer.Int head); ("tail", Tracer.Int tail); ("span", Tracer.Int span) ]
+            ~cat:"detector" "loop-detected"
+      | Too_large span ->
+          Tracer.instant tr ~now
+            ~args:[ ("tail", Tracer.Int pc); ("span", Tracer.Int span) ]
+            ~cat:"detector" "loop-too-large"
+      | Not_a_loop -> ())
+  | Some _ | None -> ());
+  verdict

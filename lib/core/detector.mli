@@ -17,5 +17,8 @@ type verdict =
           instructions of an iteration; [span] the body size in
           instructions. *)
 
-val examine : iq_size:int -> pc:int -> Insn.t -> verdict
-(** Decode-stage check of the instruction at [pc]. *)
+val examine :
+  ?tracer:Riq_obs.Tracer.t -> ?now:int -> iq_size:int -> pc:int -> Insn.t -> verdict
+(** Decode-stage check of the instruction at [pc]. With a [tracer], a
+    non-[Not_a_loop] verdict emits a ["loop-detected"] /
+    ["loop-too-large"] instant event timestamped [now]. *)

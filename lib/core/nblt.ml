@@ -1,4 +1,7 @@
+open Riq_obs
+
 type t = {
+  tracer : Tracer.t;
   entries : int array;
   valid : bool array;
   size : int;
@@ -7,9 +10,10 @@ type t = {
   mutable n_insert : int;
 }
 
-let create size =
+let create ?tracer size =
   if size < 0 then invalid_arg "Nblt.create";
   {
+    tracer = (match tracer with Some tr -> tr | None -> Tracer.null ());
     entries = Array.make (max size 1) 0;
     valid = Array.make (max size 1) false;
     size;
@@ -35,12 +39,16 @@ let present t pc =
   done;
   !found
 
-let insert t pc =
+let insert ?(now = 0) t pc =
   if t.size > 0 && not (present t pc) then begin
     t.n_insert <- t.n_insert + 1;
     t.entries.(t.next) <- pc;
     t.valid.(t.next) <- true;
-    t.next <- (t.next + 1) mod t.size
+    t.next <- (t.next + 1) mod t.size;
+    if Tracer.enabled t.tracer then
+      Tracer.instant t.tracer ~now
+        ~args:[ ("tail", Tracer.Int pc) ]
+        ~cat:"nblt" "nblt-register"
   end
 
 let lookups t = t.n_lookup

@@ -11,13 +11,16 @@
 
 type t
 
-val create : int -> t
+val create : ?tracer:Riq_obs.Tracer.t -> int -> t
+(** With a [tracer], every new registration emits an ["nblt-register"]
+    instant event carrying the loop-tail address. *)
+
 val capacity : t -> int
 
 val mem : t -> int -> bool
 (** [mem t tail_pc] — CAM lookup by loop-ending instruction address. *)
 
-val insert : t -> int -> unit
+val insert : ?now:int -> t -> int -> unit
 (** Register a non-bufferable loop; on overflow the oldest entry is
     evicted (FIFO). Re-inserting a present address refreshes nothing (the
     paper's table has no use for recency updates). *)

@@ -6,6 +6,7 @@ open Riq_branch
 open Riq_power
 open Riq_ooo
 open Riq_interp
+open Riq_obs
 
 (* Instruction fetched but not yet dispatched. *)
 type fetched = {
@@ -83,12 +84,40 @@ type t = {
   mutable n_reuse_commit : int;
   loop_log : (int, loop_decision) Hashtbl.t; (* keyed by tail pc *)
   mutable cur_reuse_tail : int; (* tail of the last promoted loop, -1 = none *)
+  (* Observability. The tracer defaults to the null sink (one dead branch
+     per emission site); the sampler is absent unless attached. *)
+  tracer : Tracer.t;
+  sampler : Sampler.t option;
+  counter_stride : int; (* cadence of the tracer's counter tracks *)
+  mutable samp_last_cycle : int;
+  mutable samp_last_committed : int;
+  samp_last_energy : float array; (* per Component.group, at the last sample *)
 }
 
 type stop = Halted | Cycle_limit
 
-let create cfg program =
+(* Sample channels, in recording order; callers attaching a sampler must
+   create it with exactly these (see [sample_channels] in the interface). *)
+let sample_channels =
+  [
+    "ipc"; "iq"; "rob"; "lsq"; "power-icache"; "power-bpred"; "power-iq";
+    "power-overhead"; "power-other"; "power-total";
+  ]
+
+let sample_groups =
+  [| Component.G_icache; G_bpred; G_iq; G_overhead; G_other |]
+
+let create ?tracer ?sampler cfg program =
   Config.validate cfg;
+  let tracer = match tracer with Some tr -> tr | None -> Tracer.null () in
+  if Tracer.enabled tracer then begin
+    Tracer.set_thread_name tracer ~tid:0 "reuse-engine";
+    Tracer.set_thread_name tracer ~tid:1 "pipeline-events"
+  end;
+  (match sampler with
+  | Some s when Sampler.channels s <> sample_channels ->
+      invalid_arg "Processor.create: sampler channels must be Processor.sample_channels"
+  | Some _ | None -> ());
   let memory = Store.create () in
   Program.load program ~write_word:(Store.write_word memory);
   let arch_i = Array.make 32 0 in
@@ -107,8 +136,8 @@ let create cfg program =
         ~n_fpalu:cfg.Config.n_fpalu ~n_fpmult:cfg.Config.n_fpmult
         ~n_memport:cfg.Config.n_memport;
     acct = Account.create (Model.create (Config.power_geometry cfg));
-    reuse = Reuse_state.create ();
-    nblt = Nblt.create cfg.Config.nblt_entries;
+    reuse = Reuse_state.create ~tracer ();
+    nblt = Nblt.create ~tracer cfg.Config.nblt_entries;
     lc =
       (if cfg.Config.loop_cache_entries > 0 then
          Some (Loopcache.create cfg.Config.loop_cache_entries)
@@ -136,6 +165,13 @@ let create cfg program =
     n_reuse_commit = 0;
     loop_log = Hashtbl.create 16;
     cur_reuse_tail = -1;
+    tracer;
+    sampler;
+    counter_stride =
+      (match sampler with Some s -> Sampler.base_stride s | None -> 64);
+    samp_last_cycle = 0;
+    samp_last_committed = 0;
+    samp_last_energy = Array.make (Array.length sample_groups) 0.;
   }
 
 let loop_record t ~head ~tail =
@@ -301,23 +337,36 @@ let revoke_buffering t ~register_nblt =
     loop_record t ~head:t.reuse.Reuse_state.head ~tail:t.reuse.Reuse_state.tail
   in
   r.ld_revokes <- r.ld_revokes + 1;
+  if Tracer.enabled t.tracer then
+    Tracer.instant t.tracer ~now:t.now
+      ~args:
+        [
+          ("head", Tracer.Int t.reuse.Reuse_state.head);
+          ("tail", Tracer.Int t.reuse.Reuse_state.tail);
+          ("registered_nblt", Tracer.Int (if register_nblt then 1 else 0));
+        ]
+      ~cat:"reuse" "revoke";
   if register_nblt then begin
     r.ld_nblt_registered <- r.ld_nblt_registered + 1;
     charge1 t Component.Nblt;
-    Nblt.insert t.nblt t.reuse.Reuse_state.tail
+    Nblt.insert ~now:t.now t.nblt t.reuse.Reuse_state.tail
   end;
   Iq.clear_classification t.iq;
-  Reuse_state.revoke t.reuse
+  Reuse_state.revoke ~now:t.now t.reuse
 
 let exit_reuse t =
   Iq.clear_classification t.iq;
   Iq.set_reuse_ptr t.iq 0;
-  Reuse_state.exit_reuse t.reuse
+  Reuse_state.exit_reuse ~now:t.now t.reuse
 
 (* Conventional branch-misprediction recovery (Section 2.5), plus the
    revoke / reuse-exit that accompanies it in the buffering states. *)
 let recover t (e : Rob.entry) =
   let seq = e.Rob.seq in
+  if Tracer.enabled t.tracer then
+    Tracer.instant t.tracer ~now:t.now
+      ~args:[ ("pc", Tracer.Int e.Rob.pc); ("redirect", Tracer.Int e.Rob.actual_npc) ]
+      ~cat:"pipeline" "pipeline-flush";
   Rob.squash_after t.rob ~seq ~f:(fun _ _ -> ());
   Lsq.squash_after t.lsq ~seq;
   Iq.squash_after t.iq ~seq;
@@ -372,7 +421,22 @@ let commit_one t (e : Rob.entry) =
   (match e.Rob.insn with
   | Insn.Halt ->
       t.halted <- true;
-      t.halt_pc <- e.Rob.pc
+      t.halt_pc <- e.Rob.pc;
+      (* End-of-run drain: everything still in flight is younger than the
+         halt and will never execute, so empty the queues (no power
+         charges) — [occupancy] reads (0, 0, 0) once [run] returns
+         [Halted]. The halt itself is still at the ROB head; the normal
+         [pop_head] below removes it. *)
+      Rob.squash_after t.rob ~seq:e.Rob.seq ~f:(fun _ _ -> ());
+      Lsq.squash_after t.lsq ~seq:e.Rob.seq;
+      Iq.clear t.iq;
+      flush_front_end t;
+      Hashtbl.reset t.events;
+      t.replays <- [];
+      if Tracer.enabled t.tracer then
+        Tracer.instant t.tracer ~now:t.now
+          ~args:[ ("pc", Tracer.Int e.Rob.pc) ]
+          ~cat:"pipeline" "halted"
   | _ -> ());
   if e.Rob.from_reuse then begin
     t.n_reuse_commit <- t.n_reuse_commit + 1;
@@ -733,7 +797,7 @@ let dispatch_one t (f : fetched) =
           in
           r.ld_promotions <- r.ld_promotions + 1;
           t.cur_reuse_tail <- t.reuse.Reuse_state.tail;
-          Reuse_state.promote t.reuse;
+          Reuse_state.promote ~now:t.now t.reuse;
           Iq.set_reuse_ptr t.iq (Iq.first_reusable t.iq);
           flush_front_end t
         end
@@ -834,7 +898,10 @@ let decode_reuse_hooks t (f : fetched) =
     match r.Reuse_state.state with
     | Reuse_state.Normal -> (
         if Insn.is_ctrl f.f_insn then charge1 t Component.Reuse_logic;
-        match Detector.examine ~iq_size:t.cfg.Config.iq_entries ~pc:f.f_pc f.f_insn with
+        match
+          Detector.examine ~tracer:t.tracer ~now:t.now ~iq_size:t.cfg.Config.iq_entries
+            ~pc:f.f_pc f.f_insn
+        with
         | Detector.Capturable { head; tail; span = _ } ->
             r.Reuse_state.n_detections <- r.Reuse_state.n_detections + 1;
             let ld = loop_record t ~head ~tail in
@@ -842,14 +909,18 @@ let decode_reuse_hooks t (f : fetched) =
             charge1 t Component.Nblt;
             if Nblt.mem t.nblt tail then begin
               r.Reuse_state.n_nblt_filtered <- r.Reuse_state.n_nblt_filtered + 1;
-              ld.ld_nblt_filtered <- ld.ld_nblt_filtered + 1
+              ld.ld_nblt_filtered <- ld.ld_nblt_filtered + 1;
+              if Tracer.enabled t.tracer then
+                Tracer.instant t.tracer ~now:t.now
+                  ~args:[ ("head", Tracer.Int head); ("tail", Tracer.Int tail) ]
+                  ~cat:"nblt" "nblt-suppress"
             end
             else if f.f_pred_npc = head then begin
               ld.ld_attempts <- ld.ld_attempts + 1;
               (* Detection works on the predicted target (Section 2.1):
                  buffering begins with the second iteration, so it only
                  makes sense when the branch is predicted to loop back. *)
-              Reuse_state.start_buffering r ~head ~tail
+              Reuse_state.start_buffering ~now:t.now r ~head ~tail
             end
         | Detector.Too_large _ | Detector.Not_a_loop -> ())
     | Reuse_state.Buffering ->
@@ -991,6 +1062,51 @@ let fetch_stage t =
 (* Cycle loop.                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Windowed sample over (samp_last_cycle, now]: IPC, queue occupancies and
+   per-group power, in [sample_channels] order. *)
+let sample_values t =
+  let dc = float_of_int (max 1 (t.now - t.samp_last_cycle)) in
+  let v = Array.make (5 + Array.length sample_groups) 0. in
+  v.(0) <- float_of_int (t.committed - t.samp_last_committed) /. dc;
+  v.(1) <- float_of_int (Iq.count t.iq);
+  v.(2) <- float_of_int (Rob.count t.rob);
+  v.(3) <- float_of_int (Lsq.count t.lsq);
+  let total = ref 0. in
+  Array.iteri
+    (fun i g ->
+      let e = Account.group_energy t.acct g in
+      let p = (e -. t.samp_last_energy.(i)) /. dc in
+      t.samp_last_energy.(i) <- e;
+      total := !total +. p;
+      v.(4 + i) <- p)
+    sample_groups;
+  v.(4 + Array.length sample_groups) <- !total;
+  t.samp_last_cycle <- t.now;
+  t.samp_last_committed <- t.committed;
+  v
+
+let sample_tick t =
+  let sampler_due =
+    match t.sampler with Some s -> Sampler.due s ~cycle:t.now | None -> false
+  in
+  let tracer_due = Tracer.enabled t.tracer && t.now mod t.counter_stride = 0 in
+  if sampler_due || tracer_due then begin
+    let v = sample_values t in
+    (match t.sampler with
+    | Some s when sampler_due -> Sampler.record s ~cycle:t.now v
+    | Some _ | None -> ());
+    if tracer_due then begin
+      Tracer.counter t.tracer ~now:t.now ~name:"ipc" [ ("ipc", v.(0)) ];
+      Tracer.counter t.tracer ~now:t.now ~name:"occupancy"
+        [ ("iq", v.(1)); ("rob", v.(2)); ("lsq", v.(3)) ];
+      Tracer.counter t.tracer ~now:t.now ~name:"power"
+        (Array.to_list
+           (Array.mapi
+              (fun i g -> (Component.group_name g, v.(4 + i)))
+              sample_groups))
+    end
+  end
+
 let step_cycle t =
   commit_stage t;
   if not t.halted then begin
@@ -1010,7 +1126,8 @@ let step_cycle t =
     if removed > 0 then charge t Component.Iq_payload (float_of_int removed)
   end;
   Account.tick t.acct;
-  t.now <- t.now + 1
+  t.now <- t.now + 1;
+  sample_tick t
 
 let run ?(cycle_limit = 200_000_000) t =
   let rec go () =
@@ -1045,6 +1162,8 @@ let loop_decisions t =
   |> List.sort (fun a b -> compare a.ld_tail b.ld_tail)
 
 let account t = t.acct
+let tracer t = t.tracer
+let sampler t = t.sampler
 let hierarchy t = t.hier
 let reuse_state t = t.reuse
 let nblt t = t.nblt

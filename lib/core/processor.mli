@@ -16,11 +16,30 @@ open Riq_interp
       rename, and static in-loop branch prediction (Section 2.4),
     - revoke and misprediction recovery (Section 2.5).
 
-    Power is accounted cycle-by-cycle through {!Riq_power.Account}. *)
+    Power is accounted cycle-by-cycle through {!Riq_power.Account}.
+
+    {2 Observability}
+
+    [create ?tracer ?sampler] attaches the cycle-level tracing subsystem
+    ({!Riq_obs}): the tracer receives span/instant events from the reuse
+    state machine ("loop-buffering" and "code-reuse" gating-window spans),
+    the loop detector, the NBLT and the recovery path, plus periodic
+    [ipc] / [occupancy] / [power] counter tracks; the sampler records the
+    {!sample_channels} time series. Both default to off and the default
+    path costs one dead branch per emission site, so untraced simulations
+    are bit-identical to pre-observability builds. *)
 
 type t
 
-val create : Config.t -> Program.t -> t
+val sample_channels : string list
+(** Channel names (and order) a sampler attached to {!create} must use:
+    windowed IPC, IQ/ROB/LSQ occupancy, per-{!Riq_power.Component.group}
+    power and total power. *)
+
+val create :
+  ?tracer:Riq_obs.Tracer.t -> ?sampler:Riq_obs.Sampler.t -> Config.t -> Program.t -> t
+(** Raises [Invalid_argument] when [sampler]'s channels are not
+    {!sample_channels}. *)
 
 type stop = Halted | Cycle_limit
 
@@ -43,7 +62,13 @@ val gated_cycles : t -> int
 (** Cycles spent in Code Reuse state with the front-end gated. *)
 
 val occupancy : t -> int * int * int
-(** Current (issue queue, ROB, LSQ) occupancy — for pipeline viewers. *)
+(** Current (issue queue, ROB, LSQ) occupancy — for pipeline viewers and
+    the sampler. Once {!run} returns [Halted] the queues have been drained
+    (anything younger than the halt is wrong-path), so this reads
+    (0, 0, 0). *)
+
+val tracer : t -> Riq_obs.Tracer.t
+val sampler : t -> Riq_obs.Sampler.t option
 
 val arch_state : t -> Machine.arch_state
 (** Architectural snapshot in the reference simulator's format, for

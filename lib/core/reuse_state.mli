@@ -13,6 +13,8 @@ type state =
   | Reusing (** Code Reuse: the front-end is gated *)
 
 type t = {
+  tracer : Riq_obs.Tracer.t;
+      (** sink for the state-machine spans; the null tracer by default *)
   mutable state : state;
   mutable head : int; (** R_loophead: address of the first loop instruction *)
   mutable tail : int; (** R_looptail: address of the loop-ending instruction *)
@@ -28,18 +30,21 @@ type t = {
   mutable n_reuse_exits : int;
 }
 
-val create : unit -> t
+val create : ?tracer:Riq_obs.Tracer.t -> unit -> t
+(** With a [tracer], every transition emits span events: a
+    ["loop-buffering"] span covers Buffering, a ["code-reuse"] span covers
+    the gating window ([now] is the span timestamp). *)
 
-val start_buffering : t -> head:int -> tail:int -> unit
+val start_buffering : ?now:int -> t -> head:int -> tail:int -> unit
 (** Normal -> Buffering (capturable loop detected, NBLT miss). *)
 
-val revoke : t -> unit
+val revoke : ?now:int -> t -> unit
 (** Buffering -> Normal. *)
 
-val promote : t -> unit
+val promote : ?now:int -> t -> unit
 (** Buffering -> Reusing. *)
 
-val exit_reuse : t -> unit
+val exit_reuse : ?now:int -> t -> unit
 (** Reusing -> Normal. *)
 
 val in_loop : t -> pc:int -> bool

@@ -14,6 +14,7 @@ type stats = {
   deduped : int;
   executed : int;
   failures : int;
+  retries : int;
   wall_seconds : float;
   busy_seconds : float;
 }
@@ -28,8 +29,10 @@ type t = {
   mutable s_dedup : int;
   mutable s_exec : int;
   mutable s_fail : int;
+  mutable s_retries : int;
   mutable s_wall : float;
   mutable s_busy : float;
+  mutable s_job_secs : float list; (* per executed job, unordered *)
 }
 
 let create ?(workers = 1) ?cache ?(timeout = 600.) ?on_progress () =
@@ -45,8 +48,10 @@ let create ?(workers = 1) ?cache ?(timeout = 600.) ?on_progress () =
     s_dedup = 0;
     s_exec = 0;
     s_fail = 0;
+    s_retries = 0;
     s_wall = 0.;
     s_busy = 0.;
+    s_job_secs = [];
   }
 
 let workers t = t.workers
@@ -59,9 +64,12 @@ let stats t =
     deduped = t.s_dedup;
     executed = t.s_exec;
     failures = t.s_fail;
+    retries = t.s_retries;
     wall_seconds = t.s_wall;
     busy_seconds = t.s_busy;
   }
+
+let job_seconds t = Array.of_list t.s_job_secs
 
 let utilization t =
   if t.s_wall <= 0. then 0.
@@ -126,21 +134,28 @@ let run t (jobs : Job.t array) : Outcome.t array =
               | None -> true))
         uniques
     in
-    let complete i outcome =
+    let complete i ~seconds outcome =
       (match t.cache with Some c -> Cache.store c fps.(i) outcome | None -> ());
       incr executed;
+      t.s_job_secs <- seconds :: t.s_job_secs;
       record i outcome
     in
     let run_inprocess indices =
-      List.iter (fun i -> complete i (Runner.execute_safe jobs.(i))) indices
+      List.iter
+        (fun i ->
+          let t0 = Unix.gettimeofday () in
+          let outcome = Runner.execute_safe jobs.(i) in
+          complete i ~seconds:(Unix.gettimeofday () -. t0) outcome)
+        indices
     in
     (if t.workers > 1 && List.length misses > 1 && Pool.available () then begin
        try
-         let busy =
+         let s =
            Pool.run ~workers:t.workers ~timeout:t.timeout ~jobs ~indices:misses
              ~on_result:complete ()
          in
-         t.s_busy <- t.s_busy +. busy
+         t.s_busy <- t.s_busy +. s.Pool.busy_seconds;
+         t.s_retries <- t.s_retries + s.Pool.retries
        with _ ->
          (* Pool failure (fork exhaustion, platform quirk): gracefully fall
             back to in-process execution for whatever is still missing. *)

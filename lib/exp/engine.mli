@@ -24,6 +24,7 @@ type stats = {
   deduped : int;
   executed : int; (** actual simulations performed *)
   failures : int;
+  retries : int; (** jobs re-dispatched after a worker crash *)
   wall_seconds : float;
   busy_seconds : float; (** summed worker busy time *)
 }
@@ -58,5 +59,11 @@ val simulate_exn :
 val workers : t -> int
 val cache : t -> Cache.t option
 val stats : t -> stats
+
+val job_seconds : t -> float array
+(** Wall-clock seconds of every job actually executed (cache hits and
+    deduplicated jobs excluded), in no particular order — the raw series
+    behind the sweep export's job-time quantiles. *)
+
 val utilization : t -> float
 (** [busy / (wall * workers)] over the engine's lifetime, in [0, 1]. *)

@@ -130,12 +130,14 @@ let read_result w : int * Outcome.t =
       | None -> raise (Worker_died w)
       | Some payload -> (Marshal.from_bytes payload 0 : int * Outcome.t))
 
+type summary = { busy_seconds : float; retries : int }
+
 let run ~workers ~timeout ~(jobs : Job.t array) ~indices ~on_result () =
   if workers < 1 then invalid_arg "Pool.run: workers must be >= 1";
   let pending = Queue.create () in
   List.iter (fun i -> Queue.add i pending) indices;
   let remaining = ref (Queue.length pending) in
-  if !remaining = 0 then 0.
+  if !remaining = 0 then { busy_seconds = 0.; retries = 0 }
   else begin
     let n_workers = min workers !remaining in
     let live = ref [] in
@@ -148,9 +150,10 @@ let run ~workers ~timeout ~(jobs : Job.t array) ~indices ~on_result () =
     in
     let finish w idx outcome =
       w.busy <- None;
-      busy_seconds := !busy_seconds +. (Unix.gettimeofday () -. w.started);
+      let dt = Unix.gettimeofday () -. w.started in
+      busy_seconds := !busy_seconds +. dt;
       decr remaining;
-      on_result idx outcome
+      on_result idx ~seconds:dt outcome
     in
     (* A worker died while [idx] was in flight: retry the job once on a
        fresh worker, then give up on it. *)
@@ -244,5 +247,5 @@ let run ~workers ~timeout ~(jobs : Job.t array) ~indices ~on_result () =
                   !live
           end
         done;
-        !busy_seconds)
+        { busy_seconds = !busy_seconds; retries = Hashtbl.length retried })
   end

@@ -6,17 +6,22 @@
 val available : unit -> bool
 (** Whether fork-based pools work on this platform. *)
 
+type summary = {
+  busy_seconds : float; (** summed worker busy time, for utilization *)
+  retries : int; (** jobs re-dispatched after a worker crash *)
+}
+
 val run :
   workers:int ->
   timeout:float option ->
   jobs:Job.t array ->
   indices:int list ->
-  on_result:(int -> Outcome.t -> unit) ->
+  on_result:(int -> seconds:float -> Outcome.t -> unit) ->
   unit ->
-  float
+  summary
 (** Execute [jobs.(i)] for every [i] in [indices] on [workers] forked
     processes; [on_result] fires in completion order, exactly once per
-    index. [timeout] is the per-job wall-clock budget in seconds ([None]
-    disables it). Returns the summed worker busy seconds (for utilization
-    reporting). Raises if the pool cannot make progress (e.g. fork keeps
+    index, with the job's wall-clock [seconds] on its final worker.
+    [timeout] is the per-job wall-clock budget in seconds ([None] disables
+    it). Raises if the pool cannot make progress (e.g. fork keeps
     failing) — callers fall back to in-process execution. *)

@@ -77,30 +77,9 @@ let cell t ~bench ~size =
 (* Machine-readable export                                             *)
 (* ------------------------------------------------------------------ *)
 
-let stats_json (s : Processor.stats) =
-  Json.Obj
-    [
-      ("cycles", Json.Int s.Processor.cycles);
-      ("committed", Json.Int s.Processor.committed);
-      ("ipc", Json.Float s.Processor.ipc);
-      ("gated_cycles", Json.Int s.Processor.gated_cycles);
-      ("gated_fraction", Json.Float s.Processor.gated_fraction);
-      ("branches", Json.Int s.Processor.branches);
-      ("mispredicts", Json.Int s.Processor.mispredicts);
-      ("loads", Json.Int s.Processor.loads);
-      ("stores", Json.Int s.Processor.stores);
-      ("reuse_dispatches", Json.Int s.Processor.reuse_dispatches);
-      ("reuse_committed", Json.Int s.Processor.reuse_committed);
-      ("buffer_attempts", Json.Int s.Processor.buffer_attempts);
-      ("revokes", Json.Int s.Processor.revokes);
-      ("promotions", Json.Int s.Processor.promotions);
-      ("reuse_exits", Json.Int s.Processor.reuse_exits);
-      ("avg_power", Json.Float s.Processor.avg_power);
-      ("icache_accesses", Json.Int s.Processor.icache_accesses);
-      ("icache_misses", Json.Int s.Processor.icache_misses);
-      ("dcache_accesses", Json.Int s.Processor.dcache_accesses);
-      ("dcache_misses", Json.Int s.Processor.dcache_misses);
-    ]
+(* The per-cell stats rendering is shared with the run report so the two
+   exports stay field-compatible. *)
+let stats_json = Report.stats_json
 
 let result_json (r : Run.result) =
   Json.Obj
@@ -121,17 +100,34 @@ let result_json (r : Run.result) =
 
 let engine_json engine =
   let s = Engine.stats engine in
+  let js = Engine.job_seconds engine in
+  let mean =
+    if Array.length js = 0 then 0.
+    else Array.fold_left ( +. ) 0. js /. float_of_int (Array.length js)
+  in
+  let q p = Stats.quantile p js in
   Json.Obj
     [
       ("workers", Json.Int (Engine.workers engine));
       ("jobs", Json.Int s.Engine.jobs);
       ("cache_hits", Json.Int s.Engine.cache_hits);
+      ("cache_misses", Json.Int (s.Engine.jobs - s.Engine.cache_hits - s.Engine.deduped));
       ("deduped", Json.Int s.Engine.deduped);
       ("executed", Json.Int s.Engine.executed);
       ("failures", Json.Int s.Engine.failures);
+      ("retries", Json.Int s.Engine.retries);
       ("wall_seconds", Json.Float s.Engine.wall_seconds);
       ("busy_seconds", Json.Float s.Engine.busy_seconds);
       ("utilization", Json.Float (Engine.utilization engine));
+      ( "job_seconds",
+        Json.Obj
+          [
+            ("count", Json.Int (Array.length js));
+            ("mean", Json.Float mean);
+            ("p50", Json.Float (q 0.5));
+            ("p95", Json.Float (q 0.95));
+            ("max", Json.Float (q 1.0));
+          ] );
     ]
 
 let to_json ?engine t =

@@ -1,0 +1,46 @@
+(** Bounded per-cycle time-series recorder.
+
+    The pipeline records one multi-channel sample every [stride] cycles
+    (windowed IPC, queue occupancies, per-group power, ...). Memory stays
+    O([max_samples]) for arbitrarily long runs through automatic
+    decimation: when the buffer fills, every other sample is discarded and
+    the effective stride doubles, so the retained series always covers the
+    whole run at uniform (if coarsened) resolution. *)
+
+type t
+
+val create : ?stride:int -> ?max_samples:int -> channels:string list -> unit -> t
+(** [stride] (default 64) is the initial sampling period in cycles;
+    [max_samples] (default 4096, >= 2) bounds the retained series.
+    [channels] names the sample components, in recording order. *)
+
+val channels : t -> string list
+val base_stride : t -> int
+val stride : t -> int
+(** Current effective stride: [base_stride * 2^decimations]. *)
+
+val decimations : t -> int
+val length : t -> int
+(** Samples currently retained. *)
+
+val due : t -> cycle:int -> bool
+(** Whether [cycle] falls on the current stride — the pipeline's cheap
+    per-cycle check. *)
+
+val record : t -> cycle:int -> float array -> unit
+(** Append one sample ([Array.length] must equal the channel count);
+    decimates first when the buffer is full. *)
+
+val samples : t -> (int * float array) list
+(** Retained (cycle, values) pairs, oldest first. *)
+
+val to_csv : t -> string
+(** Header [cycle,ch1,ch2,...] then one row per retained sample. *)
+
+val to_json : t -> Riq_util.Json.t
+(** Full series, column-major: [{schema; stride; channels; cycles;
+    series}]. *)
+
+val summary : t -> Riq_util.Json.t
+(** Per-channel min / mean / p50 / p95 / max over the retained samples —
+    the block embedded in run reports. *)

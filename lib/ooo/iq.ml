@@ -117,6 +117,10 @@ let clear_classification t =
     end
   done
 
+let clear t =
+  t.count <- 0;
+  t.rptr <- 0
+
 let squash_after t ~seq =
   for i = 0 to t.count - 1 do
     let s = t.arr.(i) in

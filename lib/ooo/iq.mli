@@ -74,6 +74,10 @@ val clear_classification : t -> unit
     slots whose instance has already issued are marked dead (they exist
     only for future reuse, which is being cancelled). *)
 
+val clear : t -> unit
+(** Empty the queue outright (no per-slot power charges) — the end-of-run
+    drain once the halt instruction commits. *)
+
 val squash_after : t -> seq:int -> unit
 (** Conventional misprediction recovery: conventional slots younger than
     [seq] are marked dead. Reusable slots younger than [seq] are {e reset

@@ -9,6 +9,13 @@ val geomean : float array -> float
 val stddev : float array -> float
 (** Population standard deviation; 0. for arrays of length < 2. *)
 
+val quantile : float -> float array -> float
+(** [quantile q a] is the [q]-th quantile of [a] (linear interpolation
+    between closest ranks, the default of R/numpy): [quantile 0.] is the
+    minimum, [quantile 1.] the maximum, [quantile 0.5] the median. Returns
+    0. for the empty array and the element itself for singletons. Raises
+    [Invalid_argument] when [q] is outside [0, 1]. *)
+
 val min_max : float array -> float * float
 (** Smallest and largest element. Raises [Invalid_argument] on empty input. *)
 

@@ -27,8 +27,13 @@ type t = {
 val all : t list
 (** In Table 2 order: adi, aps, btrix, eflux, tomcat, tsf, vpenta, wss. *)
 
+val extras : t list
+(** Kernels outside Table 2 — currently [mxm], a dense matrix multiply
+    used by the tracing walkthrough. Deliberately not in {!all} so the
+    paper's sweep (and any cached sweep results) is unaffected. *)
+
 val find : string -> t
-(** Raises [Not_found]. *)
+(** Searches {!all} then {!extras}. Raises [Not_found]. *)
 
 val program : t -> Program.t
 (** Compiled original code. *)

@@ -80,6 +80,42 @@ let test_counter () =
   Stats.reset c;
   check "reset" 0 (Stats.value c)
 
+let test_quantile () =
+  checkf "empty" 0. (Stats.quantile 0.5 [||]);
+  checkf "singleton p0" 7. (Stats.quantile 0. [| 7. |]);
+  checkf "singleton p100" 7. (Stats.quantile 1. [| 7. |]);
+  (* Linear interpolation between order statistics, input order irrelevant. *)
+  checkf "median even" 2.5 (Stats.quantile 0.5 [| 4.; 1.; 3.; 2. |]);
+  checkf "median odd" 3. (Stats.quantile 0.5 [| 5.; 1.; 3. |]);
+  checkf "p25 interpolated" 1.75 (Stats.quantile 0.25 [| 4.; 1.; 3.; 2. |]);
+  checkf "p95" 9.55 (Stats.quantile 0.95 (Array.init 10 (fun i -> float_of_int (i + 1))));
+  checkf "min" 1. (Stats.quantile 0. [| 4.; 1.; 3. |]);
+  checkf "max" 4. (Stats.quantile 1. [| 4.; 1.; 3. |]);
+  Alcotest.check_raises "q out of range" (Invalid_argument "Stats.quantile: q outside [0, 1]")
+    (fun () -> ignore (Stats.quantile 1.5 [| 1. |]))
+
+(* ---- Json ---- *)
+
+let test_json_escaping () =
+  let s v = Json.to_string (Json.String v) in
+  Alcotest.(check string) "plain" "\"abc\"" (s "abc");
+  Alcotest.(check string) "quote" "\"a\\\"b\"" (s "a\"b");
+  Alcotest.(check string) "backslash" "\"a\\\\b\"" (s "a\\b");
+  Alcotest.(check string) "newline" "\"a\\nb\"" (s "a\nb");
+  Alcotest.(check string) "tab and cr" "\"a\\tb\\rc\"" (s "a\tb\rc");
+  Alcotest.(check string) "control char" "\"a\\u0001b\"" (s "a\x01b");
+  Alcotest.(check string) "nul" "\"\\u0000\"" (s "\x00");
+  Alcotest.(check string) "escaped key" "{\"a\\nb\":1}"
+    (Json.to_string (Json.Obj [ ("a\nb", Json.Int 1) ]))
+
+let test_json_null () =
+  Alcotest.(check string) "null" "null" (Json.to_string Json.Null);
+  Alcotest.(check string) "null in list" "[null,1]"
+    (Json.to_string (Json.List [ Json.Null; Json.Int 1 ]));
+  Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null"
+    (Json.to_string (Json.Float Float.infinity))
+
 (* ---- Bits ---- *)
 
 let test_bits_mask () =
@@ -167,6 +203,9 @@ let suites =
         Alcotest.test_case "stats min/max" `Quick test_minmax;
         Alcotest.test_case "stats percent/ratio" `Quick test_percent_ratio;
         Alcotest.test_case "stats counter" `Quick test_counter;
+        Alcotest.test_case "stats quantile" `Quick test_quantile;
+        Alcotest.test_case "json string escaping" `Quick test_json_escaping;
+        Alcotest.test_case "json null" `Quick test_json_null;
         Alcotest.test_case "bits mask" `Quick test_bits_mask;
         Alcotest.test_case "bits fields" `Quick test_bits_fields;
         Alcotest.test_case "bits sign extend" `Quick test_sign_extend;
