@@ -603,3 +603,47 @@ let coverage_of report ~tail =
   | Some total, Some r when total > 0. ->
       Option.map (fun reused -> 100. *. reused /. total) r.reused_insns
   | _ -> None
+
+(* A hard rejection is one whose offending condition the dynamic core is
+   guaranteed to trip over on every path from head to tail: a too-large
+   span is measured identically by the detector, and an inner back edge or
+   a looping callee is decoded (and revokes buffering) even when the
+   branch itself falls through. Call overflow, indirect transfers, side
+   entries and irreducibility depend on the path actually executed, so a
+   structured program can legitimately promote despite them. The fuzzer's
+   generator never hides a hard-reject condition behind a guard, which is
+   what makes this classification exact for generated programs. *)
+let hard_reject = function
+  | Too_large _ | Inner_transfer _ | Callee_loops _ -> true
+  | Call_overflow _ | Indirect _ | Contains_halt _ | Side_entry | Irreducible -> false
+
+let consistency report ~promotions =
+  let promos_at tail =
+    match List.find_opt (fun (t, _) -> t = tail) promotions with
+    | Some (_, n) -> n
+    | None -> 0
+  in
+  let bad =
+    List.filter_map
+      (fun l ->
+        match l.verdict with
+        | Error r when hard_reject r && promos_at l.tail > 0 ->
+            Some
+              (Printf.sprintf "loop %08x..%08x promoted %d times despite static %s"
+                 l.head l.tail (promos_at l.tail) (reason_to_string r))
+        | _ -> None)
+      report.loops
+  in
+  (* Promotions at a tail the analysis never saw would mean the CFG pass
+     missed an executable backward transfer. *)
+  let unknown =
+    List.filter_map
+      (fun (tail, n) ->
+        if n > 0 && not (List.exists (fun l -> l.tail = tail) report.loops) then
+          Some (Printf.sprintf "loop tail %08x promoted %d times but is unknown to the analysis" tail n)
+        else None)
+      promotions
+  in
+  match bad @ unknown with
+  | [] -> Ok ()
+  | msgs -> Error (String.concat "; " msgs)

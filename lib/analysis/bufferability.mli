@@ -78,6 +78,26 @@ val analyze_config : Riq_ooo.Config.t -> Program.t -> report
 
 val reason_to_string : reason -> string
 
+val hard_reject : reason -> bool
+(** Rejection reasons whose dynamic counterpart can never promote, because
+    the offending condition sits on every head-to-tail path and is decoded
+    even when not taken: {!constructor-Too_large} (the detector measures
+    the same span), {!constructor-Inner_transfer} and
+    {!constructor-Callee_loops} (the inner back edge revokes buffering at
+    decode). The remaining reasons are advisory for arbitrary control
+    flow — e.g. a guarded call can make a statically overflowing loop fit
+    dynamically. The differential fuzzer ({!Riq_fuzz}) generates programs
+    that never hide a hard condition behind a guard, so for those programs
+    a promotion of a hard-rejected loop is a simulator bug. *)
+
+val consistency :
+  report -> promotions:(int * int) list -> (unit, string) result
+(** [consistency report ~promotions] checks the dynamic per-loop promotion
+    counts (pairs of loop-tail pc and promotion count, from
+    {!Riq_core.Processor.loop_decisions}) against the static verdicts:
+    a promotion of a {!hard_reject}-ed loop, or of a tail the analysis
+    never saw, is an inconsistency. *)
+
 val coverage_of : report -> tail:int -> float option
 (** Predicted coverage contribution (percent of all committed
     instructions) of the loop ending at [tail]. *)

@@ -25,6 +25,23 @@ let falls_through insn =
   | Insn.K_jump | K_ijump | K_return | K_halt -> false
   | K_branch | K_call | K_int | K_fp | K_load | K_store | K_nop -> true
 
+(* [la rX, L; jr rX] — the assembler's expansion of a jump to a constant
+   label. When the lui/ori pair sits in the same block as the [jr] (no
+   leader between them), the register can only hold that label's address
+   at the jump, so the transfer is as static as a direct jump. [first]
+   bounds the backward look; returns the byte target. *)
+let resolved_ijump_target program ~first ~pc insn =
+  match insn with
+  | Insn.Jr r when r <> Reg.ra && pc - 8 >= first -> (
+      let base = program.Program.text_base in
+      let at a = program.Program.code.((a - base) / 4) in
+      match (at (pc - 8), at (pc - 4)) with
+      | Insn.Lui (r1, hi), Insn.Alui (Insn.Or, r2, r3, lo)
+        when r1 = r && r2 = r && r3 = r ->
+          Some ((hi lsl 16) lor lo)
+      | _ -> None)
+  | _ -> None
+
 (* Statically-known successor addresses of the instruction at [pc], within
    the text segment. *)
 let succ_addrs program ~pc insn =
@@ -63,7 +80,11 @@ let build program =
       match Insn.kind insn with
       | Insn.K_branch | K_jump -> Option.iter mark (Insn.ctrl_target insn ~pc)
       | K_call -> ( match insn with Insn.Jal t -> mark (4 * t) | _ -> ())
-      | K_ijump | K_return | K_int | K_fp | K_load | K_store | K_nop | K_halt -> ()
+      | K_ijump ->
+          (* Over-approximation is harmless here: the same-block condition
+             is re-checked against the final leaders in passes 2 and 3. *)
+          Option.iter mark (resolved_ijump_target program ~first:base ~pc insn)
+      | K_return | K_int | K_fp | K_load | K_store | K_nop | K_halt -> ()
     end
   done;
   (* Pass 2: blocks. *)
@@ -77,6 +98,10 @@ let build program =
       let first = base + (4 * !start) and last = base + (4 * i) in
       let insn = insn_at last in
       let kind = Insn.kind insn in
+      let resolved =
+        kind = Insn.K_ijump
+        && resolved_ijump_target program ~first ~pc:last insn <> None
+      in
       blocks :=
         {
           b_id = !nb;
@@ -84,7 +109,11 @@ let build program =
           b_last = last;
           b_succs = [];
           b_preds = [];
-          b_indirect = (match kind with Insn.K_ijump | K_return -> true | _ -> false);
+          b_indirect =
+            (match kind with
+            | Insn.K_ijump -> not resolved
+            | K_return -> true
+            | _ -> false);
           b_call = (match kind with Insn.K_call -> true | _ -> false);
         }
         :: !blocks;
@@ -100,9 +129,12 @@ let build program =
   Array.iter
     (fun b ->
       let insn = insn_at b.b_last in
-      let succs =
-        List.map (fun a -> id_of_word.((a - base) / 4)) (succ_addrs program ~pc:b.b_last insn)
+      let addrs =
+        match resolved_ijump_target program ~first:b.b_first ~pc:b.b_last insn with
+        | Some t when t >= base && t < limit -> [ t ]
+        | Some _ | None -> succ_addrs program ~pc:b.b_last insn
       in
+      let succs = List.map (fun a -> id_of_word.((a - base) / 4)) addrs in
       b.b_succs <- succs;
       List.iter (fun s -> blocks.(s).b_preds <- b.b_id :: blocks.(s).b_preds) succs)
     blocks;

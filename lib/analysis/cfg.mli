@@ -13,7 +13,10 @@ open Riq_asm
       fallthrough (the return point), so reachability and liveness flow
       through call sites without an interprocedural summary;
     - indirect jumps ([jr]/[jalr]) have no statically-known successors —
-      the block is marked {!field-b_indirect} instead;
+      the block is marked {!field-b_indirect} instead — except for the
+      assembler's constant-address idiom [la rX, L; jr rX] with the
+      [lui]/[ori] pair in the same block, which resolves to a direct edge
+      to [L];
     - [halt] ends the program (no successors).
 
     The graph deliberately mirrors what the decode stage of the simulated
@@ -26,7 +29,9 @@ type block = {
   b_last : int; (** byte address of the last instruction *)
   mutable b_succs : int list; (** successor block ids, deterministic order *)
   mutable b_preds : int list;
-  b_indirect : bool; (** ends in [jr]/[jalr] (unknown successors) *)
+  b_indirect : bool;
+      (** ends in a [jr]/[jalr] whose target is unknown (a resolved
+          [la; jr] pair clears this) *)
   b_call : bool; (** ends in [jal]/[jalr] (procedure call) *)
 }
 

@@ -18,6 +18,8 @@ type t = {
   pool : (float, string) Hashtbl.t; (* float constant pool *)
 }
 
+exception Resolve_error of { label : string; reason : string }
+
 let data_base_default = 0x0010_0000
 
 let create ?(text_base = 0x1000) () =
@@ -108,7 +110,7 @@ let finish ?entry_label t =
     match Hashtbl.find_opt t.labels name with
     | Some (`Text idx) -> t.text_base + (4 * idx)
     | Some (`Data addr) -> addr
-    | None -> failwith (Printf.sprintf "Builder.finish: undefined label %S" name)
+    | None -> raise (Resolve_error { label = name; reason = "undefined label" })
   in
   let items = Array.of_list (List.rev t.items) in
   let code =
@@ -121,8 +123,12 @@ let finish ?entry_label t =
             let target = resolve name in
             let off = (target - (pc + 4)) / 4 in
             if not (Encode.imm_fits ~signed:true off) then
-              failwith
-                (Printf.sprintf "Builder.finish: branch to %S out of range (%d words)" name off);
+              raise
+                (Resolve_error
+                   {
+                     label = name;
+                     reason = Printf.sprintf "branch out of range (%d words)" off;
+                   });
             Insn.Br (cond, rs, rt, off)
         | Jump (link, name) ->
             let target = resolve name / 4 in

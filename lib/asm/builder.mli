@@ -10,6 +10,12 @@ open Riq_isa
 
 type t
 
+exception Resolve_error of { label : string; reason : string }
+(** Raised by {!finish} for errors only detectable once every label is
+    placed: an undefined label, or a branch whose offset does not fit 16
+    bits. Carries the label so callers that track source positions (the
+    assembly parser) can map the error back to the referencing line. *)
+
 val create : ?text_base:int -> unit -> t
 
 val here : t -> int
@@ -54,5 +60,5 @@ val data_space : t -> string -> int -> unit
 (** Reserve [n] words of zero-initialised data under a label. *)
 
 val finish : ?entry_label:string -> t -> Program.t
-(** Resolve labels and produce the image. Raises [Failure] on undefined
-    labels or on branch offsets that do not fit 16 bits. *)
+(** Resolve labels and produce the image. Raises {!Resolve_error} on
+    undefined labels or on branch offsets that do not fit 16 bits. *)

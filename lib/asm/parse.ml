@@ -112,7 +112,10 @@ let is_label_tok s =
   | '0' .. '9' | '-' | '+' -> false
   | _ -> false
 
-let parse_line b line_no raw =
+(* [note] records a label reference on the current line, so errors the
+   builder can only detect at resolution time (undefined label, branch out
+   of range) still map back to a source position. *)
+let parse_line b ~note line_no raw =
   let line = String.trim (strip_comment raw) in
   if line = "" then ()
   else if String.length line > 1 && line.[String.length line - 1] = ':' then
@@ -126,14 +129,22 @@ let parse_line b line_no raw =
         Builder.data_float b name (Array.of_list (List.map (float_tok line_no) vals))
     | [ ".space"; name; n ] -> Builder.data_space b name (int_tok line_no n)
     | [ "li"; rd; v ] -> Builder.li b (reg line_no rd) (int_tok line_no v)
-    | [ "la"; rd; name ] -> Builder.la b (reg line_no rd) name
+    | [ "la"; rd; name ] ->
+        note name;
+        Builder.la b (reg line_no rd) name
     | [ "nop" ] -> Builder.emit b Insn.Nop
     | [ "halt" ] -> Builder.emit b Insn.Halt
     | [ "j"; tgt ] ->
-        if is_label_tok tgt then Builder.j b tgt
+        if is_label_tok tgt then begin
+          note tgt;
+          Builder.j b tgt
+        end
         else Builder.emit b (Insn.J (int_tok line_no tgt))
     | [ "jal"; tgt ] ->
-        if is_label_tok tgt then Builder.jal b tgt
+        if is_label_tok tgt then begin
+          note tgt;
+          Builder.jal b tgt
+        end
         else Builder.emit b (Insn.Jal (int_tok line_no tgt))
     | [ "jr"; r1 ] -> Builder.emit b (Insn.Jr (reg line_no r1))
     | [ "jalr"; rd; r1 ] -> Builder.emit b (Insn.Jalr (reg line_no rd, reg line_no r1))
@@ -192,24 +203,49 @@ let parse_line b line_no raw =
         Builder.emit b (Insn.Fcmp (cop, reg line_no rd, reg line_no f1, reg line_no f2))
     | [ op; r1; r2; tgt ] when cond_of_name op <> None ->
         let cond = Option.get (cond_of_name op) in
-        if is_label_tok tgt then Builder.br b cond (reg line_no r1) (reg line_no r2) tgt
+        if is_label_tok tgt then begin
+          note tgt;
+          Builder.br b cond (reg line_no r1) (reg line_no r2) tgt
+        end
         else
           Builder.emit b
             (Insn.Br (cond, reg line_no r1, reg line_no r2, int_tok line_no tgt))
     | [ op; r1; tgt ] when cond_of_name op <> None ->
         let cond = Option.get (cond_of_name op) in
-        if is_label_tok tgt then Builder.br b cond (reg line_no r1) Reg.zero tgt
+        if is_label_tok tgt then begin
+          note tgt;
+          Builder.br b cond (reg line_no r1) Reg.zero tgt
+        end
         else Builder.emit b (Insn.Br (cond, reg line_no r1, Reg.zero, int_tok line_no tgt))
     | op :: _ -> fail line_no "unrecognised instruction %S" op
   end
 
 let program ?text_base src =
   let b = Builder.create ?text_base () in
+  (* Every line that references each label, for resolution-time errors. *)
+  let refs : (string, int) Hashtbl.t = Hashtbl.create 32 in
   try
-    String.split_on_char '\n' src |> List.iteri (fun i l -> parse_line b (i + 1) l);
+    String.split_on_char '\n' src
+    |> List.iteri (fun i l ->
+           let line_no = i + 1 in
+           let note name = Hashtbl.add refs name line_no in
+           try parse_line b ~note line_no l
+           with Failure msg | Invalid_argument msg -> raise (Parse_error (line_no, msg)));
     Ok (Builder.finish b)
   with
   | Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  | Builder.Resolve_error { label; reason } -> (
+      match List.sort compare (Hashtbl.find_all refs label) with
+      | [] -> Error (Printf.sprintf "%s %S" reason label)
+      | first :: rest ->
+          let also =
+            if rest = [] then ""
+            else
+              Printf.sprintf " (also referenced at line%s %s)"
+                (if List.length rest > 1 then "s" else "")
+                (String.concat ", " (List.map string_of_int rest))
+          in
+          Error (Printf.sprintf "line %d: %s %S%s" first reason label also))
   | Failure msg | Invalid_argument msg -> Error msg
 
 let program_exn ?text_base src =

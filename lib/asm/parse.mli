@@ -23,6 +23,9 @@
     v} *)
 
 val program : ?text_base:int -> string -> (Program.t, string) result
-(** Assemble a whole source text. Errors carry a line number. *)
+(** Assemble a whole source text. Every error message carries the source
+    line it arose on — including errors only detectable at label
+    resolution (undefined label, branch out of range), which are reported
+    at the referencing line. *)
 
 val program_exn : ?text_base:int -> string -> Program.t

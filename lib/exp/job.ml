@@ -6,13 +6,15 @@ type t = {
   cfg : Config.t;
   program : Program.t;
   check : bool;
+  verdicts : bool;
   cycle_limit : int;
 }
 
 let default_cycle_limit = 100_000_000
 
-let make ?(check = false) ?(cycle_limit = default_cycle_limit) cfg program =
-  { cfg; program; check; cycle_limit }
+let make ?(check = false) ?(verdicts = false) ?(cycle_limit = default_cycle_limit)
+    cfg program =
+  { cfg; program; check; verdicts; cycle_limit }
 
 (* The fingerprint hashes exactly what determines the simulation's output:
    the encoded program image (the same 32-bit words both simulators load),
@@ -27,7 +29,7 @@ let fingerprint t =
   Buffer.add_string b Revision.stamp;
   Buffer.add_char b '\n';
   Buffer.add_string b (Marshal.to_string t.cfg []);
-  Buffer.add_string b (Printf.sprintf "|%b|%d|" t.check t.cycle_limit);
+  Buffer.add_string b (Printf.sprintf "|%b|%b|%d|" t.check t.verdicts t.cycle_limit);
   Buffer.add_string b (Printf.sprintf "text@%x entry@%x|" t.program.Program.text_base t.program.Program.entry);
   Array.iter
     (fun insn -> Buffer.add_string b (Printf.sprintf "%08x" (Encode.encode insn)))

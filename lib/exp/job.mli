@@ -9,14 +9,19 @@ type t = {
   cfg : Config.t;
   program : Program.t;
   check : bool;
+  verdicts : bool;
+      (** also cross-check dynamic promotions against the static
+          bufferability analysis (only meaningful with [reuse_enabled];
+          used by the fuzzer) *)
   cycle_limit : int;
 }
 
 val default_cycle_limit : int
 (** 100 million cycles, matching the harness's historical default. *)
 
-val make : ?check:bool -> ?cycle_limit:int -> Config.t -> Program.t -> t
-(** [check] defaults to false. *)
+val make :
+  ?check:bool -> ?verdicts:bool -> ?cycle_limit:int -> Config.t -> Program.t -> t
+(** [check] and [verdicts] default to false. *)
 
 val fingerprint : t -> string
 (** Deterministic content address (hex MD5) of the job: covers the

@@ -12,7 +12,8 @@ type sim_result = {
 
 type error =
   | Cycle_limit_exceeded of int
-  | Arch_state_mismatch
+  | Arch_state_mismatch of string
+  | Verdict_mismatch of string
   | Reference_did_not_halt
   | Worker_crashed of string
   | Job_timeout of float
@@ -22,12 +23,17 @@ type t = (sim_result, error) result
 (* Deterministic errors are properties of the job itself and may be cached;
    crashes and timeouts depend on the host and must be retried next run. *)
 let error_is_deterministic = function
-  | Cycle_limit_exceeded _ | Arch_state_mismatch | Reference_did_not_halt -> true
+  | Cycle_limit_exceeded _ | Arch_state_mismatch _ | Verdict_mismatch _
+  | Reference_did_not_halt ->
+      true
   | Worker_crashed _ | Job_timeout _ -> false
 
 let error_to_string = function
   | Cycle_limit_exceeded n -> Printf.sprintf "cycle limit exceeded (%d cycles)" n
-  | Arch_state_mismatch -> "architectural state mismatch vs reference simulator"
+  | Arch_state_mismatch diff ->
+      "architectural state mismatch vs reference simulator:\n" ^ diff
+  | Verdict_mismatch msg ->
+      "dynamic reuse decisions contradict the static bufferability verdicts: " ^ msg
   | Reference_did_not_halt -> "reference simulator did not halt"
   | Worker_crashed msg -> "worker crashed: " ^ msg
   | Job_timeout s -> Printf.sprintf "job timed out after %.1f s" s

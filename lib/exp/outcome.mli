@@ -16,7 +16,13 @@ type sim_result = {
 
 type error =
   | Cycle_limit_exceeded of int (** the simulated program did not halt *)
-  | Arch_state_mismatch (** differential validation failed *)
+  | Arch_state_mismatch of string
+      (** differential validation failed; carries the rendered
+          register/memory diff ({!Riq_interp.Machine.diff_string}) *)
+  | Verdict_mismatch of string
+      (** requested with [Job.verdicts]: a dynamically promoted loop the
+          static {!Riq_analysis.Bufferability} pass hard-rejects, or a
+          promoted tail the analysis never saw *)
   | Reference_did_not_halt
   | Worker_crashed of string (** worker process died; host-dependent *)
   | Job_timeout of float (** per-job wall-clock budget exhausted *)

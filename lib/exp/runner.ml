@@ -1,6 +1,7 @@
 open Riq_power
 open Riq_core
 open Riq_interp
+open Riq_analysis
 
 (* In-process execution of one job. This is the single place that turns a
    (config, program) pair into measurements; the harness's [Run] module and
@@ -16,13 +17,29 @@ let execute (job : Job.t) : Outcome.t =
           let m = Machine.create job.Job.program in
           match Machine.run m with
           | Machine.Halted ->
-              Ok (Some (Machine.equal_arch (Machine.arch_state m) (Processor.arch_state p)))
+              let golden = Machine.arch_state m and got = Processor.arch_state p in
+              if Machine.equal_arch golden got then Ok (Some true)
+              else Error (Outcome.Arch_state_mismatch (Machine.diff_string golden got))
           | Machine.Insn_limit | Machine.Bad_pc _ -> Error Outcome.Reference_did_not_halt
       in
-      match checked with
-      | Error e -> Error e
-      | Ok (Some false) -> Error Outcome.Arch_state_mismatch
-      | Ok arch_ok ->
+      let verdicts =
+        if not (job.Job.verdicts && job.Job.cfg.Riq_ooo.Config.reuse_enabled) then
+          Ok ()
+        else
+          let report = Bufferability.analyze_config job.Job.cfg job.Job.program in
+          let promotions =
+            List.map
+              (fun d -> (d.Processor.ld_tail, d.Processor.ld_promotions))
+              (Processor.loop_decisions p)
+          in
+          Result.map_error
+            (fun msg -> Outcome.Verdict_mismatch msg)
+            (Bufferability.consistency report ~promotions)
+      in
+      match (checked, verdicts) with
+      | Error e, _ -> Error e
+      | _, Error e -> Error e
+      | Ok arch_ok, Ok () ->
           let acct = Processor.account p in
           Ok
             {

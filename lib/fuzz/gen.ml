@@ -1,0 +1,325 @@
+open Riq_util
+
+type params = {
+  iq_size : int;
+  bufferable_bias : float;
+  min_top : int;
+  max_top : int;
+  dynamic_budget : int;
+  allow_ijump_in_loop : bool;
+}
+
+let default =
+  {
+    iq_size = 64;
+    bufferable_bias = 0.6;
+    min_top = 3;
+    max_top = 7;
+    dynamic_budget = 40_000;
+    allow_ijump_in_loop = false;
+  }
+
+let small_iq = { default with iq_size = 16 }
+
+let derive_seed base i =
+  (* splitmix-style finalizer over (base, i); stable across platforms. *)
+  let z = ref Int64.(add (of_int base) (mul (of_int (i + 1)) 0x9E3779B97F4A7C15L)) in
+  z := Int64.(mul (logxor !z (shift_right_logical !z 30)) 0xBF58476D1CE4E5B9L);
+  z := Int64.(mul (logxor !z (shift_right_logical !z 27)) 0x94D049BB133111EBL);
+  Int64.to_int (Int64.logand !z 0x3FFFFFFFFFFFFFFFL)
+
+(* ---------------------------------------------------------------- *)
+(* Straight-line instruction patterns                                *)
+(* ---------------------------------------------------------------- *)
+
+(* Integer scratch destinations r8..r13; sources may also read counters in
+   scope and the zero register. Pattern temporaries r14/r15 are write-only
+   here (never live across items). *)
+
+let iscratch rng = Printf.sprintf "r%d" (Rng.int_in rng 8 13)
+
+let isrc rng ~counters =
+  match Rng.int rng (10 + (3 * List.length counters)) with
+  | 0 -> "r0"
+  | n when n >= 10 -> List.nth counters (Rng.int rng (List.length counters))
+  | _ -> Printf.sprintf "r%d" (Rng.int_in rng 8 13)
+
+let fscratch rng = Printf.sprintf "f%d" (Rng.int rng 8)
+
+let word_off rng = 4 * Rng.int rng 32 (* 0..124, word aligned *)
+let base rng = if Rng.bool rng then "r24" else "r25"
+
+let op_int3 rng ~counters =
+  let op = Rng.choose rng [| "add"; "sub"; "and"; "or"; "xor"; "slt"; "sltu" |] in
+  Printf.sprintf "%s %s, %s, %s" op (iscratch rng) (isrc rng ~counters) (isrc rng ~counters)
+
+let op_imm rng ~counters =
+  match Rng.int rng 5 with
+  | 0 -> Printf.sprintf "addi %s, %s, %d" (iscratch rng) (isrc rng ~counters) (Rng.int_in rng (-128) 127)
+  | 1 -> Printf.sprintf "andi %s, %s, %d" (iscratch rng) (isrc rng ~counters) (Rng.int rng 256)
+  | 2 -> Printf.sprintf "ori %s, %s, %d" (iscratch rng) (isrc rng ~counters) (Rng.int rng 256)
+  | 3 -> Printf.sprintf "xori %s, %s, %d" (iscratch rng) (isrc rng ~counters) (Rng.int rng 256)
+  | _ -> Printf.sprintf "slti %s, %s, %d" (iscratch rng) (isrc rng ~counters) (Rng.int_in rng (-64) 63)
+
+let op_shift rng ~counters =
+  match Rng.int rng 4 with
+  | 0 -> Printf.sprintf "sll %s, %s, %d" (iscratch rng) (isrc rng ~counters) (Rng.int rng 8)
+  | 1 -> Printf.sprintf "srl %s, %s, %d" (iscratch rng) (isrc rng ~counters) (Rng.int rng 8)
+  | 2 -> Printf.sprintf "sra %s, %s, %d" (iscratch rng) (isrc rng ~counters) (Rng.int rng 8)
+  | _ -> Printf.sprintf "sllv %s, %s, %s" (iscratch rng) (isrc rng ~counters) (isrc rng ~counters)
+
+let op_muldiv rng ~counters =
+  if Rng.int rng 3 = 0 then
+    Printf.sprintf "div %s, %s, %s" (iscratch rng) (isrc rng ~counters) (isrc rng ~counters)
+  else Printf.sprintf "mul %s, %s, %s" (iscratch rng) (isrc rng ~counters) (isrc rng ~counters)
+
+let op_mem_direct rng ~counters =
+  match Rng.int rng 8 with
+  | 0 -> Printf.sprintf "lw %s, %d(%s)" (iscratch rng) (word_off rng) (base rng)
+  | 1 -> Printf.sprintf "sw %s, %d(%s)" (isrc rng ~counters) (word_off rng) (base rng)
+  | 2 -> Printf.sprintf "lb %s, %d(%s)" (iscratch rng) (Rng.int rng 128) (base rng)
+  | 3 -> Printf.sprintf "lbu %s, %d(%s)" (iscratch rng) (Rng.int rng 128) (base rng)
+  | 4 -> Printf.sprintf "sb %s, %d(%s)" (isrc rng ~counters) (Rng.int rng 128) (base rng)
+  | 5 -> Printf.sprintf "lh %s, %d(%s)" (iscratch rng) (2 * Rng.int rng 64) (base rng)
+  | 6 -> Printf.sprintf "lhu %s, %d(%s)" (iscratch rng) (2 * Rng.int rng 64) (base rng)
+  | _ -> Printf.sprintf "sh %s, %d(%s)" (isrc rng ~counters) (2 * Rng.int rng 64) (base rng)
+
+(* Register-indexed access with the address masked into [buf]: the index
+   register's value is arbitrary, the masked result never leaves the
+   array. This is where cross-iteration aliasing comes from. *)
+let op_mem_indexed rng ~counters =
+  let idx = isrc rng ~counters in
+  match Rng.int rng 4 with
+  | 0 ->
+      Printf.sprintf "andi r14, %s, 60\nadd r14, r14, r24\nlw %s, 0(r14)" idx (iscratch rng)
+  | 1 ->
+      Printf.sprintf "andi r14, %s, 60\nadd r14, r14, r24\nsw %s, 0(r14)" idx
+        (isrc rng ~counters)
+  | 2 -> Printf.sprintf "andi r14, %s, 63\nadd r14, r14, r24\nlbu %s, 0(r14)" idx (iscratch rng)
+  | _ ->
+      Printf.sprintf "andi r14, %s, 62\nadd r14, r14, r24\nsh %s, 0(r14)" idx
+        (isrc rng ~counters)
+
+let op_fp rng ~counters =
+  let f3 op = Printf.sprintf "%s %s, %s, %s" op (fscratch rng) (fscratch rng) (fscratch rng) in
+  let f2 op = Printf.sprintf "%s %s, %s" op (fscratch rng) (fscratch rng) in
+  match Rng.int rng 12 with
+  | 0 | 1 -> Printf.sprintf "l.s %s, %d(r26)" (fscratch rng) (word_off rng)
+  | 2 | 3 -> Printf.sprintf "s.s %s, %d(r26)" (fscratch rng) (word_off rng)
+  | 4 -> f3 "fadd"
+  | 5 -> f3 "fsub"
+  | 6 -> f3 "fmul"
+  | 7 -> f2 "fabs"
+  | 8 -> f2 "fneg"
+  | 9 ->
+      Printf.sprintf "%s %s, %s, %s"
+        (Rng.choose rng [| "feq"; "flt"; "fle" |])
+        (iscratch rng) (fscratch rng) (fscratch rng)
+  | 10 -> Printf.sprintf "cvtsw %s, %s" (fscratch rng) (isrc rng ~counters)
+  | _ -> Printf.sprintf "cvtws %s, %s" (iscratch rng) (fscratch rng)
+
+(* One random straight-line pattern; [lines] is how many instructions it
+   contributes (indexed memory patterns cost 3). *)
+let straight_op rng ~counters =
+  match Rng.int rng 16 with
+  | 0 | 1 | 2 -> (Prog.Op (op_int3 rng ~counters), 1)
+  | 3 | 4 | 5 -> (Prog.Op (op_imm rng ~counters), 1)
+  | 6 | 7 -> (Prog.Op (op_shift rng ~counters), 1)
+  | 8 -> (Prog.Op (op_muldiv rng ~counters), 1)
+  | 9 | 10 | 11 -> (Prog.Op (op_mem_direct rng ~counters), 1)
+  | 12 | 13 -> (Prog.Op (op_mem_indexed rng ~counters), 3)
+  | _ -> (Prog.Op (op_fp rng ~counters), 1)
+
+let cond rng ~counters =
+  match Rng.int rng 6 with
+  | 0 -> Printf.sprintf "beq %s, %s" (isrc rng ~counters) (isrc rng ~counters)
+  | 1 -> Printf.sprintf "bne %s, %s" (isrc rng ~counters) (isrc rng ~counters)
+  | 2 -> Printf.sprintf "bgtz %s" (isrc rng ~counters)
+  | 3 -> Printf.sprintf "blez %s" (isrc rng ~counters)
+  | 4 -> Printf.sprintf "bltz %s" (isrc rng ~counters)
+  | _ -> Printf.sprintf "bgez %s" (isrc rng ~counters)
+
+(* ---------------------------------------------------------------- *)
+(* Loop shapes                                                       *)
+(* ---------------------------------------------------------------- *)
+
+(* [n_insns] straight-line instructions (counted, not items), with an
+   optional guard thrown in. Guards wrap only straight-line ops. *)
+let straight_body rng ~counters ~n_insns ~allow_guard =
+  let items = ref [] in
+  let left = ref n_insns in
+  while !left > 0 do
+    if allow_guard && !left >= 4 && Rng.int rng 6 = 0 then begin
+      let inner = Rng.int_in rng 1 (min 3 (!left - 1)) in
+      let body = ref [] in
+      let used = ref 1 (* the branch itself *) in
+      for _ = 1 to inner do
+        let op, n = straight_op rng ~counters in
+        body := op :: !body;
+        used := !used + n
+      done;
+      items := Prog.Guard { g_cond = cond rng ~counters; g_body = List.rev !body } :: !items;
+      left := !left - !used
+    end
+    else begin
+      let op, n = straight_op rng ~counters in
+      items := op :: !items;
+      left := !left - n
+    end
+  done;
+  List.rev !items
+
+type shape = Bufferable | Straddle | Nested | With_call | Early_exit | With_ijump
+
+(* Dynamic-cost estimate of an item list (instructions executed, guards
+   assumed not taken, breaks ignored). Used to respect the budget. *)
+let rec est_items procs items =
+  List.fold_left (fun acc it -> acc + est_item procs it) 0 items
+
+and est_item procs = function
+  | Prog.Op s -> List.length (String.split_on_char '\n' s)
+  | Prog.Guard g -> 1 + est_items procs g.g_body
+  | Prog.Loop l -> 1 + (l.trip * (est_items procs l.body + 2))
+  | Prog.Call i -> (
+      match List.nth_opt procs i with
+      | Some p -> 2 + est_items procs p.Prog.p_body
+      | None -> 1)
+  | Prog.Break _ -> 2
+  | Prog.Ijump -> 3
+
+(* Cap [trip] so that trip * per_iter fits in [budget]. *)
+let fit_trip ~budget ~per_iter trip =
+  let per_iter = max 1 per_iter in
+  max 1 (min trip (budget / per_iter))
+
+let counters_at depth =
+  List.init depth (fun i -> Printf.sprintf "r%d" (16 + i))
+
+let rec gen_loop rng (p : params) ~procs ~depth ~budget shape =
+  let inner_counters extra = counters_at (depth + extra) in
+  match shape with
+  | Bufferable ->
+      (* Innermost, span below the queue size; trips sized so the queue
+         fills with buffered iterations and the loop promotes. *)
+      let span = Rng.int_in rng 3 (max 4 ((p.iq_size / 2) - 2)) in
+      let body = straight_body rng ~counters:(inner_counters 1) ~n_insns:span ~allow_guard:true in
+      let per_iter = est_items procs body + 2 in
+      (* Enough iterations to fill the queue with buffered copies, so the
+         loop actually promotes to Code Reuse. *)
+      let lo = min 40 (max 6 (p.iq_size / per_iter)) in
+      let trip = fit_trip ~budget ~per_iter (Rng.int_in rng lo 48) in
+      Prog.Loop { trip; body }
+  | Straddle ->
+      (* Span within +-25% of the queue size: half of these are capturable,
+         half are Too_large, and buffered ones promote after very few
+         iterations. *)
+      let span = Rng.int_in rng (max 3 (p.iq_size * 3 / 4)) (p.iq_size * 5 / 4) in
+      let body = straight_body rng ~counters:(inner_counters 1) ~n_insns:span ~allow_guard:true in
+      let per_iter = est_items procs body + 2 in
+      let trip = fit_trip ~budget ~per_iter (Rng.int_in rng 4 12) in
+      Prog.Loop { trip; body }
+  | Nested ->
+      (* Outer loop revokes on the inner back edge and registers in the
+         NBLT; trip >= 3 so a later detection gets NBLT-filtered. *)
+      let inner_span = Rng.int_in rng 3 10 in
+      let inner_body =
+        straight_body rng ~counters:(inner_counters 2) ~n_insns:inner_span ~allow_guard:true
+      in
+      let inner_per = est_items procs inner_body + 2 in
+      let outer_trip = Rng.int_in rng 3 6 in
+      let inner_lo = min 28 (max 6 (p.iq_size / inner_per)) in
+      let inner_trip =
+        fit_trip ~budget:(budget / outer_trip) ~per_iter:inner_per
+          (Rng.int_in rng inner_lo 32)
+      in
+      let pre = straight_body rng ~counters:(inner_counters 1) ~n_insns:(Rng.int_in rng 1 4) ~allow_guard:false in
+      let post = straight_body rng ~counters:(inner_counters 1) ~n_insns:(Rng.int_in rng 1 3) ~allow_guard:false in
+      Prog.Loop
+        { trip = outer_trip; body = pre @ [ Prog.Loop { trip = inner_trip; body = inner_body } ] @ post }
+  | With_call ->
+      let n_procs = List.length procs in
+      if n_procs = 0 then
+        gen_loop rng p ~procs ~depth ~budget Bufferable
+      else begin
+        let callee = Rng.int rng n_procs in
+        let span = Rng.int_in rng 2 8 in
+        let body = straight_body rng ~counters:(inner_counters 1) ~n_insns:span ~allow_guard:false in
+        let body = body @ [ Prog.Call callee ] in
+        let per_iter = est_items procs body + 2 in
+        let trip = fit_trip ~budget ~per_iter (Rng.int_in rng 3 16) in
+        Prog.Loop { trip; body }
+      end
+  | Early_exit ->
+      let span = Rng.int_in rng 3 12 in
+      let body = straight_body rng ~counters:(inner_counters 1) ~n_insns:span ~allow_guard:false in
+      let per_iter = est_items procs body + 4 in
+      let trip = fit_trip ~budget ~per_iter (Rng.int_in rng 6 32) in
+      (* Break when the countdown reaches a value inside [1, trip]: the
+         exit really is taken mid-loop. *)
+      let k = Rng.int_in rng 1 (max 1 (trip / 2)) in
+      let cut = Rng.int rng (List.length body + 1) in
+      let rec insert i = function
+        | [] -> [ Prog.Break k ]
+        | x :: tl when i = 0 -> Prog.Break k :: x :: tl
+        | x :: tl -> x :: insert (i - 1) tl
+      in
+      Prog.Loop { trip; body = insert cut body }
+  | With_ijump ->
+      let span = Rng.int_in rng 2 8 in
+      let body = straight_body rng ~counters:(inner_counters 1) ~n_insns:span ~allow_guard:false in
+      let body = body @ [ Prog.Ijump ] in
+      let per_iter = est_items procs body + 2 in
+      let trip = fit_trip ~budget ~per_iter (Rng.int_in rng 3 16) in
+      Prog.Loop { trip; body }
+
+let pick_shape rng (p : params) ~have_procs =
+  if Rng.float rng 1.0 < p.bufferable_bias then
+    if Rng.int rng 4 = 0 then Straddle else Bufferable
+  else
+    match Rng.int rng (if p.allow_ijump_in_loop then 5 else 4) with
+    | 0 -> Nested
+    | 1 -> if have_procs then With_call else Nested
+    | 2 -> Early_exit
+    | 3 -> Straddle
+    | _ -> With_ijump
+
+(* ---------------------------------------------------------------- *)
+(* Whole programs                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let gen_proc rng ~with_loop =
+  (* Leaf procedures: straight-line ops (scratch only, no calls), loop
+     counter r20 when [with_loop]. *)
+  let body = straight_body rng ~counters:[] ~n_insns:(Rng.int_in rng 3 10) ~allow_guard:true in
+  if with_loop then
+    let lbody = straight_body rng ~counters:[ "r20" ] ~n_insns:(Rng.int_in rng 2 5) ~allow_guard:false in
+    body @ [ Prog.Loop { trip = Rng.int_in rng 2 6; body = lbody } ]
+  else body
+
+let program ?(params = default) ~seed () =
+  let rng = Rng.create (seed lxor 0x5EED_F022) in
+  let n_procs = Rng.int rng 3 in
+  let procs =
+    List.init n_procs (fun i ->
+        { Prog.p_name = Printf.sprintf "p%d" i; p_body = gen_proc rng ~with_loop:(Rng.int rng 4 = 0) })
+  in
+  let n_top = Rng.int_in rng params.min_top params.max_top in
+  let budget_per = params.dynamic_budget / max 1 n_top in
+  let items = ref [] in
+  for _ = 1 to n_top do
+    match Rng.int rng 10 with
+    | 0 ->
+        (* a little inter-loop straight-line glue *)
+        items :=
+          List.rev_append
+            (List.rev (straight_body rng ~counters:[] ~n_insns:(Rng.int_in rng 1 5) ~allow_guard:true))
+            !items
+    | 1 when n_procs > 0 -> items := Prog.Call (Rng.int rng n_procs) :: !items
+    | 2 -> items := Prog.Ijump :: !items
+    | _ ->
+        let shape = pick_shape rng params ~have_procs:(n_procs > 0) in
+        items := gen_loop rng params ~procs ~depth:0 ~budget:budget_per shape :: !items
+  done;
+  let data_i = Array.init 64 (fun _ -> Rng.int_in rng (-1000) 1000) in
+  let data_f = Array.init 32 (fun _ -> 0.25 *. float_of_int (Rng.int_in rng (-40) 40)) in
+  { Prog.seed; main = List.rev !items; procs; data_i; data_f }

@@ -19,7 +19,8 @@ type result = Riq_exp.Outcome.sim_result = {
 
 type error = Riq_exp.Outcome.error =
   | Cycle_limit_exceeded of int
-  | Arch_state_mismatch
+  | Arch_state_mismatch of string
+  | Verdict_mismatch of string
   | Reference_did_not_halt
   | Worker_crashed of string
   | Job_timeout of float

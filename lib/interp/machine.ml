@@ -176,3 +176,6 @@ let pp_arch_diff ppf a b =
     check hb ha "right"
   end;
   if !shown = 0 then Format.fprintf ppf "states are equal@."
+
+let diff_string a b =
+  Format.asprintf "%a" (fun ppf () -> pp_arch_diff ppf a b) ()

@@ -53,3 +53,7 @@ val equal_arch : arch_state -> arch_state -> bool
 
 val pp_arch_diff : Format.formatter -> arch_state -> arch_state -> unit
 (** Human-readable description of the first few differences. *)
+
+val diff_string : arch_state -> arch_state -> string
+(** {!pp_arch_diff} rendered to a single plain string — what the
+    experiment runner and the fuzzer attach to a mismatch outcome. *)

@@ -35,7 +35,7 @@ let test_builder_undefined_label () =
     (try
        ignore (Builder.finish b);
        false
-     with Failure _ -> true)
+     with Builder.Resolve_error { label = "nowhere"; _ } -> true)
 
 let test_builder_redefined_label () =
   let b = Builder.create () in
@@ -180,6 +180,33 @@ let test_parse_errors () =
       | Ok _ -> Alcotest.failf "accepted %S" src)
     bad
 
+(* Every parse error names the source line it arose on — including label
+   resolution errors, which surface only at [Builder.finish] and are
+   mapped back to the referencing line. *)
+let test_parse_error_lines () =
+  let check_line src expected_prefix =
+    match Parse.program src with
+    | Ok _ -> Alcotest.failf "accepted %S" src
+    | Error msg ->
+        if not (String.length msg >= String.length expected_prefix
+                && String.sub msg 0 (String.length expected_prefix) = expected_prefix)
+        then Alcotest.failf "error %S does not start with %S" msg expected_prefix
+  in
+  check_line "nop\nfrobnicate r1, r2\nhalt\n" "line 2:";
+  check_line "nop\nnop\naddi r99, r0, 1\n" "line 3:";
+  (* undefined label: reported at the line of the reference, not swallowed *)
+  check_line "nop\nj nowhere\nhalt\n" "line 2: undefined label";
+  check_line "nop\nnop\nbgtz r1, missing\nhalt\n" "line 3: undefined label";
+  check_line "nop\nla r8, nodata\nhalt\n" "line 2: undefined label";
+  (* label redefinition is a per-line builder failure *)
+  check_line "x:\nnop\nx:\nhalt\n" "line 3:";
+  (* out-of-range branch names the referencing line *)
+  let far =
+    "top:\n" ^ String.concat "" (List.init 40000 (fun _ -> "nop\n"))
+    ^ "bne r1, r0, top\nhalt\n"
+  in
+  check_line far "line 40002: branch out of range"
+
 let test_parse_comments_blank () =
   let src = "# leading comment\n\n   ; another\nhalt # trailing\n" in
   let p = Parse.program_exn src in
@@ -215,6 +242,7 @@ let suites =
         Alcotest.test_case "parse round-trip program" `Quick test_parse_roundtrip;
         Alcotest.test_case "parse data directives" `Quick test_parse_data_directives;
         Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "parse error line numbers" `Quick test_parse_error_lines;
         Alcotest.test_case "parse comments" `Quick test_parse_comments_blank;
         QCheck_alcotest.to_alcotest prop_print_parse;
       ] );
@@ -233,7 +261,7 @@ let test_builder_branch_out_of_range () =
     (try
        ignore (Builder.finish b);
        false
-     with Failure _ -> true)
+     with Builder.Resolve_error { label = "top"; _ } -> true)
 
 let test_builder_entry_label () =
   let b = Builder.create () in

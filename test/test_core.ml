@@ -555,11 +555,121 @@ rare:
     (st.Processor.gated_fraction > 0.6);
   Alcotest.(check bool) "few reuse exits" true (st.Processor.reuse_exits <= 3)
 
+let test_nblt_fifo_eviction () =
+  let t = Nblt.create 2 in
+  Nblt.insert t 0x100;
+  Nblt.insert t 0x200;
+  Alcotest.(check bool) "first present" true (Nblt.mem t 0x100);
+  Alcotest.(check bool) "second present" true (Nblt.mem t 0x200);
+  (* Third insertion evicts the oldest entry, FIFO order. *)
+  Nblt.insert t 0x300;
+  Alcotest.(check bool) "oldest evicted" false (Nblt.mem t 0x100);
+  Alcotest.(check bool) "second survives" true (Nblt.mem t 0x200);
+  Alcotest.(check bool) "newest present" true (Nblt.mem t 0x300)
+
+let test_nblt_saturation () =
+  let t = Nblt.create 4 in
+  (* Keep inserting far past capacity: only the last [capacity] distinct
+     addresses survive, and the cursor never walks out of the table. *)
+  for i = 1 to 100 do
+    Nblt.insert t (4 * i)
+  done;
+  Alcotest.(check int) "capacity unchanged" 4 (Nblt.capacity t);
+  Alcotest.(check int) "every distinct insert counted" 100 (Nblt.insertions t);
+  for i = 97 to 100 do
+    Alcotest.(check bool) (Printf.sprintf "entry %d present" i) true (Nblt.mem t (4 * i))
+  done;
+  Alcotest.(check bool) "older entries evicted" false (Nblt.mem t (4 * 96))
+
+let test_nblt_duplicate_insert () =
+  let t = Nblt.create 2 in
+  Nblt.insert t 0x40;
+  Nblt.insert t 0x40;
+  Nblt.insert t 0x40;
+  Alcotest.(check int) "re-registering is a no-op" 1 (Nblt.insertions t);
+  (* The duplicate must not have consumed a FIFO slot. *)
+  Nblt.insert t 0x80;
+  Alcotest.(check bool) "first still present" true (Nblt.mem t 0x40);
+  Alcotest.(check bool) "second present" true (Nblt.mem t 0x80)
+
+let test_nblt_zero_entries () =
+  (* The NBLT-ablation configuration: a zero-entry table never matches and
+     never registers. *)
+  let t = Nblt.create 0 in
+  Nblt.insert t 0x100;
+  Alcotest.(check bool) "never matches" false (Nblt.mem t 0x100);
+  Alcotest.(check int) "never registers" 0 (Nblt.insertions t);
+  Alcotest.check_raises "negative size rejected" (Invalid_argument "Nblt.create")
+    (fun () -> ignore (Nblt.create (-1)))
+
+(* Figure 2's state machine rejects transitions with no edge: the pipeline
+   must never, e.g., revoke without buffering. Each transition function
+   asserts its source state. *)
+let test_reuse_state_legal_cycle () =
+  let t = Reuse_state.create () in
+  Reuse_state.start_buffering t ~head:0x1000 ~tail:0x1040;
+  Alcotest.(check bool) "buffering" true (t.Reuse_state.state = Reuse_state.Buffering);
+  Alcotest.(check bool) "pc in loop" true (Reuse_state.in_loop t ~pc:0x1020);
+  Alcotest.(check bool) "pc outside loop" false (Reuse_state.in_loop t ~pc:0x2000);
+  Reuse_state.revoke t;
+  Alcotest.(check bool) "normal after revoke" true (t.Reuse_state.state = Reuse_state.Normal);
+  Reuse_state.start_buffering t ~head:0x1000 ~tail:0x1040;
+  Reuse_state.promote t;
+  Alcotest.(check bool) "reusing" true (t.Reuse_state.state = Reuse_state.Reusing);
+  Reuse_state.exit_reuse t;
+  Alcotest.(check bool) "normal after exit" true (t.Reuse_state.state = Reuse_state.Normal);
+  Alcotest.(check int) "attempts" 2 t.Reuse_state.n_buffer_attempts;
+  Alcotest.(check int) "revokes" 1 t.Reuse_state.n_revokes;
+  Alcotest.(check int) "promotions" 1 t.Reuse_state.n_promotions;
+  Alcotest.(check int) "exits" 1 t.Reuse_state.n_reuse_exits
+
+let test_reuse_state_illegal_transitions () =
+  let asserts f =
+    match f () with
+    | () -> false
+    | exception Assert_failure _ -> true
+  in
+  let fresh () = Reuse_state.create () in
+  let buffering () =
+    let t = fresh () in
+    Reuse_state.start_buffering t ~head:0 ~tail:16;
+    t
+  in
+  let reusing () =
+    let t = buffering () in
+    Reuse_state.promote t;
+    t
+  in
+  Alcotest.(check bool) "revoke from Normal" true
+    (asserts (fun () -> Reuse_state.revoke (fresh ())));
+  Alcotest.(check bool) "promote from Normal" true
+    (asserts (fun () -> Reuse_state.promote (fresh ())));
+  Alcotest.(check bool) "exit from Normal" true
+    (asserts (fun () -> Reuse_state.exit_reuse (fresh ())));
+  Alcotest.(check bool) "start while Buffering" true
+    (asserts (fun () -> Reuse_state.start_buffering (buffering ()) ~head:0 ~tail:16));
+  Alcotest.(check bool) "exit from Buffering" true
+    (asserts (fun () -> Reuse_state.exit_reuse (buffering ())));
+  Alcotest.(check bool) "start while Reusing" true
+    (asserts (fun () -> Reuse_state.start_buffering (reusing ()) ~head:0 ~tail:16));
+  Alcotest.(check bool) "revoke from Reusing" true
+    (asserts (fun () -> Reuse_state.revoke (reusing ())))
+
 let misc_suites =
   [
     ( "pipeline-misc",
       [
         Alcotest.test_case "indirect jump resolution" `Quick test_indirect_jump_resolution;
         Alcotest.test_case "biased if keeps reuse" `Quick test_stable_branch_stays_in_reuse;
+      ] );
+    ( "reuse-structures",
+      [
+        Alcotest.test_case "nblt fifo eviction" `Quick test_nblt_fifo_eviction;
+        Alcotest.test_case "nblt saturation" `Quick test_nblt_saturation;
+        Alcotest.test_case "nblt duplicate insert" `Quick test_nblt_duplicate_insert;
+        Alcotest.test_case "nblt zero entries" `Quick test_nblt_zero_entries;
+        Alcotest.test_case "reuse-state legal cycle" `Quick test_reuse_state_legal_cycle;
+        Alcotest.test_case "reuse-state illegal transitions" `Quick
+          test_reuse_state_illegal_transitions;
       ] );
   ]
