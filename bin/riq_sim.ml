@@ -269,7 +269,7 @@ let sweep_cmd =
 let fig_cmd =
   let which =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE"
-           ~doc:"One of: table1 table2 fig5 fig6 fig7 fig8 fig9 coverage nblt strategy related predictor unroll all")
+           ~doc:"One of: table1 table2 fig5 fig6 fig7 fig8 fig9 coverage revokes nblt strategy related predictor unroll all")
   in
   let no_check =
     Arg.(value & flag & info [ "no-check" ]
@@ -292,6 +292,7 @@ let fig_cmd =
       | "fig8" -> emit (Figures.fig8 (Lazy.force sweep))
       | "fig9" -> emit (Figures.fig9 ~engine ~check ())
       | "coverage" -> emit (Figures.coverage (Lazy.force sweep))
+      | "revokes" -> emit (Figures.revoke_causes ())
       | "nblt" -> emit (Figures.nblt_ablation ~engine ~check ())
       | "strategy" -> emit (Figures.strategy_ablation ~engine ~check ())
       | "related" -> emit (Figures.related_work ~engine ~check ())
@@ -305,8 +306,8 @@ let fig_cmd =
           print_fig f;
           print_newline ())
         [
-          "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "coverage"; "nblt";
-          "strategy"; "related"; "predictor"; "unroll";
+          "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "coverage"; "revokes";
+          "nblt"; "strategy"; "related"; "predictor"; "unroll";
         ]
     else print_fig which
   in

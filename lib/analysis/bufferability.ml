@@ -13,6 +13,19 @@ type reason =
 
 type prediction = Promotes | Never_promotes | Marginal
 
+type risk =
+  | Aliasing_store of { store : int; load : int }
+  | Data_dependent_trip
+
+type revoke_cause = Rv_inner_loop | Rv_left_loop | Rv_overflow | Rv_mispredict
+
+type cause_counts = {
+  rc_inner : int;
+  rc_left : int;
+  rc_overflow : int;
+  rc_mispredict : int;
+}
+
 type loop_report = {
   head : int;
   tail : int;
@@ -30,6 +43,9 @@ type loop_report = {
   nblt_risk : bool;
   lrl : Int64.t;
   reused_insns : float option;
+  risks : risk list;
+  no_alias : Alias.pair list;
+  predicted_cause : revoke_cause option;
 }
 
 type report = {
@@ -40,6 +56,7 @@ type report = {
   coverage : float option;
   exact_trips : bool;
   irreducible_edges : (int * int) list;
+  unreachable : (int * int) list;
 }
 
 let reason_to_string = function
@@ -52,6 +69,17 @@ let reason_to_string = function
   | Side_entry -> "side-entry"
   | Irreducible -> "irreducible"
 
+let risk_to_string = function
+  | Aliasing_store { store; load } ->
+      Printf.sprintf "aliasing-store (store %08x may hit load %08x)" store load
+  | Data_dependent_trip -> "data-dependent-trip"
+
+let cause_to_string = function
+  | Rv_inner_loop -> "inner-loop"
+  | Rv_left_loop -> "left-loop"
+  | Rv_overflow -> "overflow"
+  | Rv_mispredict -> "mispredict"
+
 (* Default amplification for loops whose trip count resists static
    derivation; flow estimates using it are flagged inexact. *)
 let default_trip = 10.
@@ -60,43 +88,29 @@ let default_trip = 10.
 (* Constant resolution and trip counts.                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* Resolve the constant value a register holds at the end of [block]
-   (before [before_pc] when given), chasing simple immediate-materialising
-   definitions backward, across unique predecessors up to a small budget. *)
-let rec resolve_const cfg ~budget ~block ~before_pc reg =
-  if budget <= 0 || reg = Reg.zero then if reg = Reg.zero then Some 0 else None
-  else begin
-    let b = Cfg.block cfg block in
-    let insns = List.rev (Cfg.insns cfg b) in
-    let insns =
-      match before_pc with
-      | Some p -> List.filter (fun (pc, _) -> pc < p) insns
-      | None -> insns
-    in
-    let rec scan = function
-      | [] ->
-          (* Not defined in this block: continue through a unique
-             predecessor. *)
-          (match b.Cfg.b_preds with
-          | [ p ] -> resolve_const cfg ~budget:(budget - 1) ~block:p ~before_pc:None reg
-          | _ -> None)
-      | (pc, insn) :: rest -> (
-          match Insn.dest insn with
-          | Some d when d = reg -> (
-              let at r = resolve_const cfg ~budget:(budget - 1) ~block ~before_pc:(Some pc) r in
-              match insn with
-              | Insn.Alui (Insn.Add, _, rs, imm) ->
-                  Option.map (fun v -> v + imm) (at rs)
-              | Alui (Insn.Or, _, rs, imm) -> Option.map (fun v -> v lor (imm land 0xFFFF)) (at rs)
-              | Alu (Insn.Add, _, rs, rt) ->
-                  if rt = Reg.zero then at rs else if rs = Reg.zero then at rt else None
-              | Lui (_, imm) -> Some ((imm land 0xFFFF) lsl 16)
-              | Shift (Insn.Sll, _, rt, sh) -> Option.map (fun v -> v lsl sh) (at rt)
-              | _ -> None)
-          | _ -> scan rest)
-    in
-    scan insns
-  end
+(* The loop head's predecessors outside the address window: the preheader
+   paths, whose dataflow facts give loop-entry register values. *)
+let outside_preds cfg ~head ~tail =
+  match Cfg.block_at cfg head with
+  | None -> []
+  | Some hb ->
+      List.filter
+        (fun p ->
+          let pb = Cfg.block cfg p in
+          pb.Cfg.b_last < head || pb.Cfg.b_first > tail)
+        hb.Cfg.b_preds
+
+(* Loop-entry constant of a register: the value-range join over every
+   preheader edge. Strictly stronger than the old single-predecessor
+   immediate chase, and sound across calls (Valrange havocs them). *)
+let entry_const cfg values ~head ~tail reg =
+  match Cfg.block_at cfg head with
+  | None -> None
+  | Some hb ->
+      Valrange.const
+        (Valrange.value_into values ~block:hb.Cfg.b_id
+           ~from:(outside_preds cfg ~head ~tail)
+           reg)
 
 (* The instructions of the address window [head..tail], the quantity the
    dynamic detector and buffering state machine reason about. *)
@@ -115,8 +129,13 @@ let window_insns program ~head ~tail =
      slt/slti rc, ri, bound ; bne rc, r0, head     (count up to a bound)
      addi ri, ri, -s ; bgtz/bne ri(, r0), head     (count down to zero)
    with the induction step the unique in-window update of [ri] and the
-   initial value resolved by constant propagation through the preheader. *)
-let trip_count cfg ~head ~tail =
+   loop-entry values taken from the value-range analysis. Every count
+   returned is exact (the tail test fires after exactly that many
+   induction updates), which is what lets {!Alias} lower induction-based
+   addresses to concrete intervals: a [bne]-to-zero countdown whose
+   initial value is not divisible by the step never hits zero, so it
+   yields [None] rather than a bogus ceiling. *)
+let trip_count cfg values ~head ~tail =
   let program = cfg.Cfg.program in
   let win = window_insns program ~head ~tail in
   let defs_of r =
@@ -127,27 +146,13 @@ let trip_count cfg ~head ~tail =
     | [ (_, Insn.Alui (Insn.Add, _, rs, step)) ] when rs = ri && step <> 0 -> Some step
     | _ -> None
   in
-  let entry_const reg =
-    match Cfg.block_at cfg head with
-    | None -> None
-    | Some hb -> (
-        (* Unique predecessor outside the window = the preheader path. *)
-        let outside =
-          List.filter
-            (fun p ->
-              let pb = Cfg.block cfg p in
-              pb.Cfg.b_last < head || pb.Cfg.b_first > tail)
-            hb.Cfg.b_preds
-        in
-        match outside with
-        | [ p ] -> resolve_const cfg ~budget:24 ~block:p ~before_pc:None reg
-        | _ -> None)
-  in
+  let entry_const reg = entry_const cfg values ~head ~tail reg in
   let last_def_before_tail r =
     let rec go best = function
       | [] -> best
       | (pc, i) :: rest ->
-          if pc < tail && Insn.dest i = Some r then go (Some i) rest else go best rest
+          if pc < tail && Insn.dest i = Some r then go (Some (pc, i)) rest
+          else go best rest
     in
     go None win
   in
@@ -159,19 +164,26 @@ let trip_count cfg ~head ~tail =
   match Program.insn_at program tail with
   | Some (Insn.Br (Insn.Bne, rc, rt, _)) when rt = Reg.zero -> (
       match last_def_before_tail rc with
-      | Some (Insn.Alui (Insn.Slt, _, ri, bound)) -> (
+      | Some (_, Insn.Alui (Insn.Slt, _, ri, bound)) -> (
           match (induction ri, entry_const ri) with
           | Some step, Some init -> up ~init ~bound ~step
           | _ -> None)
-      | Some (Insn.Alu (Insn.Slt, _, ri, rb)) -> (
-          match (induction ri, entry_const ri, entry_const rb) with
-          | Some step, Some init, Some bound when defs_of rb = [] -> up ~init ~bound ~step
+      | Some (slt_pc, Insn.Alu (Insn.Slt, _, ri, rb)) -> (
+          (* The bound register's value just before the compare. *)
+          match
+            ( induction ri,
+              entry_const ri,
+              Valrange.const (Valrange.value_at values ~pc:slt_pc rb) )
+          with
+          | Some step, Some init, Some bound when defs_of rb = [] ->
+              up ~init ~bound ~step
           | _ -> None)
       | _ -> (
           (* bne ri, r0: count down to zero. *)
           match (induction rc, entry_const rc) with
-          | Some step, Some init when step < 0 && init > 0 ->
-              Some ((init + -step - 1) / -step)
+          | Some step, Some init
+            when step < 0 && init > 0 && init mod -step = 0 ->
+              Some (init / -step)
           | _ -> None))
   | Some (Insn.Br (Insn.Bgtz, ri, _, _)) -> (
       match (induction ri, entry_const ri) with
@@ -336,6 +348,8 @@ let analyze ?(multi_iter = true) ~iq_size program =
   let cfg = Cfg.build program in
   let ls = Loops.detect cfg in
   let live = Liveness.compute cfg in
+  let reaching = Reaching.analyze cfg in
+  let values = Valrange.analyze cfg in
   let n = Cfg.n_blocks cfg in
   let rpo = Cfg.reverse_postorder cfg in
   let reach = Cfg.reachable cfg in
@@ -353,7 +367,7 @@ let analyze ?(multi_iter = true) ~iq_size program =
       in
       let head = (Cfg.block cfg l.Loops.l_header).Cfg.b_first in
       let tail = (Cfg.block cfg tail_block).Cfg.b_last in
-      if tail > head then trips.(i) <- trip_count cfg ~head ~tail)
+      if tail > head then trips.(i) <- trip_count cfg values ~head ~tail)
     ls.Loops.loops;
   let flow = estimate_flow cfg ls trips in
   let csize = callee_size cfg ls in
@@ -556,6 +570,46 @@ let analyze ?(multi_iter = true) ~iq_size program =
          | Error _, _ -> true
          | Ok (), None -> false)
     in
+    (* Data facts: the alias analysis is only meaningful on a proper
+       natural loop (the window equals the loop body and every entry goes
+       through the header); anything else never buffers far enough for a
+       Section 2.2.3 store-hits-buffered-load revoke to matter. *)
+    let alias_window =
+      match verdict with
+      | Ok () ->
+          Some
+            (Alias.window cfg ~reaching ~values ~head ~tail
+               ~outside_preds:(outside_preds cfg ~head ~tail)
+               ~trip)
+      | Error _ -> None
+    in
+    let no_alias =
+      match alias_window with Some w -> Alias.no_alias_claims w | None -> []
+    in
+    let risks =
+      let aliasing =
+        match alias_window with
+        | Some w ->
+            List.map
+              (fun (p : Alias.pair) ->
+                Aliasing_store { store = p.Alias.p_store; load = p.Alias.p_load })
+              (Alias.may_alias w)
+        | None -> []
+      in
+      let data_trip =
+        match (verdict, trip) with
+        | Ok (), None -> [ Data_dependent_trip ]
+        | _ -> []
+      in
+      aliasing @ data_trip
+    in
+    let predicted_cause =
+      match verdict with
+      | Error (Inner_transfer _) | Error (Callee_loops _) -> Some Rv_inner_loop
+      | Error (Call_overflow _) -> Some Rv_overflow
+      | Ok () when prediction = Never_promotes -> Some Rv_left_loop
+      | _ -> None
+    in
     {
       head;
       tail;
@@ -573,6 +627,9 @@ let analyze ?(multi_iter = true) ~iq_size program =
       nblt_risk;
       lrl;
       reused_insns = reused_per_program;
+      risks;
+      no_alias;
+      predicted_cause;
     }
   in
   let loops =
@@ -584,6 +641,11 @@ let analyze ?(multi_iter = true) ~iq_size program =
   let coverage =
     if total_insns > 0. then Some (100. *. reused_total /. total_insns) else None
   in
+  let unreachable =
+    Array.to_list cfg.Cfg.blocks
+    |> List.filter_map (fun b ->
+           if reach.(b.Cfg.b_id) then None else Some (b.Cfg.b_first, b.Cfg.b_last))
+  in
   {
     iq_size;
     multi_iter;
@@ -592,6 +654,7 @@ let analyze ?(multi_iter = true) ~iq_size program =
     coverage;
     exact_trips = flow.exact;
     irreducible_edges = ls.Loops.irreducible;
+    unreachable;
   }
 
 let analyze_config (cfg : Riq_ooo.Config.t) program =
@@ -617,7 +680,110 @@ let hard_reject = function
   | Too_large _ | Inner_transfer _ | Callee_loops _ -> true
   | Call_overflow _ | Indirect _ | Contains_halt _ | Side_entry | Irreducible -> false
 
-let consistency report ~promotions =
+(* ------------------------------------------------------------------ *)
+(* Differential validation of the dataflow facts.                      *)
+(* ------------------------------------------------------------------ *)
+
+(* No-alias claims are global facts, so they are checkable against the
+   reference interpreter directly: replay the program, record every
+   effective address each claimed instruction produces, and test the
+   cartesian byte overlap. One contradicted pair is a soundness bug in
+   the dataflow stack. Callers (the fuzz oracle, the experiment runner's
+   verdict jobs, riq-lint --dynamic) treat the error like any other
+   static/dynamic mismatch. *)
+let validate_no_alias ?(limit = 5_000_000) program report =
+  let claims =
+    List.concat_map
+      (fun l -> List.map (fun p -> (l, p)) l.no_alias)
+      report.loops
+  in
+  if claims = [] then Ok 0
+  else begin
+    let watched = Hashtbl.create 16 in
+    List.iter
+      (fun (_, (p : Alias.pair)) ->
+        Hashtbl.replace watched p.Alias.p_store ();
+        Hashtbl.replace watched p.Alias.p_load ())
+      claims;
+    (* pc -> set of observed start addresses *)
+    let observed : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+    let record pc addr =
+      let tbl =
+        match Hashtbl.find_opt observed pc with
+        | Some tbl -> tbl
+        | None ->
+            let tbl = Hashtbl.create 64 in
+            Hashtbl.replace observed pc tbl;
+            tbl
+      in
+      Hashtbl.replace tbl addr ()
+    in
+    let m = Riq_interp.Machine.create program in
+    let steps = ref 0 in
+    let stopped = ref false in
+    while (not !stopped) && !steps <= limit do
+      incr steps;
+      let pc = Riq_interp.Machine.pc m in
+      if Hashtbl.mem watched pc then
+        (match Option.bind (Program.insn_at program pc) Alias.mem_operand with
+        | Some (base, off) ->
+            record pc (Riq_util.Bits.add32 (Riq_interp.Machine.reg m base) off)
+        | None -> ());
+      if Riq_interp.Machine.step m <> None then stopped := true
+    done;
+    let addrs pc =
+      match Hashtbl.find_opt observed pc with
+      | Some tbl -> Hashtbl.fold (fun a () acc -> a :: acc) tbl []
+      | None -> []
+    in
+    let contradiction =
+      List.find_map
+        (fun (l, (p : Alias.pair)) ->
+          let ws = p.Alias.p_store_bytes and wl = p.Alias.p_load_bytes in
+          let stores = addrs p.Alias.p_store and loads = addrs p.Alias.p_load in
+          List.find_map
+            (fun s ->
+              List.find_map
+                (fun ld ->
+                  if s < ld + wl && ld < s + ws then
+                    Some
+                      (Printf.sprintf
+                         "loop %08x..%08x: store %08x touched %08x..%08x and load %08x touched %08x..%08x despite a no-alias claim"
+                         l.head l.tail p.Alias.p_store s (s + ws - 1)
+                         p.Alias.p_load ld (ld + wl - 1))
+                  else None)
+                loads)
+            stores)
+        claims
+    in
+    match contradiction with
+    | Some msg -> Error msg
+    | None -> Ok (List.length claims)
+  end
+
+(* Verdicts under which a dynamic inner-loop revoke (decode sees a second
+   capturable backward transfer while buffering) is statically impossible:
+
+   - [Ok], [Call_overflow], [Side_entry] and [Irreducible] all mean the
+     window scan completed, so there is no backward transfer at a
+     non-tail window pc and every direct callee is straight-line; decode
+     while buffering either stays inside the window (seeing none) or
+     leaves it, which fires the left-loop revoke first — even on the
+     wrong path.
+   - [Too_large] means the detector rejects the span before buffering
+     ever starts, so no revoke of any kind can be attributed to the tail.
+
+   The early-stopping scan errors ([Inner_transfer], [Callee_loops],
+   [Indirect], [Contains_halt]) leave the rest of the window unscanned,
+   so an inner revoke stays possible. *)
+let inner_revoke_impossible l =
+  match l.verdict with
+  | Ok () | Error (Too_large _ | Call_overflow _ | Side_entry | Irreducible) ->
+      true
+  | Error (Inner_transfer _ | Callee_loops _ | Indirect _ | Contains_halt _) ->
+      false
+
+let consistency ?(causes = []) report ~promotions =
   let promos_at tail =
     match List.find_opt (fun (t, _) -> t = tail) promotions with
     | Some (_, n) -> n
@@ -644,6 +810,23 @@ let consistency report ~promotions =
         else None)
       promotions
   in
-  match bad @ unknown with
+  (* A dynamic inner-loop revoke where the scan proved the window clean is
+     a soundness bug in either the analysis or the core. *)
+  let impossible_causes =
+    List.filter_map
+      (fun (tail, cc) ->
+        match List.find_opt (fun l -> l.tail = tail) report.loops with
+        | Some l when cc.rc_inner > 0 && inner_revoke_impossible l ->
+            Some
+              (Printf.sprintf
+                 "loop %08x..%08x took %d inner-loop revokes despite a clean window scan (static verdict %s)"
+                 l.head l.tail cc.rc_inner
+                 (match l.verdict with
+                 | Ok () -> "ok"
+                 | Error r -> reason_to_string r))
+        | _ -> None)
+      causes
+  in
+  match bad @ unknown @ impossible_causes with
   | [] -> Ok ()
   | msgs -> Error (String.concat "; " msgs)

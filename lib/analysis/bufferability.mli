@@ -40,6 +40,35 @@ type prediction =
   | Never_promotes (** detected but expected to revoke or exit early, every time *)
   | Marginal (** too close to a capacity or trip-count boundary to call *)
 
+(** Data-fact risks from the {!Dataflow}-based analyses. These do not
+    change the control-flow verdict; they flag conditions the paper's
+    hardware would react to that the shape analysis alone cannot see. *)
+type risk =
+  | Aliasing_store of { store : int; load : int }
+      (** a store in the window may hit a buffered load's line — the
+          Section 2.2.3 revoke condition; pcs of the pair *)
+  | Data_dependent_trip
+      (** the trip count is not statically derivable, so the promotion
+          prediction degrades to {!constructor-Marginal} *)
+
+(** Why a buffering attempt is revoked, statically predicted here and
+    dynamically counted per loop by {!Riq_core.Processor}. *)
+type revoke_cause =
+  | Rv_inner_loop (** decode saw a second capturable backward transfer *)
+  | Rv_left_loop (** decode left the window before promotion *)
+  | Rv_overflow (** the issue queue filled while buffering *)
+  | Rv_mispredict (** a mispredicted branch inside the window recovered *)
+
+(** Dynamic revoke-cause counts for one loop tail, as reported by the
+    core (plain integers so {!Riq_core} need not depend on this
+    library). *)
+type cause_counts = {
+  rc_inner : int;
+  rc_left : int;
+  rc_overflow : int;
+  rc_mispredict : int;
+}
+
 type loop_report = {
   head : int; (** byte address of the loop's first instruction *)
   tail : int; (** byte address of the backward transfer *)
@@ -57,6 +86,17 @@ type loop_report = {
   nblt_risk : bool; (** expected to register in the non-bufferable loop table *)
   lrl : Int64.t; (** live registers at the loop head (the logical register list) *)
   reused_insns : float option; (** predicted committed instructions supplied by reuse *)
+  risks : risk list; (** data-fact risks; empty for control-flow-rejected loops *)
+  no_alias : Alias.pair list;
+      (** globally-valid no-alias claims for store/load pairs in the
+          window — checkable against every address the program touches,
+          which is exactly what the fuzz oracle does *)
+  predicted_cause : revoke_cause option;
+      (** the revoke cause the static verdict implies, when it implies
+          one: inner-loop for {!constructor-Inner_transfer} /
+          {!constructor-Callee_loops}, overflow for
+          {!constructor-Call_overflow}, left-loop for a clean window
+          that can never reach promotion *)
 }
 
 type report = {
@@ -67,6 +107,9 @@ type report = {
   coverage : float option; (** predicted reuse coverage, percent of committed *)
   exact_trips : bool; (** every trip count involved was statically derived *)
   irreducible_edges : (int * int) list; (** retreating non-back edges (block ids) *)
+  unreachable : (int * int) list;
+      (** byte-address ranges [(first, last)] of statically unreachable
+          blocks (meaningful now that [la; jr] targets resolve) *)
 }
 
 val analyze : ?multi_iter:bool -> iq_size:int -> Program.t -> report
@@ -77,6 +120,8 @@ val analyze_config : Riq_ooo.Config.t -> Program.t -> report
     configuration. *)
 
 val reason_to_string : reason -> string
+val risk_to_string : risk -> string
+val cause_to_string : revoke_cause -> string
 
 val hard_reject : reason -> bool
 (** Rejection reasons whose dynamic counterpart can never promote, because
@@ -91,12 +136,31 @@ val hard_reject : reason -> bool
     a promotion of a hard-rejected loop is a simulator bug. *)
 
 val consistency :
-  report -> promotions:(int * int) list -> (unit, string) result
+  ?causes:(int * cause_counts) list ->
+  report ->
+  promotions:(int * int) list ->
+  (unit, string) result
 (** [consistency report ~promotions] checks the dynamic per-loop promotion
     counts (pairs of loop-tail pc and promotion count, from
     {!Riq_core.Processor.loop_decisions}) against the static verdicts:
     a promotion of a {!hard_reject}-ed loop, or of a tail the analysis
-    never saw, is an inconsistency. *)
+    never saw, is an inconsistency. [causes] adds the per-tail dynamic
+    revoke-cause counts; an inner-loop revoke at a tail whose window scan
+    completed (verdict [Ok], [Call_overflow], [Side_entry],
+    [Irreducible] — or [Too_large], which never buffers) is one too,
+    because a completed scan proves no second backward transfer is
+    decodable while buffering. *)
+
+val validate_no_alias :
+  ?limit:int -> Program.t -> report -> (int, string) result
+(** [validate_no_alias program report] replays [program] on the reference
+    interpreter (at most [limit] steps, default 5 million) and checks
+    every {!field-no_alias} claim against the effective addresses actually
+    produced: a store byte range intersecting a load byte range under a
+    [No_alias] verdict is a soundness bug in the dataflow stack. Returns
+    the number of claims validated. The fuzz oracle and the experiment
+    runner's verdict jobs both call this, so the analyses are
+    differentially tested on every corpus program. *)
 
 val coverage_of : report -> tail:int -> float option
 (** Predicted coverage contribution (percent of all committed

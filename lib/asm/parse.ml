@@ -220,18 +220,29 @@ let parse_line b ~note line_no raw =
     | op :: _ -> fail line_no "unrecognised instruction %S" op
   end
 
-let program ?text_base src =
+let program_with_lines ?text_base src =
   let b = Builder.create ?text_base () in
   (* Every line that references each label, for resolution-time errors. *)
   let refs : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  (* Byte address -> source line. A line that expands to several words
+     ([li], [la]) maps each of them back to itself, so downstream
+     diagnostics always have a position. *)
+  let lines : (int, int) Hashtbl.t = Hashtbl.create 64 in
   try
     String.split_on_char '\n' src
     |> List.iteri (fun i l ->
            let line_no = i + 1 in
            let note name = Hashtbl.add refs name line_no in
-           try parse_line b ~note line_no l
-           with Failure msg | Invalid_argument msg -> raise (Parse_error (line_no, msg)));
-    Ok (Builder.finish b)
+           let before = Builder.here b in
+           (try parse_line b ~note line_no l
+            with Failure msg | Invalid_argument msg ->
+              raise (Parse_error (line_no, msg)));
+           let pc = ref before in
+           while !pc < Builder.here b do
+             Hashtbl.replace lines !pc line_no;
+             pc := !pc + 4
+           done);
+    Ok (Builder.finish b, lines)
   with
   | Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
   | Builder.Resolve_error { label; reason } -> (
@@ -247,6 +258,8 @@ let program ?text_base src =
           in
           Error (Printf.sprintf "line %d: %s %S%s" first reason label also))
   | Failure msg | Invalid_argument msg -> Error msg
+
+let program ?text_base src = Result.map fst (program_with_lines ?text_base src)
 
 let program_exn ?text_base src =
   match program ?text_base src with

@@ -29,3 +29,11 @@ val program : ?text_base:int -> string -> (Program.t, string) result
     at the referencing line. *)
 
 val program_exn : ?text_base:int -> string -> Program.t
+
+val program_with_lines :
+  ?text_base:int -> string -> (Program.t * (int, int) Hashtbl.t, string) result
+(** Like {!program}, but also returns the byte-address → source-line map
+    (1-based lines). Pseudo-instructions that expand to several words
+    ([li], [la]) map every emitted word back to the originating line, so
+    tools reporting on an address always have a position ([riq-lint]'s
+    [file:line:] diagnostic prefixes). *)

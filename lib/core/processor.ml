@@ -31,6 +31,22 @@ type ev = {
 
 type replay = { rp_seq : int; rp_rob : int; rp_addr : int }
 
+(* Why a buffering attempt was revoked, one constructor per revoke site.
+   The static side (Riq_analysis.Bufferability) predicts these; keeping
+   per-cause counters is what lets the oracle cross-check prediction
+   against execution. *)
+type revoke_cause =
+  | Rv_inner_loop (* decode saw a second capturable backward transfer *)
+  | Rv_left_loop (* decode left the window before promotion *)
+  | Rv_overflow (* the issue queue filled while buffering *)
+  | Rv_mispredict (* recovery from a mispredict older than the loop *)
+
+let revoke_cause_to_string = function
+  | Rv_inner_loop -> "inner-loop"
+  | Rv_left_loop -> "left-loop"
+  | Rv_overflow -> "overflow"
+  | Rv_mispredict -> "mispredict"
+
 (* Per-loop decision record, keyed by the loop-ending instruction's pc —
    the same key the detector and NBLT use. Queryable after a run to
    compare the dynamic decisions with the static bufferability pass. *)
@@ -42,6 +58,10 @@ type loop_decision = {
   mutable ld_nblt_filtered : int; (* detections suppressed by the NBLT *)
   mutable ld_attempts : int; (* buffering attempts started *)
   mutable ld_revokes : int;
+  mutable ld_rv_inner : int; (* ld_revokes split by cause *)
+  mutable ld_rv_left : int;
+  mutable ld_rv_overflow : int;
+  mutable ld_rv_mispredict : int;
   mutable ld_nblt_registered : int; (* revokes that registered in the NBLT *)
   mutable ld_promotions : int; (* reached Code Reuse *)
   mutable ld_reuse_committed : int; (* committed instructions supplied by reuse *)
@@ -187,6 +207,10 @@ let loop_record t ~head ~tail =
           ld_nblt_filtered = 0;
           ld_attempts = 0;
           ld_revokes = 0;
+          ld_rv_inner = 0;
+          ld_rv_left = 0;
+          ld_rv_overflow = 0;
+          ld_rv_mispredict = 0;
           ld_nblt_registered = 0;
           ld_promotions = 0;
           ld_reuse_committed = 0;
@@ -332,17 +356,23 @@ let flush_front_end t =
   Queue.clear t.fetch_q;
   Queue.clear t.decode_latch
 
-let revoke_buffering t ~register_nblt =
+let revoke_buffering t ~register_nblt ~cause =
   let r =
     loop_record t ~head:t.reuse.Reuse_state.head ~tail:t.reuse.Reuse_state.tail
   in
   r.ld_revokes <- r.ld_revokes + 1;
+  (match cause with
+  | Rv_inner_loop -> r.ld_rv_inner <- r.ld_rv_inner + 1
+  | Rv_left_loop -> r.ld_rv_left <- r.ld_rv_left + 1
+  | Rv_overflow -> r.ld_rv_overflow <- r.ld_rv_overflow + 1
+  | Rv_mispredict -> r.ld_rv_mispredict <- r.ld_rv_mispredict + 1);
   if Tracer.enabled t.tracer then
     Tracer.instant t.tracer ~now:t.now
       ~args:
         [
           ("head", Tracer.Int t.reuse.Reuse_state.head);
           ("tail", Tracer.Int t.reuse.Reuse_state.tail);
+          ("cause", Tracer.Str (revoke_cause_to_string cause));
           ("registered_nblt", Tracer.Int (if register_nblt then 1 else 0));
         ]
       ~cat:"reuse" "revoke";
@@ -383,7 +413,9 @@ let recover t (e : Rob.entry) =
       (* A wrong path inside the loop (including the loop exit) makes the
          loop non-bufferable; a mispredict older than the loop is a plain
          revoke. *)
-      revoke_buffering t ~register_nblt:(Reuse_state.in_loop t.reuse ~pc:e.Rob.pc)
+      let in_loop = Reuse_state.in_loop t.reuse ~pc:e.Rob.pc in
+      revoke_buffering t ~register_nblt:in_loop
+        ~cause:(if in_loop then Rv_left_loop else Rv_mispredict)
   | Reuse_state.Reusing -> exit_reuse t
 
 (* ------------------------------------------------------------------ *)
@@ -750,7 +782,7 @@ let dispatch_one t (f : fetched) =
     (* Queue exhausted while buffering a loop (e.g. a too-large procedure
        inside it): the loop is non-bufferable (Section 2.2.2). *)
     if t.reuse.Reuse_state.state = Reuse_state.Buffering && f.f_buffered then
-      revoke_buffering t ~register_nblt:true;
+      revoke_buffering t ~register_nblt:true ~cause:Rv_overflow;
     false
   end
   else if is_mem f.f_insn && Lsq.is_full t.lsq then false
@@ -935,12 +967,12 @@ let decode_reuse_hooks t (f : fetched) =
             ());
         if (not in_loop) && not in_callee then
           (* The execution left the loop while buffering (Section 2.2.3). *)
-          revoke_buffering t ~register_nblt:true
+          revoke_buffering t ~register_nblt:true ~cause:Rv_left_loop
         else begin
           match Detector.examine ~iq_size:t.cfg.Config.iq_entries ~pc:f.f_pc f.f_insn with
           | Detector.Capturable { tail; _ } when tail <> r.Reuse_state.tail ->
               (* An inner loop makes the current loop non-bufferable. *)
-              revoke_buffering t ~register_nblt:true
+              revoke_buffering t ~register_nblt:true ~cause:Rv_inner_loop
           | Detector.Capturable _ | Detector.Too_large _ | Detector.Not_a_loop -> ()
         end
     | Reuse_state.Reusing -> ()

@@ -27,14 +27,36 @@ let execute (job : Job.t) : Outcome.t =
           Ok ()
         else
           let report = Bufferability.analyze_config job.Job.cfg job.Job.program in
+          let decisions = Processor.loop_decisions p in
           let promotions =
             List.map
               (fun d -> (d.Processor.ld_tail, d.Processor.ld_promotions))
-              (Processor.loop_decisions p)
+              decisions
+          in
+          let causes =
+            List.map
+              (fun d ->
+                ( d.Processor.ld_tail,
+                  {
+                    Bufferability.rc_inner = d.Processor.ld_rv_inner;
+                    rc_left = d.Processor.ld_rv_left;
+                    rc_overflow = d.Processor.ld_rv_overflow;
+                    rc_mispredict = d.Processor.ld_rv_mispredict;
+                  } ))
+              decisions
           in
           Result.map_error
             (fun msg -> Outcome.Verdict_mismatch msg)
-            (Bufferability.consistency report ~promotions)
+            (match Bufferability.consistency ~causes report ~promotions with
+            | Error _ as e -> e
+            | Ok () ->
+                (* Same soundness gate as the fuzz oracle: no-alias claims
+                   must survive the addresses the program actually
+                   produces. *)
+                Result.map (fun (_ : int) -> ())
+                  (Result.map_error
+                     (fun s -> "no-alias claim contradicted: " ^ s)
+                     (Bufferability.validate_no_alias job.Job.program report)))
       in
       match (checked, verdicts) with
       | Error e, _ -> Error e

@@ -35,6 +35,7 @@ type failure =
   | Ooo_stuck of { config : string; detail : string }
   | Arch_mismatch of { config : string; diff : string }
   | Verdict_mismatch of string
+  | Alias_mismatch of string
   | Accounting of string
 
 let failure_to_string = function
@@ -44,6 +45,7 @@ let failure_to_string = function
   | Arch_mismatch { config; diff } ->
       Printf.sprintf "architectural state mismatch (%s vs reference):\n%s" config diff
   | Verdict_mismatch s -> "static/dynamic verdict mismatch: " ^ s
+  | Alias_mismatch s -> "static no-alias claim contradicted dynamically: " ^ s
   | Accounting s -> "reuse accounting inconsistency: " ^ s
 
 type summary = {
@@ -58,6 +60,8 @@ type summary = {
   reuse_committed : int;
   static_loops : int;
   hard_rejected : int;
+  no_alias_claims : int;
+  alias_risks : int;
 }
 
 let ( let* ) = Result.bind
@@ -120,9 +124,25 @@ let check ?(runner = default_runner ()) ?(ref_limit = 5_000_000) ~cfg program =
   let promotions =
     List.map (fun d -> (d.Processor.ld_tail, d.Processor.ld_promotions)) on.decisions
   in
+  let causes =
+    List.map
+      (fun d ->
+        ( d.Processor.ld_tail,
+          {
+            Bufferability.rc_inner = d.Processor.ld_rv_inner;
+            rc_left = d.Processor.ld_rv_left;
+            rc_overflow = d.Processor.ld_rv_overflow;
+            rc_mispredict = d.Processor.ld_rv_mispredict;
+          } ))
+      on.decisions
+  in
   let* () =
     Result.map_error (fun s -> Verdict_mismatch s)
-      (Bufferability.consistency report ~promotions)
+      (Bufferability.consistency ~causes report ~promotions)
+  in
+  let* no_alias_claims =
+    Result.map_error (fun s -> Alias_mismatch s)
+      (Bufferability.validate_no_alias ~limit:ref_limit program report)
   in
   let hard_rejected =
     List.length
@@ -146,4 +166,16 @@ let check ?(runner = default_runner ()) ?(ref_limit = 5_000_000) ~cfg program =
       reuse_committed = st.Processor.reuse_committed;
       static_loops = List.length report.Bufferability.loops;
       hard_rejected;
+      no_alias_claims;
+      alias_risks =
+        List.fold_left
+          (fun acc (l : Bufferability.loop_report) ->
+            acc
+            + List.length
+                (List.filter
+                   (function
+                     | Bufferability.Aliasing_store _ -> true
+                     | Bufferability.Data_dependent_trip -> false)
+                   l.Bufferability.risks))
+          0 report.Bufferability.loops;
     }

@@ -38,7 +38,12 @@ type failure =
   | Arch_mismatch of { config : string; diff : string }
       (** final architectural state differs from the reference *)
   | Verdict_mismatch of string
-      (** dynamic promotions contradict the static bufferability verdicts *)
+      (** dynamic promotions or revoke causes contradict the static
+          bufferability verdicts *)
+  | Alias_mismatch of string
+      (** a static [No_alias] claim was contradicted by effective
+          addresses observed on the reference interpreter — a soundness
+          bug in the dataflow analyses *)
   | Accounting of string
       (** the processor's reuse counters are self-inconsistent (e.g.
           reused commits without a promotion, or reuse activity in the
@@ -61,6 +66,8 @@ type summary = {
   reuse_committed : int;
   static_loops : int;  (** loops the static analysis saw *)
   hard_rejected : int;  (** of those, hard-rejected ones *)
+  no_alias_claims : int;  (** no-alias claims validated against the interpreter *)
+  alias_risks : int;  (** store/load pairs flagged [Aliasing_store] *)
 }
 
 val check :

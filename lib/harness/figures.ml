@@ -413,3 +413,84 @@ let unroll_ablation ?engine ?(check = true) ?(factor = 4) () =
           Table.cell_f ~digits:2 ru.Run.stats.Processor.ipc;
         ]);
   t
+
+(* Predicted vs. measured revoke causes: the dataflow-backed static
+   analysis names, for every loop whose verdict implies one, the revoke
+   cause the hardware should observe; the simulator counts the causes it
+   actually raised. Runs in-process (like riq-lint --dynamic) because the
+   per-loop cause counters live in [Processor.loop_decisions], not in the
+   engine's summary stats. *)
+let revoke_causes ?(iq_size = 32) () =
+  let cfg = Config.with_iq_size Config.reuse iq_size in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Static revoke-cause prediction vs. per-loop measured causes (IQ %d)."
+           iq_size)
+      [
+        ("Benchmark", Table.Left);
+        ("Loop", Table.Left);
+        ("Predicted", Table.Left);
+        ("inner", Table.Right);
+        ("left", Table.Right);
+        ("ovfl", Table.Right);
+        ("mispred", Table.Right);
+        ("Match", Table.Left);
+      ]
+  in
+  List.iter
+    (fun w ->
+      let program = Workloads.program w in
+      let report = Riq_analysis.Bufferability.analyze_config cfg program in
+      let p = Processor.create cfg program in
+      (match Processor.run p with
+      | Processor.Halted -> ()
+      | Processor.Cycle_limit -> failwith (w.Workloads.name ^ ": cycle limit hit"));
+      List.iter
+        (fun d ->
+          let predicted =
+            Option.bind
+              (List.find_opt
+                 (fun l -> l.Riq_analysis.Bufferability.tail = d.Processor.ld_tail)
+                 report.Riq_analysis.Bufferability.loops)
+              (fun l -> l.Riq_analysis.Bufferability.predicted_cause)
+          in
+          let counts =
+            [
+              (Riq_analysis.Bufferability.Rv_inner_loop, d.Processor.ld_rv_inner);
+              (Riq_analysis.Bufferability.Rv_left_loop, d.Processor.ld_rv_left);
+              (Riq_analysis.Bufferability.Rv_overflow, d.Processor.ld_rv_overflow);
+              (Riq_analysis.Bufferability.Rv_mispredict, d.Processor.ld_rv_mispredict);
+            ]
+          in
+          let dominant =
+            List.fold_left
+              (fun acc (c, n) ->
+                match acc with
+                | Some (_, m) when m >= n -> acc
+                | _ -> if n > 0 then Some (c, n) else acc)
+              None counts
+          in
+          let matches =
+            match (predicted, dominant) with
+            | None, _ -> "-"
+            | Some _, None -> "no revokes"
+            | Some c, Some (dc, _) -> if c = dc then "yes" else "NO"
+          in
+          Table.add_row t
+            [
+              w.Workloads.name;
+              Printf.sprintf "%08x..%08x" d.Processor.ld_head d.Processor.ld_tail;
+              (match predicted with
+              | Some c -> Riq_analysis.Bufferability.cause_to_string c
+              | None -> "-");
+              string_of_int d.Processor.ld_rv_inner;
+              string_of_int d.Processor.ld_rv_left;
+              string_of_int d.Processor.ld_rv_overflow;
+              string_of_int d.Processor.ld_rv_mispredict;
+              matches;
+            ])
+        (Processor.loop_decisions p))
+    Workloads.all;
+  t

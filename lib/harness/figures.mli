@@ -71,3 +71,12 @@ val unroll_ablation :
     every loop by [factor] (default 4) and measure, at the 32-entry queue,
     how grown bodies lose capturability — and with it the gating and power
     benefit — against the control overhead they save. *)
+
+val revoke_causes : ?iq_size:int -> unit -> Table.t
+(** Static revoke-cause prediction against the simulator's per-loop cause
+    counters ([iq_size] defaults to 32): one row per dynamically detected
+    loop, the cause the {!Riq_analysis.Bufferability} verdict implies (if
+    any), the measured inner-loop / left-loop / overflow / mispredict
+    revoke counts, and whether the dominant measured cause matches the
+    prediction. Runs the processor in-process — the cause counters are
+    per-loop, not part of the engine's summary statistics. *)

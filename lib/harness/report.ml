@@ -4,7 +4,8 @@ open Riq_ooo
 open Riq_core
 open Riq_obs
 
-let schema = "riq-report/1"
+(* /2: loop decisions gained the per-cause revoke split. *)
+let schema = "riq-report/2"
 
 let stats_json (s : Processor.stats) =
   Json.Obj
@@ -55,6 +56,14 @@ let loop_decision_json (d : Processor.loop_decision) =
       ("nblt_filtered", Json.Int d.Processor.ld_nblt_filtered);
       ("attempts", Json.Int d.Processor.ld_attempts);
       ("revokes", Json.Int d.Processor.ld_revokes);
+      ( "revoke_causes",
+        Json.Obj
+          [
+            ("inner_loop", Json.Int d.Processor.ld_rv_inner);
+            ("left_loop", Json.Int d.Processor.ld_rv_left);
+            ("overflow", Json.Int d.Processor.ld_rv_overflow);
+            ("mispredict", Json.Int d.Processor.ld_rv_mispredict);
+          ] );
       ("nblt_registered", Json.Int d.Processor.ld_nblt_registered);
       ("promotions", Json.Int d.Processor.ld_promotions);
       ("reuse_committed", Json.Int d.Processor.ld_reuse_committed);

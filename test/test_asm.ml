@@ -225,6 +225,24 @@ let prop_print_parse =
           | Ok p -> Insn.equal p.Program.code.(0) insn
           | Error _ -> false))
 
+let test_parse_line_map () =
+  (* [li] with a large constant expands to lui+ori: both words must map
+     back to the one source line, and every other pc to its own line. *)
+  let src = "start:\n    li   r2, 123456\n    addi r3, r2, 1\nloop:\n    bgtz r3, loop\n    halt\n" in
+  let p, lines =
+    match Parse.program_with_lines src with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "parse: %s" msg
+  in
+  let base = p.Program.text_base in
+  Alcotest.(check (option int)) "li word 1" (Some 2) (Hashtbl.find_opt lines base);
+  Alcotest.(check (option int)) "li word 2" (Some 2) (Hashtbl.find_opt lines (base + 4));
+  Alcotest.(check (option int)) "addi" (Some 3) (Hashtbl.find_opt lines (base + 8));
+  Alcotest.(check (option int)) "branch" (Some 5) (Hashtbl.find_opt lines (base + 12));
+  Alcotest.(check (option int)) "halt" (Some 6) (Hashtbl.find_opt lines (base + 16));
+  Alcotest.(check int) "one entry per word" (Array.length p.Program.code)
+    (Hashtbl.length lines)
+
 let suites =
   [
     ( "asm",
@@ -244,6 +262,7 @@ let suites =
         Alcotest.test_case "parse errors" `Quick test_parse_errors;
         Alcotest.test_case "parse error line numbers" `Quick test_parse_error_lines;
         Alcotest.test_case "parse comments" `Quick test_parse_comments_blank;
+        Alcotest.test_case "parse line map" `Quick test_parse_line_map;
         QCheck_alcotest.to_alcotest prop_print_parse;
       ] );
   ]

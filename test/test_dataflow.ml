@@ -1,0 +1,374 @@
+(* Tests for the generic dataflow framework and its clients (reaching
+   definitions, value ranges, store-load alias analysis), plus the
+   soundness properties the ISSUE pins down:
+
+   - solver properties on random CFGs from the fuzz generator: the
+     fixpoint is stable (re-solving changes nothing) and a Backward
+     solve equals a Forward solve of the reversed graph;
+   - a non-monotone transfer function is detected, not silently
+     "solved";
+   - on every built-in kernel, the statically predicted revoke cause
+     matches the dominant cause the core actually counted (on loops
+     whose prediction is not Marginal), and no no-alias claim is
+     contradicted by the addresses the reference interpreter observes. *)
+
+open Riq_asm
+open Riq_isa
+open Riq_core
+open Riq_workloads
+open Riq_analysis
+
+let parse = Parse.program_exn
+let cfg_of src = Cfg.build (parse src)
+
+(* ---- solver properties on random CFGs ---- *)
+
+module IS = Set.Make (Int)
+
+module L = struct
+  type fact = IS.t
+
+  let name = "reach-set"
+  let bottom = IS.empty
+  let equal = IS.equal
+  let join = IS.union
+  let widen = IS.union
+end
+
+module Solver = Dataflow.Make (L)
+
+let transfer n input = IS.add n input
+
+let random_graphs =
+  lazy
+    (List.filter_map
+       (fun i ->
+         let prog = Riq_fuzz.Gen.program ~seed:(Riq_fuzz.Gen.derive_seed 99 i) () in
+         match Riq_fuzz.Prog.to_program prog with
+         | Ok p -> Some (Dataflow.of_cfg (Cfg.build p))
+         | Error _ -> None)
+       (List.init 20 Fun.id))
+
+let test_fixpoint_stable () =
+  List.iteri
+    (fun i g ->
+      let r = Solver.solve ~transfer g in
+      Alcotest.(check bool)
+        (Printf.sprintf "forward fixpoint stable (graph %d)" i)
+        true
+        (Solver.stable ~transfer g r);
+      let rb = Solver.solve ~direction:Dataflow.Backward ~transfer g in
+      Alcotest.(check bool)
+        (Printf.sprintf "backward fixpoint stable (graph %d)" i)
+        true
+        (Solver.stable ~direction:Dataflow.Backward ~transfer g rb))
+    (Lazy.force random_graphs)
+
+let test_direction_symmetry () =
+  List.iteri
+    (fun i g ->
+      let bwd = Solver.solve ~direction:Dataflow.Backward ~transfer g in
+      let fwd_rev = Solver.solve ~transfer (Dataflow.reverse g) in
+      Array.iteri
+        (fun n f ->
+          Alcotest.(check bool)
+            (Printf.sprintf "input facts agree (graph %d, node %d)" i n)
+            true
+            (IS.equal f fwd_rev.Solver.input.(n)))
+        bwd.Solver.input;
+      Array.iteri
+        (fun n f ->
+          Alcotest.(check bool)
+            (Printf.sprintf "output facts agree (graph %d, node %d)" i n)
+            true
+            (IS.equal f fwd_rev.Solver.output.(n)))
+        bwd.Solver.output)
+    (Lazy.force random_graphs)
+
+let test_non_monotone_detected () =
+  (* Entry feeds a self-loop whose transfer erases the very mark it adds:
+     the second visit computes an output strictly below the first, which
+     must raise, not converge by accident of visit order. *)
+  let g =
+    {
+      Dataflow.g_nodes = 2;
+      g_entry = 0;
+      g_succs = [| [ 1 ]; [ 1 ] |];
+      g_preds = [| []; [ 0; 1 ] |];
+      g_order = [| 0; 1 |];
+    }
+  in
+  let shrinking n input =
+    if n = 1 then (if IS.mem 99 input then IS.empty else IS.singleton 99)
+    else input
+  in
+  Alcotest.check_raises "non-monotone transfer raises"
+    (Dataflow.Non_monotone { lattice = "reach-set"; node = 1 })
+    (fun () -> ignore (Solver.solve ~transfer:shrinking g))
+
+(* ---- value-range propagation ---- *)
+
+let pc_of p label = Option.get (Program.address_of p label)
+
+let test_valrange_constants () =
+  let src =
+    {|
+start:
+    addi r2, r0, 10
+    addi r3, r2, 5
+    sll  r4, r3, 2
+q:
+    halt
+|}
+  in
+  let p = parse src in
+  let v = Valrange.analyze (Cfg.build p) in
+  let at label r = Valrange.value_at v ~pc:(pc_of p label) (Reg.r r) in
+  Alcotest.(check bool) "not tainted" false (Valrange.tainted v);
+  Alcotest.(check (option int)) "r3 = 15" (Some 15) (Valrange.const (at "q" 3));
+  Alcotest.(check (option int)) "r4 = 60" (Some 60) (Valrange.const (at "q" 4))
+
+let test_valrange_join_and_call () =
+  let src =
+    {|
+start:
+    addi r2, r0, 7
+    beq  r2, r0, else_
+    addi r3, r0, 1
+    j    join
+else_:
+    addi r3, r0, 2
+join:
+    add  r4, r3, r0
+    jal  proc
+after:
+    halt
+proc:
+    addi r5, r0, 3
+    jr   r31
+|}
+  in
+  let p = parse src in
+  let v = Valrange.analyze (Cfg.build p) in
+  Alcotest.(check bool) "not tainted" false (Valrange.tainted v);
+  (match Valrange.value_at v ~pc:(pc_of p "join") (Reg.r 3) with
+  | Valrange.Range (1, 2) -> ()
+  | other -> Alcotest.failf "r3 at join: expected [1,2], got %s" (Valrange.to_string other));
+  (* The call havocs everything: the constant r2 held before [jal] is
+     gone at the return point. *)
+  (match Valrange.value_at v ~pc:(pc_of p "after") (Reg.r 2) with
+  | Valrange.Top -> ()
+  | other -> Alcotest.failf "r2 after call: expected Top, got %s" (Valrange.to_string other))
+
+let test_valrange_tainted_by_jalr () =
+  let src =
+    {|
+start:
+    addi r2, r0, 5
+    la   r8, start
+    jalr r31, r8
+q:
+    halt
+|}
+  in
+  let p = parse src in
+  let v = Valrange.analyze (Cfg.build p) in
+  Alcotest.(check bool) "tainted" true (Valrange.tainted v);
+  (match Valrange.value_at v ~pc:(pc_of p "q") (Reg.r 2) with
+  | Valrange.Top -> ()
+  | other -> Alcotest.failf "tainted query: expected Top, got %s" (Valrange.to_string other))
+
+(* ---- reaching definitions ---- *)
+
+let test_reaching_defs () =
+  let src =
+    {|
+start:
+    addi r2, r0, 1
+    addi r2, r2, 1
+q:
+    halt
+|}
+  in
+  let p = parse src in
+  let r = Reaching.analyze (Cfg.build p) in
+  Alcotest.(check (list int)) "second def shadows the first"
+    [ pc_of p "start" + 4 ]
+    (Reaching.defs_of r ~pc:(pc_of p "q") (Reg.r 2));
+  Alcotest.(check (list int)) "unwritten register keeps its initial def"
+    [ Reaching.entry_pc ]
+    (Reaching.defs_of r ~pc:(pc_of p "q") (Reg.r 9))
+
+(* ---- alias analysis, through the bufferability report ---- *)
+
+let loop_report src =
+  let report = Bufferability.analyze ~iq_size:32 (parse src) in
+  match report.Bufferability.loops with
+  | [ l ] -> (report, l)
+  | ls -> Alcotest.failf "expected one loop, got %d" (List.length ls)
+
+let disjoint_src =
+  (* Pointer-bump idiom: both bases are inductions with constant entry
+     values and an exact trip count, so the analysis lowers each to the
+     concrete interval it sweeps — provably disjoint arrays. *)
+  {|
+.space a 64
+.space b 64
+start:
+    la   r8, a
+    la   r9, b
+    addi r16, r0, 16
+loop:
+    lw   r5, 0(r9)
+    sw   r5, 0(r8)
+    addi r8, r8, 4
+    addi r9, r9, 4
+    addi r16, r16, -1
+    bgtz r16, loop
+    halt
+|}
+
+let test_alias_disjoint_arrays () =
+  let _, l = loop_report disjoint_src in
+  Alcotest.(check bool) "no-alias claim exported" true (l.Bufferability.no_alias <> []);
+  Alcotest.(check bool) "no aliasing-store risk" true
+    (not
+       (List.exists
+          (function Bufferability.Aliasing_store _ -> true | _ -> false)
+          l.Bufferability.risks))
+
+let test_alias_same_address_flagged () =
+  let src =
+    {|
+.space a 64
+start:
+    la   r8, a
+    addi r16, r0, 0
+loop:
+    lw   r5, 0(r8)
+    addi r5, r5, 1
+    sw   r5, 0(r8)
+    addi r16, r16, 1
+    slti r2, r16, 16
+    bne  r2, r0, loop
+    halt
+|}
+  in
+  let _, l = loop_report src in
+  Alcotest.(check bool) "aliasing store flagged" true
+    (List.exists
+       (function Bufferability.Aliasing_store _ -> true | _ -> false)
+       l.Bufferability.risks)
+
+let test_alias_claims_validated () =
+  let p = parse disjoint_src in
+  let report = Bufferability.analyze ~iq_size:32 p in
+  match Bufferability.validate_no_alias p report with
+  | Ok n -> Alcotest.(check bool) "claims checked" true (n > 0)
+  | Error msg -> Alcotest.failf "claim contradicted: %s" msg
+
+(* ---- unreachable code ---- *)
+
+let test_unreachable_reported () =
+  let src =
+    {|
+start:
+    addi r2, r0, 1
+    j    out
+dead:
+    addi r3, r0, 2
+    addi r3, r3, 1
+out:
+    halt
+|}
+  in
+  let p = parse src in
+  let report = Bufferability.analyze ~iq_size:32 p in
+  match report.Bufferability.unreachable with
+  | [ (first, last) ] ->
+      Alcotest.(check int) "range starts at dead" (pc_of p "dead") first;
+      Alcotest.(check int) "range spans both insns" (pc_of p "dead" + 4) last
+  | other -> Alcotest.failf "expected one unreachable range, got %d" (List.length other)
+
+(* ---- kernels: predicted vs measured revoke causes, claims validated ---- *)
+
+let dominant_cause (d : Processor.loop_decision) =
+  List.fold_left
+    (fun acc (c, n) ->
+      match acc with Some (_, m) when m >= n -> acc | _ -> if n > 0 then Some (c, n) else acc)
+    None
+    [
+      (Bufferability.Rv_inner_loop, d.Processor.ld_rv_inner);
+      (Bufferability.Rv_left_loop, d.Processor.ld_rv_left);
+      (Bufferability.Rv_overflow, d.Processor.ld_rv_overflow);
+      (Bufferability.Rv_mispredict, d.Processor.ld_rv_mispredict);
+    ]
+
+let test_kernel_revoke_causes () =
+  List.iter
+    (fun w ->
+      let program = Workloads.program w in
+      let cfg = Riq_ooo.Config.with_iq_size Riq_ooo.Config.reuse 32 in
+      let report = Bufferability.analyze_config cfg program in
+      (match Bufferability.validate_no_alias program report with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "%s: no-alias claim contradicted: %s" w.Workloads.name msg);
+      let p = Processor.create cfg program in
+      (match Processor.run p with
+      | Processor.Halted -> ()
+      | Processor.Cycle_limit -> Alcotest.failf "%s: cycle limit" w.Workloads.name);
+      List.iter
+        (fun (d : Processor.loop_decision) ->
+          match
+            List.find_opt
+              (fun l -> l.Bufferability.tail = d.Processor.ld_tail)
+              report.Bufferability.loops
+          with
+          | None -> ()
+          | Some l -> (
+              match (l.Bufferability.predicted_cause, dominant_cause d) with
+              | Some c, Some (dc, _) when l.Bufferability.prediction <> Bufferability.Marginal
+                ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s loop %08x: predicted cause" w.Workloads.name
+                       d.Processor.ld_tail)
+                    (Bufferability.cause_to_string c)
+                    (Bufferability.cause_to_string dc)
+              | _ -> ()))
+        (Processor.loop_decisions p))
+    Workloads.all
+
+let suites =
+  [
+    ( "dataflow.solver",
+      [
+        Alcotest.test_case "fixpoint stable on random CFGs" `Quick test_fixpoint_stable;
+        Alcotest.test_case "backward = forward on reversed graph" `Quick
+          test_direction_symmetry;
+        Alcotest.test_case "non-monotone transfer detected" `Quick
+          test_non_monotone_detected;
+      ] );
+    ( "dataflow.valrange",
+      [
+        Alcotest.test_case "constants fold" `Quick test_valrange_constants;
+        Alcotest.test_case "join and call havoc" `Quick test_valrange_join_and_call;
+        Alcotest.test_case "jalr taints" `Quick test_valrange_tainted_by_jalr;
+      ] );
+    ( "dataflow.reaching",
+      [ Alcotest.test_case "kills and initial defs" `Quick test_reaching_defs ] );
+    ( "dataflow.alias",
+      [
+        Alcotest.test_case "disjoint arrays proven" `Quick test_alias_disjoint_arrays;
+        Alcotest.test_case "same-address store flagged" `Quick
+          test_alias_same_address_flagged;
+        Alcotest.test_case "claims validated dynamically" `Quick
+          test_alias_claims_validated;
+      ] );
+    ( "dataflow.unreachable",
+      [ Alcotest.test_case "dead block reported" `Quick test_unreachable_reported ] );
+    ( "dataflow.kernels",
+      [
+        Alcotest.test_case "revoke causes and claims on all kernels" `Quick
+          test_kernel_revoke_causes;
+      ] );
+  ]

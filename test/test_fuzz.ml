@@ -37,6 +37,8 @@ let zero =
     reuse_committed = 0;
     static_loops = 0;
     hard_rejected = 0;
+    no_alias_claims = 0;
+    alias_risks = 0;
   }
 
 let add (a : Oracle.summary) (b : Oracle.summary) =
@@ -52,6 +54,8 @@ let add (a : Oracle.summary) (b : Oracle.summary) =
     reuse_committed = a.reuse_committed + b.reuse_committed;
     static_loops = a.static_loops + b.static_loops;
     hard_rejected = a.hard_rejected + b.hard_rejected;
+    no_alias_claims = a.no_alias_claims + b.no_alias_claims;
+    alias_risks = a.alias_risks + b.alias_risks;
   }
 
 let check_corpus ~cfg progs =
@@ -81,7 +85,12 @@ let test_corpus_three_way () =
   nonzero "reuse exits" agg.Oracle.exits;
   nonzero "reused commits" agg.Oracle.reuse_committed;
   nonzero "static loops seen" agg.Oracle.static_loops;
-  nonzero "hard-rejected loops" agg.Oracle.hard_rejected
+  nonzero "hard-rejected loops" agg.Oracle.hard_rejected;
+  (* The dataflow analyses must not be vacuous on generated code: the
+     corpus has to mint interpreter-checked no-alias claims and flag
+     at least one may-alias store/load pair. *)
+  nonzero "no-alias claims validated" agg.Oracle.no_alias_claims;
+  nonzero "aliasing-store risks" agg.Oracle.alias_risks
 
 let test_corpus_small_iq () =
   (* A slice of the corpus on the 16-entry queue: different straddle
