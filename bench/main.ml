@@ -14,7 +14,8 @@
    (pass --quick to skip the full sweep and only run the microbenchmarks,
    or --figures-only to skip the microbenchmarks; --jobs N parallelizes
    the figure regeneration over N worker processes, --no-cache disables
-   the on-disk result cache)
+   the on-disk result cache, --serve ADDR runs the simulations through a
+   riq-sim serve daemon instead of local workers)
 
    The sweep behind Figures 5-8 is also exported machine-readably to
    BENCH_sweep.json so the performance trajectory is comparable across
@@ -34,7 +35,7 @@ open Riq_harness
 (* Part 1: the paper's tables and figures.                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_figures ~jobs ~use_cache () =
+let run_figures ~jobs ~use_cache ~serve () =
   print_endline "==============================================================";
   print_endline " Reproduction of Hu et al., \"Scheduling Reusable Instructions";
   print_endline " for Power Reduction\" (DATE 2004) — all tables and figures";
@@ -46,14 +47,22 @@ let run_figures ~jobs ~use_cache () =
   Table.print (Figures.table2 ());
   print_newline ();
   let engine =
-    let cache = if use_cache then Some (Riq_exp.Cache.open_ ()) else None in
-    Riq_exp.Engine.create ~workers:jobs ?cache
-      ~on_progress:(fun p ->
-        Printf.eprintf "\r[engine] %d/%d done (%d cached, %d simulated)%!"
-          p.Riq_exp.Engine.finished p.Riq_exp.Engine.total p.Riq_exp.Engine.cache_hits
-          p.Riq_exp.Engine.executed;
-        if p.Riq_exp.Engine.finished = p.Riq_exp.Engine.total then Printf.eprintf "\n%!")
-      ()
+    let on_progress p =
+      Printf.eprintf "\r[engine] %d/%d done (%d cached, %d simulated)%!"
+        p.Riq_exp.Engine.finished p.Riq_exp.Engine.total p.Riq_exp.Engine.cache_hits
+        p.Riq_exp.Engine.executed;
+      if p.Riq_exp.Engine.finished = p.Riq_exp.Engine.total then Printf.eprintf "\n%!"
+    in
+    match serve with
+    | Some addr ->
+        let client =
+          Riq_svc.Client.connect ~klass:Riq_svc.Protocol.Batch
+            (Riq_svc.Protocol.address_of_string addr)
+        in
+        Riq_exp.Engine.create ~backend:(Riq_svc.Client.backend client) ~on_progress ()
+    | None ->
+        let cache = if use_cache then Some (Riq_exp.Cache.open_ ()) else None in
+        Riq_exp.Engine.create ~workers:jobs ?cache ~on_progress ()
   in
   let t0 = Unix.gettimeofday () in
   let sweep = Sweep.run ~engine ~check:true () in
@@ -246,5 +255,13 @@ let () =
     in
     find args
   in
-  if not quick then run_figures ~jobs ~use_cache ();
+  let serve =
+    let rec find = function
+      | "--serve" :: addr :: _ -> Some addr
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  if not quick then run_figures ~jobs ~use_cache ~serve ();
   if not figures_only then run_microbench ()

@@ -1,0 +1,102 @@
+(* riq-cache: maintenance entry points for the shared result store.
+
+   The store is the engine's content-addressed result cache plus the
+   concurrency machinery the serve daemon uses (recency-tracked reads,
+   a cooperative maintenance lock, LRU eviction, age-based gc). This
+   tool runs the maintenance operations standalone, against the same
+   tree local sweeps and daemons share:
+
+     stat  — entry count, total bytes, age span
+     gc    — drop entries older than a cutoff
+     evict — drop least-recently-used entries down to a byte budget *)
+
+open Cmdliner
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Store root (default \\$RIQ_CACHE_DIR or .riq-cache).")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
+let open_store cache_dir = Riq_svc.Store.open_ ?root:cache_dir ()
+
+let human_bytes b =
+  if b >= 1024 * 1024 then Printf.sprintf "%.1f MiB" (float_of_int b /. 1048576.)
+  else if b >= 1024 then Printf.sprintf "%.1f KiB" (float_of_int b /. 1024.)
+  else Printf.sprintf "%d B" b
+
+let stat_cmd =
+  let action cache_dir json =
+    let store = open_store cache_dir in
+    if json then print_endline (Riq_util.Json.to_string (Riq_svc.Store.stat_json store))
+    else begin
+      let s = Riq_svc.Store.stat store in
+      Printf.printf "root      %s\n" (Riq_svc.Store.root store);
+      Printf.printf "entries   %d\n" s.Riq_svc.Store.entry_count;
+      Printf.printf "bytes     %d (%s)\n" s.Riq_svc.Store.total_bytes
+        (human_bytes s.Riq_svc.Store.total_bytes);
+      let now = Unix.gettimeofday () in
+      (match s.Riq_svc.Store.oldest_mtime with
+      | Some t -> Printf.printf "oldest    %.0f s ago\n" (now -. t)
+      | None -> ());
+      match s.Riq_svc.Store.newest_mtime with
+      | Some t -> Printf.printf "newest    %.0f s ago\n" (now -. t)
+      | None -> ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "stat" ~doc:"Entry count, total bytes and age span of the store")
+    Term.(const action $ cache_dir_arg $ json_arg)
+
+let gc_cmd =
+  let older_than =
+    Arg.(required & opt (some float) None & info [ "older-than" ] ~docv:"SECONDS"
+           ~doc:"Remove entries whose last use is older than this many seconds; \
+                 anything newer is never touched.")
+  in
+  let action cache_dir json older_than =
+    let store = open_store cache_dir in
+    let removed, bytes = Riq_svc.Store.gc store ~max_age_seconds:older_than in
+    if json then
+      print_endline
+        (Riq_util.Json.to_string
+           (Riq_util.Json.Obj
+              [ ("removed", Riq_util.Json.Int removed);
+                ("bytes_freed", Riq_util.Json.Int bytes) ]))
+    else Printf.printf "removed %d entries, freed %s\n" removed (human_bytes bytes)
+  in
+  Cmd.v
+    (Cmd.info "gc" ~doc:"Remove store entries older than a cutoff")
+    Term.(const action $ cache_dir_arg $ json_arg $ older_than)
+
+let evict_cmd =
+  let budget =
+    Arg.(required & opt (some int) None & info [ "budget-mb" ] ~docv:"MB"
+           ~doc:"Evict least-recently-used entries until the store fits this budget.")
+  in
+  let action cache_dir json budget =
+    let store = open_store cache_dir in
+    let removed = Riq_svc.Store.evict_to_budget store (budget * 1024 * 1024) in
+    if json then
+      print_endline
+        (Riq_util.Json.to_string
+           (Riq_util.Json.Obj [ ("removed", Riq_util.Json.Int removed) ]))
+    else Printf.printf "evicted %d entries\n" removed
+  in
+  Cmd.v
+    (Cmd.info "evict" ~doc:"Evict least-recently-used entries down to a byte budget")
+    Term.(const action $ cache_dir_arg $ json_arg $ budget)
+
+let () =
+  let doc = "Maintenance for the shared simulation result store" in
+  let info = Cmd.info "riq-cache" ~version:"1.0.0" ~doc in
+  exit
+    (try Cmd.eval ~catch:false (Cmd.group info [ stat_cmd; gc_cmd; evict_cmd ]) with
+    | Failure msg ->
+        Printf.eprintf "riq-cache: %s\n" msg;
+        2
+    | e ->
+        Printf.eprintf "riq-cache: internal error, uncaught exception:\n  %s\n"
+          (Printexc.to_string e);
+        125)

@@ -48,11 +48,14 @@ let run_cmd =
     Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
            ~doc:"Result cache root (default \\$RIQ_CACHE_DIR or .riq-cache).")
   in
-  let action count seed jobs config out no_cache cache_dir =
+  let serve =
+    Arg.(value & opt (some string) None & info [ "serve" ] ~docv:"ADDR"
+           ~doc:"Run simulations through a $(b,riq-sim serve) daemon at ADDR (Unix \
+                 socket path or host:port) in the batch queue class, instead of \
+                 local workers.")
+  in
+  let action count seed jobs config out no_cache cache_dir serve =
     ignore (get_config config);
-    let cache =
-      if no_cache then None else Some (Riq_exp.Cache.open_ ?root:cache_dir ())
-    in
     let progress =
       let last = ref (-1) in
       fun (p : Riq_exp.Engine.progress) ->
@@ -67,7 +70,21 @@ let run_cmd =
         end
     in
     let engine =
-      Riq_exp.Engine.create ~workers:jobs ?cache ~on_progress:progress ()
+      match serve with
+      | Some addr ->
+          (* Fuzz campaigns are background load: submit in the batch
+             class so interactive sweeps sharing the daemon stay ahead. *)
+          let client =
+            Riq_svc.Client.connect ~klass:Riq_svc.Protocol.Batch
+              (Riq_svc.Protocol.address_of_string addr)
+          in
+          Riq_exp.Engine.create ~backend:(Riq_svc.Client.backend client)
+            ~on_progress:progress ()
+      | None ->
+          let cache =
+            if no_cache then None else Some (Riq_exp.Cache.open_ ?root:cache_dir ())
+          in
+          Riq_exp.Engine.create ~workers:jobs ?cache ~on_progress:progress ()
     in
     let r =
       match Driver.run ~engine ~config ~seed ~count () with
@@ -75,10 +92,14 @@ let run_cmd =
       | Error msg -> failwith msg
     in
     let s = Riq_exp.Engine.stats engine in
+    (* Stderr only: the stdout summary must stay byte-identical across
+       worker counts and cache states for CI's diff. *)
     Printf.eprintf
-      "engine: %d jobs = %d cache hits + %d deduped + %d simulated, %.1f s wall\n%!"
+      "engine: %d jobs = %d cache hits + %d deduped + %d simulated, %d retried, \
+       %d timed out, %.1f s wall\n%!"
       s.Riq_exp.Engine.jobs s.Riq_exp.Engine.cache_hits s.Riq_exp.Engine.deduped
-      s.Riq_exp.Engine.executed s.Riq_exp.Engine.wall_seconds;
+      s.Riq_exp.Engine.executed s.Riq_exp.Engine.retries s.Riq_exp.Engine.timeouts
+      s.Riq_exp.Engine.wall_seconds;
     print_string (Driver.summary_to_string r);
     (match out with
     | None -> ()
@@ -97,7 +118,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a differential fuzzing campaign")
     Term.(const action $ count $ seed_arg $ jobs_arg $ config_arg $ out $ no_cache
-          $ cache_dir)
+          $ cache_dir $ serve)
 
 let gen_cmd =
   let index =

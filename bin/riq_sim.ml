@@ -5,8 +5,12 @@
               configuration and print statistics
      bench  — list the built-in benchmarks
      sweep  — run the paper's issue-queue sweep through the experiment
-              engine (parallel workers, content-addressed result cache)
+              engine (parallel workers, content-addressed result cache,
+              or a remote serve daemon)
      fig    — regenerate one of the paper's tables/figures
+     serve  — daemon: accept jobs over a socket, batch duplicates, run
+              them on resident workers, answer repeats from the shared
+              result store
      disasm — print the compiled RIQ32 code of a benchmark *)
 
 open Cmdliner
@@ -181,6 +185,12 @@ let timeout_arg =
   Arg.(value & opt float 600. & info [ "timeout" ] ~docv:"SECONDS"
          ~doc:"Per-job wall-clock budget in worker-pool mode (<= 0 disables).")
 
+let serve_addr_arg =
+  Arg.(value & opt (some string) None & info [ "serve" ] ~docv:"ADDR"
+         ~doc:"Run simulations through a $(b,riq-sim serve) daemon at ADDR (a Unix \
+               socket path or host:port) instead of local workers; the daemon's \
+               shared cache then serves repeats across clients and hosts.")
+
 let progress_reporter () =
   let last = ref "" in
   fun (p : Riq_exp.Engine.progress) ->
@@ -197,22 +207,37 @@ let progress_reporter () =
       if p.Riq_exp.Engine.finished = p.Riq_exp.Engine.total then Printf.eprintf "\n%!"
     end
 
-let make_engine ~jobs ~no_cache ~cache_dir ~timeout ~progress =
-  let cache =
-    if no_cache then None else Some (Riq_exp.Cache.open_ ?root:cache_dir ())
-  in
-  Riq_exp.Engine.create ~workers:jobs ?cache ~timeout
-    ?on_progress:(if progress then Some (progress_reporter ()) else None)
-    ()
+let make_engine ?serve ~jobs ~no_cache ~cache_dir ~timeout ~progress () =
+  let on_progress = if progress then Some (progress_reporter ()) else None in
+  match serve with
+  | Some addr ->
+      (* Remote backend: no local cache — the daemon's shared store is the
+         cache, and keeping a local one would hide its hit counters. *)
+      let client =
+        Riq_svc.Client.connect ~klass:Riq_svc.Protocol.Interactive
+          (Riq_svc.Protocol.address_of_string addr)
+      in
+      Riq_exp.Engine.create ~backend:(Riq_svc.Client.backend client) ~timeout
+        ?on_progress ()
+  | None ->
+      let cache =
+        if no_cache then None else Some (Riq_exp.Cache.open_ ?root:cache_dir ())
+      in
+      Riq_exp.Engine.create ~workers:jobs ?cache ~timeout ?on_progress ()
 
 let print_engine_summary engine =
   let s = Riq_exp.Engine.stats engine in
   Printf.printf
-    "engine: %d jobs = %d cache hits + %d deduped + %d simulated (%d failed)\n"
+    "engine: %d jobs = %d cache hits + %d deduped + %d dispatched (%d failed)\n"
     s.Riq_exp.Engine.jobs s.Riq_exp.Engine.cache_hits s.Riq_exp.Engine.deduped
     s.Riq_exp.Engine.executed s.Riq_exp.Engine.failures;
-  Printf.printf "        %.1f s wall, %.1f s worker-busy, %d workers, %.0f%% utilization\n"
+  if s.Riq_exp.Engine.retries > 0 || s.Riq_exp.Engine.timeouts > 0 then
+    Printf.printf "        %d retried after worker crashes, %d timed out\n"
+      s.Riq_exp.Engine.retries s.Riq_exp.Engine.timeouts;
+  Printf.printf
+    "        %.1f s wall, %.1f s worker-busy, %s x%d, %.0f%% utilization\n"
     s.Riq_exp.Engine.wall_seconds s.Riq_exp.Engine.busy_seconds
+    (Riq_exp.Engine.backend_name engine)
     (Riq_exp.Engine.workers engine)
     (100. *. Riq_exp.Engine.utilization engine)
 
@@ -236,11 +261,11 @@ let sweep_cmd =
   let csv =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values instead of tables.")
   in
-  let action jobs no_cache cache_dir timeout sizes benches no_check json_file csv =
+  let action jobs no_cache cache_dir timeout serve sizes benches no_check json_file csv =
     let benchmarks =
       if benches = [] then Workloads.all else List.map find_workload benches
     in
-    let engine = make_engine ~jobs ~no_cache ~cache_dir ~timeout ~progress:true in
+    let engine = make_engine ?serve ~jobs ~no_cache ~cache_dir ~timeout ~progress:true () in
     let sweep = Sweep.run ~engine ~sizes ~benchmarks ~check:(not no_check) () in
     let emit t = if csv then print_string (Table.to_csv t) else Table.print t in
     emit (Figures.fig5 sweep);
@@ -262,9 +287,9 @@ let sweep_cmd =
     (Cmd.info "sweep"
        ~doc:
          "Run the issue-queue sweep through the experiment engine (parallel workers, \
-          content-addressed result cache) and print Figures 5-8")
-    Term.(const action $ jobs_arg $ no_cache_arg $ cache_dir_arg $ timeout_arg $ sizes
-          $ benches $ no_check $ json_file $ csv)
+          content-addressed result cache, or a remote serve daemon) and print Figures 5-8")
+    Term.(const action $ jobs_arg $ no_cache_arg $ cache_dir_arg $ timeout_arg
+          $ serve_addr_arg $ sizes $ benches $ no_check $ json_file $ csv)
 
 let fig_cmd =
   let which =
@@ -278,9 +303,9 @@ let fig_cmd =
   let csv =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values instead of a table.")
   in
-  let action which no_check csv jobs no_cache cache_dir timeout =
+  let action which no_check csv jobs no_cache cache_dir timeout serve =
     let check = not no_check in
-    let engine = make_engine ~jobs ~no_cache ~cache_dir ~timeout ~progress:true in
+    let engine = make_engine ?serve ~jobs ~no_cache ~cache_dir ~timeout ~progress:true () in
     let sweep = lazy (Sweep.run ~engine ~check ()) in
     let emit t = if csv then print_string (Table.to_csv t) else Table.print t in
     let print_fig = function
@@ -314,7 +339,7 @@ let fig_cmd =
   Cmd.v
     (Cmd.info "fig" ~doc:"Regenerate a table or figure of the paper")
     Term.(const action $ which $ no_check $ csv $ jobs_arg $ no_cache_arg $ cache_dir_arg
-          $ timeout_arg)
+          $ timeout_arg $ serve_addr_arg)
 
 let trace_cmd =
   let bench_pos =
@@ -462,6 +487,54 @@ let pipeview_cmd =
     (Cmd.info "pipeview" ~doc:"Per-cycle pipeline occupancy and issue-queue state")
     Term.(const action $ bench $ reuse $ cycles $ skip)
 
+let serve_cmd =
+  let addr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ADDR"
+           ~doc:"Address to listen on: a Unix socket path or host:port.")
+  in
+  let workers =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Resident simulation worker processes.")
+  in
+  let budget =
+    Arg.(value & opt (some int) None & info [ "budget-mb" ] ~docv:"MB"
+           ~doc:"Store size budget in megabytes; least-recently-used entries are \
+                 evicted when a store pushes past it.")
+  in
+  let timeout =
+    Arg.(value & opt float 600. & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-job wall-clock budget (<= 0 disables).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the per-event log on stderr.")
+  in
+  let action addr workers cache_dir budget timeout quiet =
+    let store =
+      Riq_svc.Store.open_ ?root:cache_dir
+        ?budget_bytes:(Option.map (fun mb -> mb * 1024 * 1024) budget)
+        ()
+    in
+    let log =
+      if quiet then fun _ -> ()
+      else fun msg -> Printf.eprintf "[serve] %s\n%!" msg
+    in
+    let timeout = if timeout <= 0. then None else Some timeout in
+    let config =
+      Riq_svc.Server.config ~workers ~timeout ~log
+        ~address:(Riq_svc.Protocol.address_of_string addr)
+        store
+    in
+    Riq_svc.Server.serve config
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the sweep service daemon: accept simulation jobs over a Unix or TCP \
+          socket, batch identical requests, schedule them on resident workers with a \
+          fair two-class queue, and answer repeats from the shared result store. \
+          SIGTERM drains gracefully.")
+    Term.(const action $ addr $ workers $ cache_dir_arg $ budget $ timeout $ quiet)
+
 let disasm_cmd =
   let bench =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Benchmark name.")
@@ -483,7 +556,8 @@ let () =
   let info = Cmd.info "riq-sim" ~version:"1.0.0" ~doc in
   let cmd =
     Cmd.group info
-      [ run_cmd; bench_cmd; sweep_cmd; fig_cmd; disasm_cmd; trace_cmd; pipeview_cmd ]
+      [ run_cmd; bench_cmd; sweep_cmd; fig_cmd; serve_cmd; disasm_cmd; trace_cmd;
+        pipeview_cmd ]
   in
   exit
     (try Cmd.eval ~catch:false cmd with

@@ -1,0 +1,80 @@
+(* Pluggable execution backends for the experiment engine.
+
+   A backend is the thing that actually turns cache-missing jobs into
+   outcomes; the engine keeps ownership of caching, deduplication,
+   progress and statistics, and hands the backend only the set of indices
+   it could not serve locally. Two implementations live here (in-process,
+   fork pool); the remote-worker client that speaks the serve daemon's
+   wire protocol lives in [lib/svc] and plugs into the same record. *)
+
+type stats = {
+  busy_seconds : float;
+  retries : int;
+}
+
+type t = {
+  name : string;
+  parallelism : int;
+  telemetry : unit -> (string * Riq_util.Json.t) list;
+  execute :
+    timeout:float option ->
+    jobs:Job.t array ->
+    indices:int list ->
+    on_result:(int -> seconds:float -> Outcome.t -> unit) ->
+    stats;
+}
+
+let no_telemetry () = []
+
+let run_in_process (jobs : Job.t array) indices on_result =
+  List.iter
+    (fun i ->
+      let t0 = Unix.gettimeofday () in
+      let outcome = Runner.execute_safe jobs.(i) in
+      on_result i ~seconds:(Unix.gettimeofday () -. t0) outcome)
+    indices
+
+let in_process =
+  {
+    name = "in-process";
+    parallelism = 1;
+    telemetry = no_telemetry;
+    execute =
+      (fun ~timeout:_ ~jobs ~indices ~on_result ->
+        run_in_process jobs indices on_result;
+        { busy_seconds = 0.; retries = 0 });
+  }
+
+let fork_pool ~workers =
+  if workers < 1 then invalid_arg "Backend.fork_pool: workers must be >= 1";
+  {
+    name = Printf.sprintf "fork-pool/%d" workers;
+    parallelism = workers;
+    telemetry = no_telemetry;
+    execute =
+      (fun ~timeout ~jobs ~indices ~on_result ->
+        if workers = 1 || List.length indices <= 1 || not (Pool.available ())
+        then begin
+          run_in_process jobs indices on_result;
+          { busy_seconds = 0.; retries = 0 }
+        end
+        else begin
+          (* Track completions so a pool failure (fork exhaustion, platform
+             quirk) can fall back in-process for whatever is still missing. *)
+          let done_ = Hashtbl.create (2 * List.length indices) in
+          let on_result i ~seconds outcome =
+            Hashtbl.replace done_ i ();
+            on_result i ~seconds outcome
+          in
+          try
+            let s = Pool.run ~workers ~timeout ~jobs ~indices ~on_result () in
+            { busy_seconds = s.Pool.busy_seconds; retries = s.Pool.retries }
+          with _ ->
+            run_in_process jobs
+              (List.filter (fun i -> not (Hashtbl.mem done_ i)) indices)
+              on_result;
+            { busy_seconds = 0.; retries = 0 }
+        end);
+  }
+
+let default ~workers = if workers > 1 then fork_pool ~workers else in_process

@@ -1,0 +1,47 @@
+(** Pluggable execution backends for the {!Engine}.
+
+    The engine owns caching, in-batch deduplication, progress and
+    statistics; a backend only turns the cache-missing job indices into
+    outcomes. Besides the two local implementations here, [Riq_svc.Client]
+    builds a backend that forwards jobs to a [riq-sim serve] daemon over
+    the wire protocol — the engine cannot tell the difference. *)
+
+type stats = {
+  busy_seconds : float;  (** summed worker busy time (0 when unknown) *)
+  retries : int;  (** jobs re-dispatched after a worker crash *)
+}
+
+type t = {
+  name : string;
+  parallelism : int;  (** worker slots behind this backend, best guess *)
+  telemetry : unit -> (string * Riq_util.Json.t) list;
+      (** extra key/value pairs merged into the sweep export's engine
+          block (e.g. the remote client's service counters); called once
+          at export time. *)
+  execute :
+    timeout:float option ->
+    jobs:Job.t array ->
+    indices:int list ->
+    on_result:(int -> seconds:float -> Outcome.t -> unit) ->
+    stats;
+      (** Run [indices] (a subset of [jobs]), reporting each outcome
+          exactly once via [on_result]. Must not raise: per-job failures
+          travel as [Error] outcomes. An index never reported is recorded
+          by the engine as [Worker_crashed]. *)
+}
+
+val in_process : t
+(** Sequential execution in the calling process. *)
+
+val fork_pool : workers:int -> t
+(** The Unix-fork worker pool ({!Pool}), with per-job [timeout]
+    enforcement and retry-once on worker death. Falls back to in-process
+    execution when forking is unavailable or there is nothing to
+    parallelize. *)
+
+val default : workers:int -> t
+(** {!fork_pool} when [workers > 1], else {!in_process} — the engine's
+    historical behaviour. *)
+
+val no_telemetry : unit -> (string * Riq_util.Json.t) list
+(** The empty telemetry hook, for custom backends. *)

@@ -52,18 +52,28 @@ let find t key : Outcome.t option =
           if stamp = Revision.stamp then Some outcome else None)
     with _ -> None (* truncated/corrupt entries behave like misses *)
 
+(* Distinguishes two temp files written by the same process for the same
+   key (e.g. an engine and a serve daemon's store sharing one root). *)
+let tmp_counter = ref 0
+
 let store t key (outcome : Outcome.t) =
   if Outcome.cacheable outcome then begin
     let file = path t key in
-    mkdir_p (Filename.dirname file);
-    let tmp = Printf.sprintf "%s.tmp.%d" file (Unix.getpid ()) in
-    let oc = open_out_bin tmp in
-    (try
-       Marshal.to_channel oc (Revision.stamp, outcome) [];
-       close_out oc;
-       Sys.rename tmp file
-     with exn ->
-       close_out_noerr oc;
-       (try Sys.remove tmp with _ -> ());
-       raise exn)
+    incr tmp_counter;
+    let tmp = Printf.sprintf "%s.tmp.%d.%d" file (Unix.getpid ()) !tmp_counter in
+    (* Best-effort: a cache that cannot be written (read-only tree, full
+       disk, permissions) degrades to a pass-through, it never kills the
+       experiment that was trying to warm it. *)
+    try
+      mkdir_p (Filename.dirname file);
+      let oc = open_out_bin tmp in
+      (try
+         Marshal.to_channel oc (Revision.stamp, outcome) [];
+         close_out oc;
+         Sys.rename tmp file
+       with exn ->
+         close_out_noerr oc;
+         (try Sys.remove tmp with _ -> ());
+         raise exn)
+    with _ -> ()
   end

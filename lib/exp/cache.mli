@@ -26,4 +26,6 @@ val find : t -> string -> Outcome.t option
 
 val store : t -> string -> Outcome.t -> unit
 (** No-op for outcomes that are not {!Outcome.cacheable} (crashes,
-    timeouts). *)
+    timeouts). Writes are atomic (unique temp file + rename) and
+    best-effort: an unwritable cache (read-only tree, full disk) is
+    silently skipped rather than failing the experiment. *)

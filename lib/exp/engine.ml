@@ -15,12 +15,13 @@ type stats = {
   executed : int;
   failures : int;
   retries : int;
+  timeouts : int;
   wall_seconds : float;
   busy_seconds : float;
 }
 
 type t = {
-  workers : int;
+  backend : Backend.t;
   timeout : float option;
   cache : Cache.t option;
   on_progress : (progress -> unit) option;
@@ -30,16 +31,20 @@ type t = {
   mutable s_exec : int;
   mutable s_fail : int;
   mutable s_retries : int;
+  mutable s_timeouts : int;
   mutable s_wall : float;
   mutable s_busy : float;
   mutable s_job_secs : float list; (* per executed job, unordered *)
 }
 
-let create ?(workers = 1) ?cache ?(timeout = 600.) ?on_progress () =
+let create ?(workers = 1) ?backend ?cache ?(timeout = 600.) ?on_progress () =
   if workers < 1 then invalid_arg "Engine.create: workers must be >= 1";
   let timeout = if timeout <= 0. then None else Some timeout in
+  let backend =
+    match backend with Some b -> b | None -> Backend.default ~workers
+  in
   {
-    workers;
+    backend;
     timeout;
     cache;
     on_progress;
@@ -49,12 +54,15 @@ let create ?(workers = 1) ?cache ?(timeout = 600.) ?on_progress () =
     s_exec = 0;
     s_fail = 0;
     s_retries = 0;
+    s_timeouts = 0;
     s_wall = 0.;
     s_busy = 0.;
     s_job_secs = [];
   }
 
-let workers t = t.workers
+let workers t = t.backend.Backend.parallelism
+let backend_name t = t.backend.Backend.name
+let telemetry t = t.backend.Backend.telemetry ()
 let cache t = t.cache
 
 let stats t =
@@ -65,6 +73,7 @@ let stats t =
     executed = t.s_exec;
     failures = t.s_fail;
     retries = t.s_retries;
+    timeouts = t.s_timeouts;
     wall_seconds = t.s_wall;
     busy_seconds = t.s_busy;
   }
@@ -73,7 +82,7 @@ let job_seconds t = Array.of_list t.s_job_secs
 
 let utilization t =
   if t.s_wall <= 0. then 0.
-  else min 1. (t.s_busy /. (t.s_wall *. float_of_int t.workers))
+  else min 1. (t.s_busy /. (t.s_wall *. float_of_int (workers t)))
 
 let run t (jobs : Job.t array) : Outcome.t array =
   let n = Array.length jobs in
@@ -95,7 +104,7 @@ let run t (jobs : Job.t array) : Outcome.t array =
               deduped = !deduped;
               executed = !executed;
               failures = !failures;
-              workers = t.workers;
+              workers = workers t;
             }
     in
     (* Identical jobs inside one batch (the ablations re-request many sweep
@@ -116,7 +125,11 @@ let run t (jobs : Job.t array) : Outcome.t array =
     let record i outcome =
       out.(i) <- Some outcome;
       incr finished;
-      (match outcome with Error _ -> incr failures | Ok _ -> ());
+      (match outcome with
+      | Error e ->
+          incr failures;
+          (match e with Outcome.Job_timeout _ -> t.s_timeouts <- t.s_timeouts + 1 | _ -> ())
+      | Ok _ -> ());
       emit ()
     in
     (* Warm entries first. *)
@@ -137,31 +150,17 @@ let run t (jobs : Job.t array) : Outcome.t array =
     let complete i ~seconds outcome =
       (match t.cache with Some c -> Cache.store c fps.(i) outcome | None -> ());
       incr executed;
-      t.s_job_secs <- seconds :: t.s_job_secs;
+      if seconds > 0. then t.s_job_secs <- seconds :: t.s_job_secs;
       record i outcome
     in
-    let run_inprocess indices =
-      List.iter
-        (fun i ->
-          let t0 = Unix.gettimeofday () in
-          let outcome = Runner.execute_safe jobs.(i) in
-          complete i ~seconds:(Unix.gettimeofday () -. t0) outcome)
-        indices
-    in
-    (if t.workers > 1 && List.length misses > 1 && Pool.available () then begin
-       try
-         let s =
-           Pool.run ~workers:t.workers ~timeout:t.timeout ~jobs ~indices:misses
-             ~on_result:complete ()
-         in
-         t.s_busy <- t.s_busy +. s.Pool.busy_seconds;
-         t.s_retries <- t.s_retries + s.Pool.retries
-       with _ ->
-         (* Pool failure (fork exhaustion, platform quirk): gracefully fall
-            back to in-process execution for whatever is still missing. *)
-         run_inprocess (List.filter (fun i -> out.(i) = None) misses)
-     end
-     else run_inprocess misses);
+    (if misses <> [] then begin
+       let s =
+         t.backend.Backend.execute ~timeout:t.timeout ~jobs ~indices:misses
+           ~on_result:complete
+       in
+       t.s_busy <- t.s_busy +. s.Backend.busy_seconds;
+       t.s_retries <- t.s_retries + s.Backend.retries
+     end);
     (* Resolve duplicates from their representatives. *)
     List.iter
       (fun (i, j) ->

@@ -22,9 +22,10 @@ type stats = {
   jobs : int; (** jobs submitted across all [run] calls *)
   cache_hits : int;
   deduped : int;
-  executed : int; (** actual simulations performed *)
+  executed : int; (** jobs sent to the backend (simulated or served remotely) *)
   failures : int;
   retries : int; (** jobs re-dispatched after a worker crash *)
+  timeouts : int; (** jobs recorded as [Job_timeout] *)
   wall_seconds : float;
   busy_seconds : float; (** summed worker busy time *)
 }
@@ -33,16 +34,20 @@ type t
 
 val create :
   ?workers:int ->
+  ?backend:Backend.t ->
   ?cache:Cache.t ->
   ?timeout:float ->
   ?on_progress:(progress -> unit) ->
   unit ->
   t
-(** [workers] (default 1) > 1 enables the fork pool when the platform
-    supports it; otherwise jobs run in-process. Omitting [cache] disables
-    result caching. [timeout] (default 600 s; [<= 0.] disables) is the
-    per-job wall-clock budget in pool mode. [on_progress] fires after
-    every job completion. *)
+(** [backend] is where cache-missing jobs execute; when omitted it is
+    {!Backend.default}[ ~workers] — the fork pool for [workers] (default
+    1) > 1 when the platform supports it, in-process otherwise. Omitting
+    [cache] disables local result caching (a remote backend typically
+    runs cache-less and lets the daemon's shared store serve repeats).
+    [timeout] (default 600 s; [<= 0.] disables) is the per-job wall-clock
+    budget passed to the backend. [on_progress] fires after every job
+    completion. *)
 
 val run : t -> Job.t array -> Outcome.t array
 (** Outcomes in job order. Per-job failures are recorded, never raised:
@@ -57,6 +62,14 @@ val simulate_exn :
 (** One-job convenience wrapper over {!run_exn}. *)
 
 val workers : t -> int
+(** The backend's parallelism. *)
+
+val backend_name : t -> string
+
+val telemetry : t -> (string * Riq_util.Json.t) list
+(** The backend's extra telemetry (e.g. a remote client's service
+    counters), merged into the sweep export's engine block. *)
+
 val cache : t -> Cache.t option
 val stats : t -> stats
 

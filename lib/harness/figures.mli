@@ -5,10 +5,11 @@ open Riq_util
     the paper-vs-measured record.
 
     The ablation printers submit all their simulations as one batch to an
-    experiment engine: pass [engine] to run them on a worker pool and/or
-    serve repeats from the result cache (many ablation cells coincide with
-    sweep cells and dedupe for free). With no [engine] they run
-    sequentially in-process, as before. *)
+    experiment engine: pass [engine] to run them on any backend — the
+    fork pool, or a [riq-sim serve] daemon via [Riq_svc.Client.backend] —
+    and/or serve repeats from the result cache (many ablation cells
+    coincide with sweep cells and dedupe for free). With no [engine] they
+    run sequentially in-process, as before. *)
 
 val table1 : unit -> string
 (** The baseline configuration, rendered like the paper's Table 1. *)

@@ -107,28 +107,34 @@ let engine_json engine =
   in
   let q p = Stats.quantile p js in
   Json.Obj
-    [
-      ("workers", Json.Int (Engine.workers engine));
-      ("jobs", Json.Int s.Engine.jobs);
-      ("cache_hits", Json.Int s.Engine.cache_hits);
-      ("cache_misses", Json.Int (s.Engine.jobs - s.Engine.cache_hits - s.Engine.deduped));
-      ("deduped", Json.Int s.Engine.deduped);
-      ("executed", Json.Int s.Engine.executed);
-      ("failures", Json.Int s.Engine.failures);
-      ("retries", Json.Int s.Engine.retries);
-      ("wall_seconds", Json.Float s.Engine.wall_seconds);
-      ("busy_seconds", Json.Float s.Engine.busy_seconds);
-      ("utilization", Json.Float (Engine.utilization engine));
-      ( "job_seconds",
-        Json.Obj
-          [
-            ("count", Json.Int (Array.length js));
-            ("mean", Json.Float mean);
-            ("p50", Json.Float (q 0.5));
-            ("p95", Json.Float (q 0.95));
-            ("max", Json.Float (q 1.0));
-          ] );
-    ]
+    ([
+       ("backend", Json.String (Engine.backend_name engine));
+       ("workers", Json.Int (Engine.workers engine));
+       ("jobs", Json.Int s.Engine.jobs);
+       ("cache_hits", Json.Int s.Engine.cache_hits);
+       ("cache_misses", Json.Int (s.Engine.jobs - s.Engine.cache_hits - s.Engine.deduped));
+       ("deduped", Json.Int s.Engine.deduped);
+       ("executed", Json.Int s.Engine.executed);
+       ("failures", Json.Int s.Engine.failures);
+       ("retries", Json.Int s.Engine.retries);
+       ("timeouts", Json.Int s.Engine.timeouts);
+       ("wall_seconds", Json.Float s.Engine.wall_seconds);
+       ("busy_seconds", Json.Float s.Engine.busy_seconds);
+       ("utilization", Json.Float (Engine.utilization engine));
+       ( "job_seconds",
+         Json.Obj
+           [
+             ("count", Json.Int (Array.length js));
+             ("mean", Json.Float mean);
+             ("p50", Json.Float (q 0.5));
+             ("p95", Json.Float (q 0.95));
+             ("max", Json.Float (q 1.0));
+           ] );
+     ]
+    (* A remote backend appends its "service" block here: client-side
+       provenance (remote hits / executed / batched) and the daemon's
+       queue-depth, batching and store-eviction counters. *)
+    @ Engine.telemetry engine)
 
 let to_json ?engine t =
   let cells =

@@ -44,4 +44,6 @@ val cell : t -> bench:string -> size:int -> cell
 val to_json : ?engine:Riq_exp.Engine.t -> t -> Riq_util.Json.t
 (** Machine-readable export: per-cell simulator statistics and power
     groups plus derived percentages, and — when [engine] is given — its
-    cache/execution statistics ([schema = "riq-sweep/1"]). *)
+    cache/execution statistics plus any backend telemetry (for a remote
+    backend, the service's hit/miss, queue-depth, batching and store
+    counters) ([schema = "riq-sweep/1"]). *)

@@ -1,0 +1,202 @@
+(* Client side of the serve protocol, packaged as an engine backend.
+
+   The engine hands over its cache-missing job indices; the client
+   submits them as one ticket, polls status, fetches the outcomes and
+   replays them through [on_result]. All the serving leverage lives
+   daemon-side (shared store, cross-client batching, fair queue), so the
+   client stays deliberately dumb: a blocking request/response socket
+   with one reconnect-and-retry per request.
+
+   Per-request timeouts come from SO_RCVTIMEO on the socket; requests are
+   safe to retry because submission is idempotent up to ticket identity —
+   a resubmitted batch just opens a fresh ticket whose jobs are served
+   from the store or coalesced onto the still-running execution of the
+   lost one. *)
+
+open Riq_util
+open Riq_exp
+
+type t = {
+  address : Protocol.address;
+  klass : Protocol.klass;
+  poll_interval : float;
+  request_timeout : float;
+  mutable fd : Unix.file_descr option;
+  mutable server_workers : int;
+  (* client-visible provenance counters, summed over every run *)
+  mutable c_hits : int;
+  mutable c_executed : int;
+  mutable c_batched : int;
+  mutable c_submitted : int;
+  mutable c_reconnects : int;
+}
+
+let disconnect t =
+  (match t.fd with Some fd -> ( try Unix.close fd with _ -> ()) | None -> ());
+  t.fd <- None
+
+let close = disconnect
+
+let do_connect t =
+  let fd =
+    match t.address with
+    | Protocol.Unix_socket _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+    | Protocol.Tcp _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
+  in
+  (try Unix.connect fd (Protocol.sockaddr_of_address t.address)
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.request_timeout with _ -> ());
+  Wire.send fd
+    (Protocol.request_to_json
+       (Protocol.Hello
+          { revision = Revision.stamp; format = Revision.format_version }));
+  let resp = Wire.recv fd in
+  if not (Protocol.is_ok resp) then begin
+    (try Unix.close fd with _ -> ());
+    failwith ("riq-serve rejected the connection: " ^ Protocol.error_of resp)
+  end;
+  (match Option.bind (Json.member "workers" resp) Json.to_int with
+  | Some w -> t.server_workers <- w
+  | None -> ());
+  t.fd <- Some fd
+
+let ensure_connected t =
+  match t.fd with
+  | Some _ -> ()
+  | None -> do_connect t
+
+let rec request ?(retried = false) t req =
+  ensure_connected t;
+  let fd = Option.get t.fd in
+  match
+    Wire.send fd (Protocol.request_to_json req);
+    Wire.recv fd
+  with
+  | resp -> resp
+  | exception e ->
+      disconnect t;
+      if retried then raise e
+      else begin
+        t.c_reconnects <- t.c_reconnects + 1;
+        request ~retried:true t req
+      end
+
+let connect ?(klass = Protocol.Interactive) ?(poll_interval = 0.02)
+    ?(request_timeout = 120.) address =
+  let t =
+    {
+      address;
+      klass;
+      poll_interval;
+      request_timeout;
+      fd = None;
+      server_workers = 1;
+      c_hits = 0;
+      c_executed = 0;
+      c_batched = 0;
+      c_submitted = 0;
+      c_reconnects = 0;
+    }
+  in
+  do_connect t;
+  t
+
+let server_stats t =
+  try Some (request t Protocol.Stats) with _ -> None
+
+let require name conv resp =
+  match Option.bind (Json.member name resp) conv with
+  | Some v -> v
+  | None ->
+      raise
+        (Wire.Protocol_error (Printf.sprintf "response missing field %S" name))
+
+let strings_of resp name =
+  List.map
+    (fun j ->
+      match Json.to_str j with
+      | Some s -> s
+      | None -> raise (Wire.Protocol_error ("non-string in " ^ name)))
+    (require name Json.to_list resp)
+
+(* One engine batch: submit, poll to completion, fetch, replay. *)
+let run_batch t (jobs : Job.t array) indices on_result =
+  let wire_jobs = List.map (fun i -> Protocol.job_to_wire jobs.(i)) indices in
+  let resp =
+    request t (Protocol.Submit { klass = t.klass; jobs = wire_jobs })
+  in
+  if not (Protocol.is_ok resp) then
+    failwith ("riq-serve submit refused: " ^ Protocol.error_of resp);
+  let ticket = require "ticket" Json.to_int resp in
+  t.c_submitted <- t.c_submitted + List.length indices;
+  let rec wait () =
+    let resp = request t (Protocol.Result { ticket }) in
+    if Protocol.is_ok resp then resp
+    else if Protocol.error_of resp = "pending" then begin
+      (try ignore (Unix.select [] [] [] t.poll_interval) with _ -> ());
+      wait ()
+    end
+    else failwith ("riq-serve result refused: " ^ Protocol.error_of resp)
+  in
+  let resp = wait () in
+  let outcomes = List.map Protocol.outcome_of_wire (strings_of resp "outcomes") in
+  let sources =
+    List.map
+      (fun s ->
+        match Protocol.source_of_string s with
+        | Ok src -> src
+        | Error e -> raise (Wire.Protocol_error e))
+      (strings_of resp "sources")
+  in
+  let seconds =
+    List.map
+      (fun j ->
+        match Json.to_float_opt j with
+        | Some f -> f
+        | None -> raise (Wire.Protocol_error "non-number in seconds"))
+      (require "seconds" Json.to_list resp)
+  in
+  if List.length outcomes <> List.length indices then
+    raise (Wire.Protocol_error "result count mismatch");
+  List.iter2
+    (fun i (outcome, (source, secs)) ->
+      (match source with
+      | Protocol.Hit -> t.c_hits <- t.c_hits + 1
+      | Protocol.Executed -> t.c_executed <- t.c_executed + 1
+      | Protocol.Batched -> t.c_batched <- t.c_batched + 1);
+      on_result i ~seconds:secs outcome)
+    indices
+    (List.combine outcomes (List.combine sources seconds))
+
+let service_json t =
+  let client =
+    Json.Obj
+      [
+        ("address", Json.String (Protocol.address_to_string t.address));
+        ("class", Json.String (Protocol.klass_to_string t.klass));
+        ("submitted", Json.Int t.c_submitted);
+        ("remote_hits", Json.Int t.c_hits);
+        ("remote_executed", Json.Int t.c_executed);
+        ("remote_batched", Json.Int t.c_batched);
+        ("reconnects", Json.Int t.c_reconnects);
+      ]
+  in
+  let server = match server_stats t with Some s -> s | None -> Json.Null in
+  Json.Obj [ ("client", client); ("server", server) ]
+
+let backend t =
+  {
+    Backend.name = Printf.sprintf "serve:%s" (Protocol.address_to_string t.address);
+    parallelism = t.server_workers;
+    telemetry = (fun () -> [ ("service", service_json t) ]);
+    execute =
+      (fun ~timeout:_ ~jobs ~indices ~on_result ->
+        (* The daemon enforces its own per-job budget; a connection-level
+           failure surfaces as unreported indices, which the engine
+           records as [Worker_crashed]. *)
+        (try run_batch t jobs indices on_result
+         with _ -> disconnect t);
+        { Backend.busy_seconds = 0.; retries = 0 });
+  }

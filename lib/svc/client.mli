@@ -1,0 +1,34 @@
+(** Client side of the serve protocol, packaged as an engine
+    {!Riq_exp.Backend.t}: submit the engine's cache-missing jobs as one
+    ticket, poll, fetch, replay through [on_result]. Connection loss is
+    retried once per request (submission is idempotent: a reopened ticket
+    is served from the daemon's store or coalesced onto the still-running
+    execution). *)
+
+type t
+
+val connect :
+  ?klass:Protocol.klass ->
+  ?poll_interval:float ->
+  ?request_timeout:float ->
+  Protocol.address ->
+  t
+(** Connect and handshake ([hello] with this build's revision stamp).
+    [klass] (default [Interactive]) is the daemon queue class for every
+    submit; [poll_interval] (default 20 ms) paces result polling;
+    [request_timeout] (default 120 s) is SO_RCVTIMEO per request. Raises
+    [Failure] when the daemon is unreachable or rejects the revision. *)
+
+val close : t -> unit
+
+val backend : t -> Riq_exp.Backend.t
+(** The engine backend. Its telemetry hook contributes a ["service"]
+    block: client-side provenance counters (remote hits / executed /
+    batched, reconnects) plus a live snapshot of the daemon's stats
+    (queue depths, batching fan-out, store size and evictions). *)
+
+val server_stats : t -> Riq_util.Json.t option
+(** One [stats] round-trip; [None] if the daemon went away. *)
+
+val service_json : t -> Riq_util.Json.t
+(** The telemetry block described under {!backend}. *)

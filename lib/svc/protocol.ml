@@ -1,0 +1,160 @@
+(* The serve daemon's wire protocol: message shapes, hex payload codecs
+   and the client/daemon address syntax. Framing is Wire's job; this
+   module only builds and destructures the JSON inside each frame.
+
+   Marshalled OCaml values (jobs, outcomes) are opaque to the protocol:
+   they ride as hex strings and are only meaningful between binaries built
+   from the same source revision, which is why every session opens with a
+   [hello] carrying the revision stamp and cache format version — a
+   mismatched peer is rejected before any payload is decoded. *)
+
+open Riq_util
+open Riq_exp
+
+let version = "riq-serve/1"
+
+type klass = Interactive | Batch
+
+let klass_to_string = function Interactive -> "interactive" | Batch -> "batch"
+
+let klass_of_string = function
+  | "interactive" -> Ok Interactive
+  | "batch" -> Ok Batch
+  | s -> Error (Printf.sprintf "unknown class %S" s)
+
+(* Result provenance, per job: served from the shared store, executed by a
+   worker on behalf of this request, or batched onto another request's
+   in-flight execution of the same fingerprint. *)
+type source = Hit | Executed | Batched
+
+let source_to_string = function Hit -> "hit" | Executed -> "exec" | Batched -> "batched"
+
+let source_of_string = function
+  | "hit" -> Ok Hit
+  | "exec" -> Ok Executed
+  | "batched" -> Ok Batched
+  | s -> Error (Printf.sprintf "unknown source %S" s)
+
+let job_to_wire (job : Job.t) = Wire.to_hex (Marshal.to_string job [])
+
+let job_of_wire s : Job.t = Marshal.from_string (Wire.of_hex s) 0
+
+let outcome_to_wire (o : Outcome.t) = Wire.to_hex (Marshal.to_string o [])
+
+let outcome_of_wire s : Outcome.t = Marshal.from_string (Wire.of_hex s) 0
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type request =
+  | Hello of { revision : string; format : int }
+  | Submit of { klass : klass; jobs : string list (* wire-encoded *) }
+  | Status of { ticket : int }
+  | Result of { ticket : int }
+  | Stats
+
+let request_to_json = function
+  | Hello { revision; format } ->
+      Json.Obj
+        [
+          ("op", Json.String "hello");
+          ("protocol", Json.String version);
+          ("revision", Json.String revision);
+          ("format", Json.Int format);
+        ]
+  | Submit { klass; jobs } ->
+      Json.Obj
+        [
+          ("op", Json.String "submit");
+          ("class", Json.String (klass_to_string klass));
+          ("jobs", Json.List (List.map (fun j -> Json.String j) jobs));
+        ]
+  | Status { ticket } ->
+      Json.Obj [ ("op", Json.String "status"); ("ticket", Json.Int ticket) ]
+  | Result { ticket } ->
+      Json.Obj [ ("op", Json.String "result"); ("ticket", Json.Int ticket) ]
+  | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let ( let* ) = Result.bind
+
+let request_of_json j : (request, string) result =
+  let* op = field "op" Json.to_str j in
+  match op with
+  | "hello" ->
+      let* revision = field "revision" Json.to_str j in
+      let* format = field "format" Json.to_int j in
+      Ok (Hello { revision; format })
+  | "submit" ->
+      let* klass_s = field "class" Json.to_str j in
+      let* klass = klass_of_string klass_s in
+      let* items = field "jobs" Json.to_list j in
+      let* jobs =
+        List.fold_right
+          (fun item acc ->
+            let* acc = acc in
+            match Json.to_str item with
+            | Some s -> Ok (s :: acc)
+            | None -> Error "non-string entry in jobs")
+          items (Ok [])
+      in
+      Ok (Submit { klass; jobs })
+  | "status" ->
+      let* ticket = field "ticket" Json.to_int j in
+      Ok (Status { ticket })
+  | "result" ->
+      let* ticket = field "ticket" Json.to_int j in
+      Ok (Result { ticket })
+  | "stats" -> Ok Stats
+  | other -> Error (Printf.sprintf "unknown op %S" other)
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
+let error msg = Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]
+
+let is_ok j = Json.member "ok" j = Some (Json.Bool true)
+
+let error_of j =
+  match Option.bind (Json.member "error" j) Json.to_str with
+  | Some e -> e
+  | None -> "unspecified error"
+
+(* ------------------------------------------------------------------ *)
+(* Addresses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+(* "host:port" with an all-digit port is TCP; anything else is a Unix
+   socket path (paths with colons are not worth supporting here). *)
+let address_of_string s =
+  match String.rindex_opt s ':' with
+  | Some i when i > 0 && i < String.length s - 1 -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 && not (String.contains host '/') ->
+          Tcp (host, p)
+      | _ -> Unix_socket s)
+  | _ -> Unix_socket s
+
+let address_to_string = function
+  | Unix_socket path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let sockaddr_of_address = function
+  | Unix_socket path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+      let addr =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found | Invalid_argument _ -> Unix.inet_addr_loopback
+      in
+      Unix.ADDR_INET (addr, port)

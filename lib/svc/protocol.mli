@@ -1,0 +1,54 @@
+(** Message shapes of the serve daemon's wire protocol (framing lives in
+    {!Wire}). A session opens with [hello] carrying the simulator
+    revision stamp and cache format version; the daemon rejects a
+    mismatched peer before decoding any marshalled payload, so the opaque
+    hex-encoded jobs/outcomes only ever travel between binaries that
+    agree on their layout. *)
+
+open Riq_exp
+
+val version : string
+
+type klass = Interactive | Batch
+(** The two queue classes: interactive sweeps ahead of nightly fuzz
+    campaigns, with weighted fairness so neither starves (see
+    {!Server}). *)
+
+val klass_to_string : klass -> string
+val klass_of_string : string -> (klass, string) result
+
+type source = Hit | Executed | Batched
+(** Per-job result provenance: shared-store hit, executed for this
+    request, or coalesced onto another request's in-flight execution of
+    the same fingerprint. *)
+
+val source_to_string : source -> string
+val source_of_string : string -> (source, string) result
+
+val job_to_wire : Job.t -> string
+val job_of_wire : string -> Job.t
+val outcome_to_wire : Outcome.t -> string
+val outcome_of_wire : string -> Outcome.t
+
+type request =
+  | Hello of { revision : string; format : int }
+  | Submit of { klass : klass; jobs : string list }
+  | Status of { ticket : int }
+  | Result of { ticket : int }
+  | Stats
+
+val request_to_json : request -> Riq_util.Json.t
+val request_of_json : Riq_util.Json.t -> (request, string) result
+
+val ok : (string * Riq_util.Json.t) list -> Riq_util.Json.t
+val error : string -> Riq_util.Json.t
+val is_ok : Riq_util.Json.t -> bool
+val error_of : Riq_util.Json.t -> string
+
+type address = Unix_socket of string | Tcp of string * int
+
+val address_of_string : string -> address
+(** ["host:1234"] parses as TCP, everything else as a Unix socket path. *)
+
+val address_to_string : address -> string
+val sockaddr_of_address : address -> Unix.sockaddr

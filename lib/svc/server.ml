@@ -1,0 +1,708 @@
+(* The riq-sim serve daemon.
+
+   One single-threaded select loop multiplexes three kinds of file
+   descriptor: the listening socket, client connections speaking the
+   length-prefixed JSON protocol ({!Wire}/{!Protocol}), and the result
+   pipes of a resident pool of forked simulation workers. Nothing in the
+   loop blocks on simulation: jobs travel to workers over pipes and come
+   back as (seconds, outcome) records, so status/stats requests stay
+   responsive while a sweep grinds.
+
+   Scheduling. Submitted jobs are keyed by {!Riq_exp.Job.fingerprint}.
+   Each fingerprint is resolved exactly once: first against the shared
+   {!Store} (read-through hit), then against the in-flight table (a
+   second request for a fingerprint that is queued or running is batched
+   onto it — one execution fans out to every waiter), and only then
+   queued for a worker. The queue is two-class — interactive ahead of
+   batch, with a weighted round-robin (BATCH_SHARE) that guarantees the
+   batch class one dispatch in every four when both classes are waiting,
+   so a nightly fuzz campaign can never starve an interactive sweep nor
+   be starved by one.
+
+   Failure containment mirrors the fork pool: a worker that dies mid-job
+   gets the job retried once on a fresh worker; a worker that exceeds the
+   per-job timeout is SIGKILLed and the job is answered [Job_timeout];
+   replacements are forked on demand.
+
+   SIGTERM/SIGINT starts a graceful drain: the listening socket closes,
+   new submits are refused, queued and in-flight jobs run to completion
+   (connected clients can still poll status and fetch results), then the
+   workers are shut down over their pipes, reaped, and the socket file is
+   unlinked. No orphaned processes, no stale lockfiles: the store lock is
+   only ever held across a bounded maintenance walk. *)
+
+open Riq_util
+open Riq_exp
+
+(* When both classes are waiting, of every [batch_share] dispatches one
+   goes to the batch queue. *)
+let batch_share = 4
+
+type config = {
+  address : Protocol.address;
+  workers : int;
+  store : Store.t;
+  timeout : float option; (* per-job wall-clock budget *)
+  log : string -> unit;
+}
+
+let config ?(workers = 1) ?(timeout = Some 600.) ?(log = ignore) ~address store =
+  if workers < 1 then invalid_arg "Server.config: workers must be >= 1";
+  { address; workers; store; timeout; log }
+
+(* ------------------------------------------------------------------ *)
+(* Worker processes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Parent -> worker: one frame (4-byte BE length + marshalled Job.t).
+   Worker -> parent: one frame (marshalled (seconds, Outcome.t)).
+   EOF on the request pipe shuts the worker down. *)
+
+let read_frame fd =
+  let hdr = Wire.read_exact fd 4 in
+  let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+  if len <= 0 || len > Wire.max_frame then raise (Wire.Protocol_error "bad frame");
+  Wire.read_exact fd len
+
+let write_frame fd payload =
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int (Bytes.length payload));
+  Wire.write_all fd hdr;
+  Wire.write_all fd payload
+
+let worker_main req_r res_w =
+  let rec loop () =
+    match read_frame req_r with
+    | exception (Wire.Closed | Wire.Protocol_error _) -> ()
+    | payload ->
+        let job : Job.t = Marshal.from_bytes payload 0 in
+        let t0 = Unix.gettimeofday () in
+        let outcome = Runner.execute_safe job in
+        let seconds = Unix.gettimeofday () -. t0 in
+        write_frame res_w (Marshal.to_bytes (seconds, (outcome : Outcome.t)) []);
+        loop ()
+  in
+  loop ()
+
+type worker = {
+  w_pid : int;
+  w_req : Unix.file_descr;
+  w_res : Unix.file_descr;
+  mutable w_fp : string option; (* fingerprint in flight *)
+  mutable w_started : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type waiter = {
+  wt_ticket : int;
+  wt_index : int;
+  wt_source : Protocol.source;
+}
+
+type pending = {
+  p_job : Job.t;
+  p_klass : Protocol.klass;
+  mutable p_state : [ `Queued | `Running ];
+  mutable p_waiters : waiter list; (* reverse submission order *)
+  mutable p_retried : bool;
+}
+
+type ticket = {
+  t_id : int;
+  t_total : int;
+  t_outcomes : Outcome.t option array;
+  t_sources : Protocol.source array;
+  t_seconds : float array;
+  mutable t_done : int;
+}
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_buf : Buffer.t;
+  mutable c_hello : bool;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  mutable conns : conn list;
+  mutable pool : worker list;
+  pending : (string, pending) Hashtbl.t; (* fingerprint -> queued/running *)
+  q_interactive : string Queue.t;
+  q_batch : string Queue.t;
+  tickets : (int, ticket) Hashtbl.t;
+  mutable next_ticket : int;
+  mutable since_batch : int; (* interactive dispatches since a batch one *)
+  mutable draining : bool;
+  started : float;
+  (* counters *)
+  mutable n_submitted : int;
+  mutable n_hits : int;
+  mutable n_executed : int;
+  mutable n_batched : int;
+  mutable n_retries : int;
+  mutable n_timeouts : int;
+  mutable n_batch_jobs : int; (* waiters fanned out per execution, summed *)
+  mutable n_max_batch : int;
+  mutable n_max_queue : int;
+  mutable n_requests : int;
+}
+
+let queue_depth t = Queue.length t.q_interactive + Queue.length t.q_batch
+
+(* ------------------------------------------------------------------ *)
+(* Socket setup / teardown                                             *)
+(* ------------------------------------------------------------------ *)
+
+let listen_socket address =
+  match address with
+  | Protocol.Unix_socket path ->
+      (if Sys.file_exists path then begin
+         (* A live daemon refuses the bind; a stale socket from a dead one
+            is unlinked after a probe connect fails. *)
+         let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+         let alive =
+           try
+             Unix.connect probe (Unix.ADDR_UNIX path);
+             true
+           with _ -> false
+         in
+         (try Unix.close probe with _ -> ());
+         if alive then failwith (Printf.sprintf "a daemon is already serving on %s" path)
+         else try Sys.remove path with _ -> ()
+       end);
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Protocol.Tcp _ ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Protocol.sockaddr_of_address address);
+      Unix.listen fd 64;
+      fd
+
+let close_listener t =
+  (try Unix.close t.listen_fd with _ -> ());
+  match t.cfg.address with
+  | Protocol.Unix_socket path -> ( try Sys.remove path with _ -> ())
+  | Protocol.Tcp _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Worker lifecycle                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let spawn_worker t =
+  let req_r, req_w = Unix.pipe () in
+  let res_r, res_w = Unix.pipe () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      Unix.close req_w;
+      Unix.close res_r;
+      (try Unix.close t.listen_fd with _ -> ());
+      List.iter (fun c -> try Unix.close c.c_fd with _ -> ()) t.conns;
+      List.iter
+        (fun w ->
+          (try Unix.close w.w_req with _ -> ());
+          try Unix.close w.w_res with _ -> ())
+        t.pool;
+      (try worker_main req_r res_w with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close req_r;
+      Unix.close res_w;
+      let w = { w_pid = pid; w_req = req_w; w_res = res_r; w_fp = None; w_started = 0. } in
+      t.pool <- w :: t.pool;
+      w
+
+let reap_worker t ?(kill = false) w =
+  if kill then (try Unix.kill w.w_pid Sys.sigkill with _ -> ());
+  (try Unix.close w.w_req with _ -> ());
+  (try Unix.close w.w_res with _ -> ());
+  (try ignore (Unix.waitpid [] w.w_pid) with _ -> ());
+  t.pool <- List.filter (fun w' -> w'.w_pid <> w.w_pid) t.pool
+
+(* ------------------------------------------------------------------ *)
+(* Delivery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let deliver_to_ticket t ~ticket ~index ~source ~seconds outcome =
+  match Hashtbl.find_opt t.tickets ticket with
+  | None -> () (* ticket already dropped (drain) *)
+  | Some tk ->
+      if tk.t_outcomes.(index) = None then begin
+        tk.t_outcomes.(index) <- Some outcome;
+        tk.t_sources.(index) <- source;
+        tk.t_seconds.(index) <- seconds;
+        tk.t_done <- tk.t_done + 1
+      end
+
+let resolve_pending t fp ~seconds (outcome : Outcome.t) =
+  match Hashtbl.find_opt t.pending fp with
+  | None -> ()
+  | Some p ->
+      let waiters = List.rev p.p_waiters in
+      let fanout = List.length waiters in
+      t.n_batch_jobs <- t.n_batch_jobs + fanout;
+      if fanout > t.n_max_batch then t.n_max_batch <- fanout;
+      List.iter
+        (fun w ->
+          deliver_to_ticket t ~ticket:w.wt_ticket ~index:w.wt_index
+            ~source:w.wt_source ~seconds outcome)
+        waiters;
+      Hashtbl.remove t.pending fp
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Weighted round-robin across the two class queues; see the header. *)
+let next_fingerprint t =
+  let qi, qb = (t.q_interactive, t.q_batch) in
+  if Queue.is_empty qi && Queue.is_empty qb then None
+  else if Queue.is_empty qb then Some (Queue.pop qi)
+  else if Queue.is_empty qi then Some (Queue.pop qb)
+  else if t.since_batch >= batch_share - 1 then begin
+    t.since_batch <- 0;
+    Some (Queue.pop qb)
+  end
+  else begin
+    t.since_batch <- t.since_batch + 1;
+    Some (Queue.pop qi)
+  end
+
+let dispatch_one t w fp =
+  match Hashtbl.find_opt t.pending fp with
+  | None -> () (* evaporated (shouldn't happen) *)
+  | Some p -> (
+      p.p_state <- `Running;
+      w.w_fp <- Some fp;
+      w.w_started <- Unix.gettimeofday ();
+      try write_frame w.w_req (Marshal.to_bytes p.p_job [])
+      with _ ->
+        (* Worker died between jobs: retry via the crash path. *)
+        w.w_fp <- None;
+        reap_worker t w;
+        p.p_state <- `Queued;
+        Queue.push fp
+          (match p.p_klass with
+          | Protocol.Interactive -> t.q_interactive
+          | Protocol.Batch -> t.q_batch))
+
+let fill_workers t =
+  (* Replace crashed workers while there is work for them. *)
+  while List.length t.pool < min t.cfg.workers (max 1 (queue_depth t)) do
+    ignore (spawn_worker t)
+  done;
+  List.iter
+    (fun w ->
+      if w.w_fp = None then
+        match next_fingerprint t with
+        | Some fp -> dispatch_one t w fp
+        | None -> ())
+    t.pool
+
+let requeue_front t fp p =
+  p.p_state <- `Queued;
+  let q =
+    match p.p_klass with
+    | Protocol.Interactive -> t.q_interactive
+    | Protocol.Batch -> t.q_batch
+  in
+  (* Queue has no push-front; rebuild. Queues are short-lived and small
+     relative to simulation time, so this is fine. *)
+  let rest = Queue.copy q in
+  Queue.clear q;
+  Queue.push fp q;
+  Queue.transfer rest q
+
+let worker_crashed t w =
+  (match w.w_fp with
+  | None -> ()
+  | Some fp -> (
+      match Hashtbl.find_opt t.pending fp with
+      | None -> ()
+      | Some p ->
+          if p.p_retried then
+            resolve_pending t fp ~seconds:0.
+              (Error (Outcome.Worker_crashed "serve worker died mid-job"))
+          else begin
+            p.p_retried <- true;
+            t.n_retries <- t.n_retries + 1;
+            requeue_front t fp p
+          end));
+  reap_worker t w
+
+let worker_result t w =
+  match read_frame w.w_res with
+  | exception _ -> worker_crashed t w
+  | payload ->
+      let seconds, (outcome : Outcome.t) = Marshal.from_bytes payload 0 in
+      (match w.w_fp with
+      | None -> ()
+      | Some fp ->
+          Store.store t.cfg.store fp outcome;
+          t.n_executed <- t.n_executed + 1;
+          resolve_pending t fp ~seconds outcome);
+      w.w_fp <- None
+
+let check_timeouts t =
+  match t.cfg.timeout with
+  | None -> ()
+  | Some budget ->
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun w ->
+          match w.w_fp with
+          | Some fp when now -. w.w_started > budget ->
+              t.n_timeouts <- t.n_timeouts + 1;
+              resolve_pending t fp ~seconds:budget (Error (Outcome.Job_timeout budget));
+              reap_worker t ~kill:true w
+          | _ -> ())
+        t.pool
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let stats_json t =
+  Json.Obj
+    [
+      ("server", Json.String Protocol.version);
+      ("revision", Json.String Revision.stamp);
+      ("address", Json.String (Protocol.address_to_string t.cfg.address));
+      ("uptime_seconds", Json.Float (Unix.gettimeofday () -. t.started));
+      ("workers", Json.Int t.cfg.workers);
+      ("draining", Json.Bool t.draining);
+      ("requests", Json.Int t.n_requests);
+      ("submitted", Json.Int t.n_submitted);
+      ("hits", Json.Int t.n_hits);
+      ("misses", Json.Int (t.n_submitted - t.n_hits - t.n_batched));
+      ("executed", Json.Int t.n_executed);
+      ("batched", Json.Int t.n_batched);
+      ("retries", Json.Int t.n_retries);
+      ("timeouts", Json.Int t.n_timeouts);
+      ("queue_interactive", Json.Int (Queue.length t.q_interactive));
+      ("queue_batch", Json.Int (Queue.length t.q_batch));
+      ("queue_depth_max", Json.Int t.n_max_queue);
+      ("inflight", Json.Int (List.length (List.filter (fun w -> w.w_fp <> None) t.pool)));
+      ("tickets_open", Json.Int (Hashtbl.length t.tickets));
+      ( "batch",
+        Json.Obj
+          [
+            ("executions", Json.Int t.n_executed);
+            ("jobs_fanned_out", Json.Int t.n_batch_jobs);
+            ("max_fanout", Json.Int t.n_max_batch);
+          ] );
+      ("store", Store.stat_json t.cfg.store);
+    ]
+
+let handle_submit t ~klass ~(wire_jobs : string list) =
+  if t.draining then Protocol.error "draining: daemon is shutting down"
+  else begin
+    match List.map Protocol.job_of_wire wire_jobs with
+    | exception _ -> Protocol.error "undecodable job payload"
+    | jobs ->
+        let total = List.length jobs in
+        let id = t.next_ticket in
+        t.next_ticket <- id + 1;
+        let tk =
+          {
+            t_id = id;
+            t_total = total;
+            t_outcomes = Array.make total None;
+            t_sources = Array.make total Protocol.Hit;
+            t_seconds = Array.make total 0.;
+            t_done = 0;
+          }
+        in
+        Hashtbl.replace t.tickets id tk;
+        List.iteri
+          (fun index job ->
+            t.n_submitted <- t.n_submitted + 1;
+            let fp = Job.fingerprint job in
+            match Store.find t.cfg.store fp with
+            | Some outcome ->
+                t.n_hits <- t.n_hits + 1;
+                deliver_to_ticket t ~ticket:id ~index ~source:Protocol.Hit
+                  ~seconds:0. outcome
+            | None -> (
+                match Hashtbl.find_opt t.pending fp with
+                | Some p ->
+                    (* Same fingerprint already queued or running (possibly
+                       for another client): coalesce. *)
+                    t.n_batched <- t.n_batched + 1;
+                    p.p_waiters <-
+                      { wt_ticket = id; wt_index = index; wt_source = Protocol.Batched }
+                      :: p.p_waiters
+                | None ->
+                    let p =
+                      {
+                        p_job = job;
+                        p_klass = klass;
+                        p_state = `Queued;
+                        p_waiters =
+                          [ { wt_ticket = id; wt_index = index; wt_source = Protocol.Executed } ];
+                        p_retried = false;
+                      }
+                    in
+                    Hashtbl.replace t.pending fp p;
+                    Queue.push fp
+                      (match klass with
+                      | Protocol.Interactive -> t.q_interactive
+                      | Protocol.Batch -> t.q_batch)))
+          jobs;
+        if queue_depth t > t.n_max_queue then t.n_max_queue <- queue_depth t;
+        Protocol.ok
+          [
+            ("ticket", Json.Int id);
+            ("jobs", Json.Int total);
+            ("done", Json.Int tk.t_done);
+          ]
+  end
+
+let handle_request t conn (req : Protocol.request) =
+  t.n_requests <- t.n_requests + 1;
+  match req with
+  | Protocol.Hello { revision; format } ->
+      if revision <> Revision.stamp then
+        Protocol.error
+          (Printf.sprintf "revision mismatch: daemon %s, client %s" Revision.stamp
+             revision)
+      else if format <> Revision.format_version then
+        Protocol.error
+          (Printf.sprintf "format mismatch: daemon %d, client %d"
+             Revision.format_version format)
+      else begin
+        conn.c_hello <- true;
+        Protocol.ok
+          [
+            ("server", Json.String Protocol.version);
+            ("workers", Json.Int t.cfg.workers);
+          ]
+      end
+  | _ when not conn.c_hello -> Protocol.error "hello required before any other op"
+  | Protocol.Submit { klass; jobs } -> handle_submit t ~klass ~wire_jobs:jobs
+  | Protocol.Status { ticket } -> (
+      match Hashtbl.find_opt t.tickets ticket with
+      | None -> Protocol.error "unknown ticket"
+      | Some tk ->
+          Protocol.ok
+            [
+              ("ticket", Json.Int tk.t_id);
+              ("done", Json.Int tk.t_done);
+              ("total", Json.Int tk.t_total);
+              ("queue_depth", Json.Int (queue_depth t));
+            ])
+  | Protocol.Result { ticket } -> (
+      match Hashtbl.find_opt t.tickets ticket with
+      | None -> Protocol.error "unknown ticket"
+      | Some tk ->
+          if tk.t_done < tk.t_total then
+            Json.Obj
+              [
+                ("ok", Json.Bool false);
+                ("error", Json.String "pending");
+                ("done", Json.Int tk.t_done);
+                ("total", Json.Int tk.t_total);
+              ]
+          else begin
+            Hashtbl.remove t.tickets ticket;
+            let outcome i =
+              match tk.t_outcomes.(i) with
+              | Some o -> o
+              | None -> Error (Outcome.Worker_crashed "lost during drain")
+            in
+            Protocol.ok
+              [
+                ( "outcomes",
+                  Json.List
+                    (List.init tk.t_total (fun i ->
+                         Json.String (Protocol.outcome_to_wire (outcome i)))) );
+                ( "sources",
+                  Json.List
+                    (List.init tk.t_total (fun i ->
+                         Json.String (Protocol.source_to_string tk.t_sources.(i)))) );
+                ( "seconds",
+                  Json.List
+                    (List.init tk.t_total (fun i -> Json.Float tk.t_seconds.(i))) );
+              ]
+          end)
+  | Protocol.Stats -> stats_json t
+
+(* ------------------------------------------------------------------ *)
+(* Client connections                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let close_conn t conn =
+  (try Unix.close conn.c_fd with _ -> ());
+  t.conns <- List.filter (fun c -> c.c_fd <> conn.c_fd) t.conns
+
+(* Peel complete frames off the connection's accumulation buffer and
+   answer each; responses are written synchronously (they are small, and
+   a client that cannot drain its own responses deserves the stall). *)
+let service_conn_buffer t conn =
+  let continue_ = ref true in
+  while !continue_ do
+    let data = Buffer.contents conn.c_buf in
+    let len = String.length data in
+    if len < 4 then continue_ := false
+    else
+      let frame_len = Int32.to_int (String.get_int32_be data 0) in
+      if frame_len < 0 || frame_len > Wire.max_frame then begin
+        Wire.send conn.c_fd (Protocol.error "bad frame length");
+        close_conn t conn;
+        continue_ := false
+      end
+      else if len < 4 + frame_len then continue_ := false
+      else begin
+        Buffer.clear conn.c_buf;
+        Buffer.add_substring conn.c_buf data (4 + frame_len) (len - 4 - frame_len);
+        let response =
+          match Json.of_string (String.sub data 4 frame_len) with
+          | Error msg -> Protocol.error msg
+          | Ok j -> (
+              match Protocol.request_of_json j with
+              | Error msg -> Protocol.error msg
+              | Ok req -> handle_request t conn req)
+        in
+        try Wire.send conn.c_fd response
+        with _ ->
+          close_conn t conn;
+          continue_ := false
+      end
+  done
+
+let conn_readable t conn =
+  let chunk = Bytes.create 65536 in
+  match Unix.read conn.c_fd chunk 0 (Bytes.length chunk) with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception _ -> close_conn t conn
+  | 0 -> close_conn t conn
+  | n ->
+      Buffer.add_subbytes conn.c_buf chunk 0 n;
+      service_conn_buffer t conn
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let drain_requested = ref false
+
+let install_signal_handlers () =
+  let handle = Sys.Signal_handle (fun _ -> drain_requested := true) in
+  List.iter
+    (fun s -> try Sys.set_signal s handle with _ -> ())
+    [ Sys.sigterm; Sys.sigint ]
+
+let work_left t =
+  queue_depth t > 0 || List.exists (fun w -> w.w_fp <> None) t.pool
+
+let serve cfg =
+  let t =
+    {
+      cfg;
+      listen_fd = listen_socket cfg.address;
+      conns = [];
+      pool = [];
+      pending = Hashtbl.create 256;
+      q_interactive = Queue.create ();
+      q_batch = Queue.create ();
+      tickets = Hashtbl.create 64;
+      next_ticket = 1;
+      since_batch = 0;
+      draining = false;
+      started = Unix.gettimeofday ();
+      n_submitted = 0;
+      n_hits = 0;
+      n_executed = 0;
+      n_batched = 0;
+      n_retries = 0;
+      n_timeouts = 0;
+      n_batch_jobs = 0;
+      n_max_batch = 0;
+      n_max_queue = 0;
+      n_requests = 0;
+    }
+  in
+  drain_requested := false;
+  install_signal_handlers ();
+  (* A client that disappears mid-write must not kill the daemon. *)
+  let old_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with _ -> None
+  in
+  cfg.log
+    (Printf.sprintf "riq-serve: listening on %s (%d workers, store %s)"
+       (Protocol.address_to_string cfg.address)
+       cfg.workers (Store.root cfg.store));
+  let listener_open = ref true in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun c -> try Unix.close c.c_fd with _ -> ()) t.conns;
+      t.conns <- [];
+      List.iter (fun w -> reap_worker t w) t.pool;
+      if !listener_open then close_listener t;
+      match old_sigpipe with
+      | Some b -> ( try Sys.set_signal Sys.sigpipe b with _ -> ())
+      | None -> ())
+    (fun () ->
+      let running = ref true in
+      while !running do
+        if !drain_requested && not t.draining then begin
+          t.draining <- true;
+          cfg.log
+            (Printf.sprintf "riq-serve: drain requested (%d queued, %d in flight)"
+               (queue_depth t)
+               (List.length (List.filter (fun w -> w.w_fp <> None) t.pool)));
+          (* Stop accepting new clients; existing ones keep polling. *)
+          close_listener t;
+          listener_open := false
+        end;
+        if t.draining && not (work_left t) then running := false
+        else begin
+          fill_workers t;
+          let busy = List.filter (fun w -> w.w_fp <> None) t.pool in
+          let read_fds =
+            (if !listener_open then [ t.listen_fd ] else [])
+            @ List.map (fun c -> c.c_fd) t.conns
+            @ List.map (fun w -> w.w_res) busy
+          in
+          let select_timeout =
+            match (t.cfg.timeout, busy) with
+            | Some budget, _ :: _ ->
+                let now = Unix.gettimeofday () in
+                List.fold_left
+                  (fun acc w -> min acc (max 0.05 (budget -. (now -. w.w_started))))
+                  1.0 busy
+            | _ -> 1.0
+          in
+          let readable =
+            match Unix.select read_fds [] [] select_timeout with
+            | r, _, _ -> r
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+            | exception Unix.Unix_error (Unix.EBADF, _, _) -> []
+          in
+          (* Workers first: results unblock waiters and free slots. *)
+          List.iter
+            (fun w -> if List.memq w.w_res readable then worker_result t w)
+            busy;
+          (* Dead workers show up as EOF on their result pipe too; the
+             read inside worker_result handled that via worker_crashed. *)
+          check_timeouts t;
+          List.iter
+            (fun conn -> if List.memq conn.c_fd readable then conn_readable t conn)
+            (List.filter (fun c -> List.memq c.c_fd readable) t.conns);
+          if !listener_open && List.memq t.listen_fd readable then begin
+            match Unix.accept t.listen_fd with
+            | fd, _ ->
+                t.conns <- { c_fd = fd; c_buf = Buffer.create 4096; c_hello = false } :: t.conns
+            | exception _ -> ()
+          end
+        end
+      done;
+      cfg.log "riq-serve: drained, shutting down")

@@ -1,0 +1,37 @@
+(** The [riq-sim serve] daemon: a single-threaded select loop multiplexing
+    the listening socket, wire-protocol clients and a resident pool of
+    forked simulation workers, over a shared {!Store}.
+
+    Scheduling: jobs are keyed by fingerprint and each fingerprint
+    resolves exactly once — store read-through, then coalescing onto an
+    in-flight execution (request batching), then the two-class queue
+    (interactive ahead of batch with a weighted round-robin that
+    guarantees batch one dispatch in four when both wait). A worker that
+    dies mid-job gets the job retried once; one that exceeds the per-job
+    timeout is killed and the job answered [Job_timeout].
+
+    SIGTERM/SIGINT drains gracefully: stop accepting, run queued and
+    in-flight jobs to completion (clients can still poll and fetch),
+    shut down and reap every worker, unlink the socket. *)
+
+type config = {
+  address : Protocol.address;
+  workers : int;
+  store : Store.t;
+  timeout : float option;
+  log : string -> unit;
+}
+
+val config :
+  ?workers:int ->
+  ?timeout:float option ->
+  ?log:(string -> unit) ->
+  address:Protocol.address ->
+  Store.t ->
+  config
+(** [workers] defaults to 1, [timeout] to 600 s per job ([None]
+    disables), [log] to silent. *)
+
+val serve : config -> unit
+(** Run the daemon until a graceful drain completes. Raises [Failure] if
+    the address is already being served. *)

@@ -1,0 +1,69 @@
+(** The shared, concurrency-safe result store: the engine's
+    content-addressed {!Riq_exp.Cache} (same on-disk layout — local
+    sweeps, fuzz campaigns and the serve daemon interoperate on one
+    tree) plus what many processes sharing it need: recency-tracked
+    read-through, a cooperative maintenance lockfile, LRU eviction to a
+    byte budget, and age-based gc. Maintenance only ever deletes whole
+    entries; a reader racing an eviction sees a miss, never a torn
+    file. *)
+
+open Riq_exp
+
+type t
+
+val open_ : ?root:string -> ?budget_bytes:int -> unit -> t
+(** [root] defaults like {!Cache.open_}. With [budget_bytes], every 32nd
+    {!store} opportunistically evicts to the budget (skipped without
+    blocking if another process holds the maintenance lock). *)
+
+val cache : t -> Cache.t
+val root : t -> string
+
+val find : t -> string -> Outcome.t option
+(** Read-through {!Cache.find} that refreshes the entry's mtime on a hit,
+    which is the store's cross-process LRU order. *)
+
+val store : t -> string -> Outcome.t -> unit
+(** {!Cache.store} plus amortized budget enforcement. *)
+
+val with_lock : ?timeout:float -> t -> (unit -> 'a) -> 'a
+(** Run [f] holding the store's maintenance lockfile ([<root>/.riq-lock],
+    atomic [O_CREAT|O_EXCL]); polls up to [timeout] (default 30 s) then
+    raises [Failure]. A lockfile older than 60 s is considered stale
+    (a dead holder) and broken. Entry writes do not need the lock —
+    they are atomic on their own; this serializes maintenance walks. *)
+
+val try_lock : t -> bool
+(** One non-blocking acquisition attempt (breaks a stale lock as a side
+    effect). Pair with {!unlock}. *)
+
+val unlock : t -> unit
+
+type entry = { e_path : string; e_bytes : int; e_mtime : float }
+
+val entries : t -> entry list
+(** Every entry under the root, across all revision subtrees (so gc and
+    eviction reclaim trees orphaned by a revision bump too). *)
+
+type stat = {
+  entry_count : int;
+  total_bytes : int;
+  oldest_mtime : float option;
+  newest_mtime : float option;
+}
+
+val stat : t -> stat
+val stat_json : t -> Riq_util.Json.t
+
+val evict_to_budget : t -> int -> int
+(** Evict least-recently-used entries until total bytes fit the given
+    budget (under the lock); returns entries removed. *)
+
+val gc : ?now:float -> t -> max_age_seconds:float -> int * int
+(** Remove entries strictly older than [now - max_age_seconds] (under
+    the lock); never touches anything newer than the cutoff. Returns
+    (entries removed, bytes freed). *)
+
+val evictions : t -> int
+(** Entries evicted by this process (budget enforcement + explicit
+    {!evict_to_budget}). *)

@@ -1,0 +1,515 @@
+(* The serving subsystem: wire framing, protocol message round-trips, the
+   shared store's concurrency machinery (lockfile, LRU eviction, gc), and
+   an end-to-end forked daemon exercised through the engine's remote
+   backend — including the 100%-hit repeat and the SIGTERM drain. *)
+
+open Riq_asm
+open Riq_ooo
+open Riq_util
+open Riq_exp
+open Riq_svc
+
+let tiny_program =
+  Parse.program_exn
+    {|
+    li r2, 0
+    li r3, 0
+loop:
+    add r2, r2, r3
+    addi r3, r3, 1
+    slti r4, r3, 50
+    bne r4, r0, loop
+    halt
+|}
+
+let tiny_job ?(check = false) ?(cycle_limit = Job.default_cycle_limit) () =
+  Job.make ~check ~cycle_limit Config.baseline tiny_program
+
+let rm_rf dir = ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+
+let with_temp_dir f =
+  let dir = Filename.temp_dir "riq-svc-test" "" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let with_temp_store ?budget_bytes f =
+  with_temp_dir (fun dir -> f (Store.open_ ~root:(Filename.concat dir "cache") ?budget_bytes ()))
+
+(* ------------------------------------------------------------------ *)
+(* Wire framing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_hex_round_trip () =
+  let cases = [ ""; "\x00"; "abc"; String.init 256 Char.chr ] in
+  List.iter
+    (fun s -> Alcotest.(check string) "hex round trip" s (Wire.of_hex (Wire.to_hex s)))
+    cases;
+  Alcotest.(check string) "lowercase hex" "00ff10" (Wire.to_hex "\x00\xff\x10")
+
+let test_frame_round_trip () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun fd -> try Unix.close fd with _ -> ()) [ r; w ])
+    (fun () ->
+      let docs =
+        [
+          Json.Null;
+          Json.Obj [ ("op", Json.String "hello"); ("n", Json.Int 42) ];
+          Json.List [ Json.Bool true; Json.Float 2.5; Json.String "x\ny" ];
+        ]
+      in
+      List.iter (Wire.send w) docs;
+      List.iter
+        (fun doc ->
+          Alcotest.(check string) "framed document round trip" (Json.to_string doc)
+            (Json.to_string (Wire.recv r)))
+        docs)
+
+let test_frame_rejects_oversized () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun fd -> try Unix.close fd with _ -> ()) [ r; w ])
+    (fun () ->
+      (* A length prefix claiming far more than max_frame must be refused
+         before any allocation or read of the payload. *)
+      let b = Bytes.create 4 in
+      Bytes.set_int32_be b 0 0x7FFFFFFFl;
+      Wire.write_all w b;
+      match Wire.recv r with
+      | _ -> Alcotest.fail "oversized frame accepted"
+      | exception Wire.Protocol_error _ -> ())
+
+let test_frame_eof_is_closed () =
+  let r, w = Unix.pipe () in
+  Unix.close w;
+  Fun.protect
+    ~finally:(fun () -> try Unix.close r with _ -> ())
+    (fun () ->
+      match Wire.recv r with
+      | _ -> Alcotest.fail "read from closed pipe"
+      | exception Wire.Closed -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Protocol messages                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_round_trip () =
+  let reqs =
+    [
+      Protocol.Hello { revision = Revision.stamp; format = Revision.format_version };
+      Protocol.Submit { klass = Protocol.Interactive; jobs = [ "00ab"; "ff01" ] };
+      Protocol.Submit { klass = Protocol.Batch; jobs = [] };
+      Protocol.Status { ticket = 7 };
+      Protocol.Result { ticket = 0 };
+      Protocol.Stats;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.request_of_json (Protocol.request_to_json r) with
+      | Ok r' -> Alcotest.(check bool) "request round trip" true (r = r')
+      | Error msg -> Alcotest.fail ("request did not round trip: " ^ msg))
+    reqs;
+  (match Protocol.request_of_json (Json.Obj [ ("op", Json.String "nonsense") ]) with
+  | Ok _ -> Alcotest.fail "unknown op accepted"
+  | Error _ -> ());
+  Alcotest.(check bool) "ok is ok" true (Protocol.is_ok (Protocol.ok []));
+  Alcotest.(check bool) "error is not ok" false (Protocol.is_ok (Protocol.error "boom"));
+  Alcotest.(check string) "error text" "boom" (Protocol.error_of (Protocol.error "boom"))
+
+let test_job_outcome_wire () =
+  let job = tiny_job ~check:true () in
+  let job' = Protocol.job_of_wire (Protocol.job_to_wire job) in
+  Alcotest.(check string) "job survives the wire" (Job.fingerprint job)
+    (Job.fingerprint job');
+  let outcome = Runner.execute job in
+  Alcotest.(check bool) "tiny job succeeds" true (Result.is_ok outcome);
+  Alcotest.(check bool) "outcome survives the wire" true
+    (Protocol.outcome_of_wire (Protocol.outcome_to_wire outcome) = outcome);
+  let err : Outcome.t = Error (Outcome.Job_timeout 1.5) in
+  Alcotest.(check bool) "error outcome survives the wire" true
+    (Protocol.outcome_of_wire (Protocol.outcome_to_wire err) = err)
+
+let test_address_parsing () =
+  (match Protocol.address_of_string "localhost:8080" with
+  | Protocol.Tcp ("localhost", 8080) -> ()
+  | _ -> Alcotest.fail "host:port should parse as TCP");
+  (match Protocol.address_of_string "/tmp/riq.sock" with
+  | Protocol.Unix_socket "/tmp/riq.sock" -> ()
+  | _ -> Alcotest.fail "path should parse as a Unix socket");
+  match Protocol.address_of_string "./relative:name" with
+  | Protocol.Unix_socket _ -> ()
+  | _ -> Alcotest.fail "non-numeric port means Unix socket"
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stored_outcome = lazy (Runner.execute (tiny_job ()))
+
+let store_n store n =
+  (* n distinct fingerprints with distinct, strictly increasing mtimes. *)
+  let outcome = Lazy.force stored_outcome in
+  List.map
+    (fun i ->
+      let key = Job.fingerprint (tiny_job ~cycle_limit:(1000 + i) ()) in
+      Store.store store key outcome;
+      key)
+    (List.init n Fun.id)
+
+let set_mtimes store keys =
+  (* Pin every entry's mtime explicitly (index order = recency order) so
+     eviction and gc decisions are deterministic under test. *)
+  let now = Unix.gettimeofday () in
+  List.iteri
+    (fun i key ->
+      let entry =
+        List.find
+          (fun e -> Filename.basename e.Store.e_path = key)
+          (Store.entries store)
+      in
+      let t = now -. 1000. +. (10. *. float_of_int i) in
+      Unix.utimes entry.Store.e_path t t)
+    keys;
+  now
+
+let test_store_round_trip () =
+  with_temp_store (fun store ->
+      let job = tiny_job () in
+      let key = Job.fingerprint job in
+      Alcotest.(check bool) "cold miss" true (Store.find store key = None);
+      let outcome = Lazy.force stored_outcome in
+      Store.store store key outcome;
+      Alcotest.(check bool) "hit after store" true (Store.find store key = Some outcome);
+      let s = Store.stat store in
+      Alcotest.(check int) "one entry" 1 s.Store.entry_count;
+      Alcotest.(check bool) "bytes counted" true (s.Store.total_bytes > 0))
+
+let test_store_find_touches () =
+  with_temp_store (fun store ->
+      let keys = store_n store 1 in
+      let key = List.hd keys in
+      let entry () = List.hd (Store.entries store) in
+      Unix.utimes (entry ()).Store.e_path 1000. 1000.;
+      Alcotest.(check bool) "mtime pinned old" true ((entry ()).Store.e_mtime < 2000.);
+      ignore (Store.find store key);
+      (* A read refreshes recency: the entry must no longer be the
+         1000-epoch relic, i.e. LRU order follows use, not creation. *)
+      Alcotest.(check bool) "read refreshed mtime" true
+        ((entry ()).Store.e_mtime > 1000000.))
+
+let test_store_eviction_respects_budget () =
+  with_temp_store (fun store ->
+      let keys = store_n store 5 in
+      ignore (set_mtimes store keys);
+      let per_entry = (List.hd (Store.entries store)).Store.e_bytes in
+      let budget = (2 * per_entry) + (per_entry / 2) in
+      let removed = Store.evict_to_budget store budget in
+      Alcotest.(check int) "evicted down to budget" 3 removed;
+      let s = Store.stat store in
+      Alcotest.(check int) "two entries left" 2 s.Store.entry_count;
+      Alcotest.(check bool) "under budget" true (s.Store.total_bytes <= budget);
+      (* LRU: the two most recently used survive. *)
+      let survivors = List.map (fun e -> Filename.basename e.Store.e_path) (Store.entries store) in
+      List.iteri
+        (fun i key ->
+          Alcotest.(check bool)
+            (Printf.sprintf "entry %d %s" i (if i >= 3 then "kept" else "evicted"))
+            (i >= 3) (List.mem key survivors))
+        keys;
+      Alcotest.(check int) "eviction counter" 3 (Store.evictions store))
+
+let test_store_gc_respects_cutoff () =
+  with_temp_store (fun store ->
+      let keys = store_n store 4 in
+      let now = set_mtimes store keys in
+      (* Ages are 1000, 990, 980, 970 seconds; cut at 985. *)
+      let removed, bytes = Store.gc ~now store ~max_age_seconds:985. in
+      Alcotest.(check int) "two old entries removed" 2 removed;
+      Alcotest.(check bool) "bytes freed" true (bytes > 0);
+      let survivors = List.map (fun e -> Filename.basename e.Store.e_path) (Store.entries store) in
+      List.iteri
+        (fun i key ->
+          Alcotest.(check bool)
+            (Printf.sprintf "entry %d newer than cutoff %s" i
+               (if i >= 2 then "kept" else "removed"))
+            (i >= 2) (List.mem key survivors))
+        keys;
+      let removed', _ = Store.gc ~now store ~max_age_seconds:985. in
+      Alcotest.(check int) "gc is idempotent" 0 removed')
+
+let test_store_budget_enforced_on_store () =
+  with_temp_dir (fun dir ->
+      let root = Filename.concat dir "cache" in
+      let probe = Store.open_ ~root () in
+      let keys = store_n probe 1 in
+      let per_entry = (List.hd (Store.entries probe)).Store.e_bytes in
+      ignore keys;
+      rm_rf root;
+      (* Budget for ~3 entries; write 64 so several of the amortized
+         every-32nd-store sweeps trigger. *)
+      let store = Store.open_ ~root ~budget_bytes:(3 * per_entry) () in
+      ignore (store_n store 64);
+      let s = Store.stat store in
+      Alcotest.(check bool) "amortized eviction kept the store bounded" true
+        (s.Store.entry_count < 40);
+      Alcotest.(check bool) "evictions counted" true (Store.evictions store > 0))
+
+let test_store_lock_stale_break () =
+  with_temp_store (fun store ->
+      let lock_path = Filename.concat (Store.root store) ".riq-lock" in
+      let fd = Unix.openfile lock_path [ Unix.O_CREAT; Unix.O_WRONLY ] 0o644 in
+      Unix.close fd;
+      Unix.utimes lock_path 1000. 1000.;
+      (* A lockfile from a dead holder must not wedge maintenance. *)
+      Store.with_lock ~timeout:5. store (fun () -> ());
+      Alcotest.(check bool) "fresh lock released" true (not (Sys.file_exists lock_path)))
+
+(* Cross-process mutual exclusion: two forked writers increment a shared
+   counter file under the store lock; lost updates would leave the final
+   count short. *)
+let test_store_lock_contention () =
+  if not (Pool.available ()) then ()
+  else
+    with_temp_store (fun store ->
+        let counter = Filename.concat (Store.root store) "counter" in
+        let oc = open_out counter in
+        output_string oc "0";
+        close_out oc;
+        let rounds = 25 in
+        let child () =
+          for _ = 1 to rounds do
+            Store.with_lock ~timeout:30. store (fun () ->
+                let ic = open_in counter in
+                let v = int_of_string (input_line ic) in
+                close_in ic;
+                (* Widen the race window: hold the lock across the
+                   read-modify-write. *)
+                ignore (Unix.select [] [] [] 0.001);
+                let oc = open_out counter in
+                output_string oc (string_of_int (v + 1));
+                close_out oc)
+          done;
+          Unix._exit 0
+        in
+        flush stdout;
+        flush stderr;
+        let pids =
+          List.init 2 (fun _ -> match Unix.fork () with 0 -> child () | pid -> pid)
+        in
+        List.iter
+          (fun pid ->
+            match Unix.waitpid [] pid with
+            | _, Unix.WEXITED 0 -> ()
+            | _ -> Alcotest.fail "lock contention child failed")
+          pids;
+        let ic = open_in counter in
+        let v = int_of_string (input_line ic) in
+        close_in ic;
+        Alcotest.(check int) "no lost updates" (2 * rounds) v)
+
+(* Two processes racing to store the same fingerprint while a third reads
+   it: every read sees either a miss or one complete, valid outcome —
+   never a torn entry. *)
+let test_store_concurrent_writers_one_fingerprint () =
+  if not (Pool.available ()) then ()
+  else
+    with_temp_store (fun store ->
+        let key = Job.fingerprint (tiny_job ()) in
+        let outcome = Lazy.force stored_outcome in
+        let writer () =
+          for _ = 1 to 50 do
+            Store.store store key outcome
+          done;
+          Unix._exit 0
+        in
+        flush stdout;
+        flush stderr;
+        let pids =
+          List.init 2 (fun _ -> match Unix.fork () with 0 -> writer () | pid -> pid)
+        in
+        for _ = 1 to 200 do
+          match Store.find store key with
+          | None -> ()
+          | Some got ->
+              Alcotest.(check bool) "read is complete and valid" true (got = outcome)
+        done;
+        List.iter
+          (fun pid ->
+            match Unix.waitpid [] pid with
+            | _, Unix.WEXITED 0 -> ()
+            | _ -> Alcotest.fail "writer child failed")
+          pids;
+        Alcotest.(check bool) "entry present at the end" true
+          (Store.find store key = Some outcome))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end daemon                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let with_daemon ?(workers = 1) f =
+  if not (Pool.available ()) then ()
+  else
+    with_temp_dir (fun dir ->
+        let sock = Filename.concat dir "d.sock" in
+        flush stdout;
+        flush stderr;
+        match Unix.fork () with
+        | 0 ->
+            (try
+               let store = Store.open_ ~root:(Filename.concat dir "cache") () in
+               Server.serve
+                 (Server.config ~workers ~timeout:(Some 60.)
+                    ~address:(Protocol.Unix_socket sock) store)
+             with _ -> Unix._exit 1);
+            Unix._exit 0
+        | pid ->
+            let termed = ref false in
+            Fun.protect
+              ~finally:(fun () ->
+                if not !termed then (try Unix.kill pid Sys.sigkill with _ -> ());
+                ignore (try Unix.waitpid [] pid with _ -> (0, Unix.WEXITED 0)))
+              (fun () ->
+                let deadline = Unix.gettimeofday () +. 10. in
+                let rec wait_sock () =
+                  if Sys.file_exists sock then ()
+                  else if Unix.gettimeofday () > deadline then
+                    Alcotest.fail "daemon did not come up"
+                  else begin
+                    ignore (Unix.select [] [] [] 0.02);
+                    wait_sock ()
+                  end
+                in
+                wait_sock ();
+                f ~sock ~pid;
+                (* Graceful drain: SIGTERM, clean exit, socket unlinked. *)
+                Unix.kill pid Sys.sigterm;
+                termed := true;
+                (match Unix.waitpid [] pid with
+                | _, Unix.WEXITED 0 -> ()
+                | _, Unix.WEXITED n ->
+                    Alcotest.fail (Printf.sprintf "daemon exited with %d" n)
+                | _ -> Alcotest.fail "daemon killed by signal");
+                Alcotest.(check bool) "socket unlinked on drain" true
+                  (not (Sys.file_exists sock))))
+
+let e2e_jobs () =
+  Array.of_list
+    (List.init 6 (fun i -> tiny_job ~check:true ~cycle_limit:(20000 + i) ()))
+
+let member_int path json =
+  let rec go json = function
+    | [] -> Json.to_int json
+    | k :: rest -> ( match Json.member k json with None -> None | Some v -> go v rest)
+  in
+  match go json path with
+  | Some v -> v
+  | None -> Alcotest.fail ("missing counter " ^ String.concat "." path)
+
+let test_daemon_end_to_end () =
+  with_daemon (fun ~sock ~pid:_ ->
+      let jobs = e2e_jobs () in
+      let expected = Array.map Runner.execute jobs in
+      (* Cold client: everything executes server-side. *)
+      let c1 = Client.connect ~request_timeout:30. (Protocol.Unix_socket sock) in
+      let engine1 = Riq_exp.Engine.create ~backend:(Client.backend c1) () in
+      let got = Riq_exp.Engine.run engine1 jobs in
+      Array.iteri
+        (fun i o ->
+          Alcotest.(check bool)
+            (Printf.sprintf "job %d matches local execution" i)
+            true (o = expected.(i)))
+        got;
+      let svc1 = Client.service_json c1 in
+      Alcotest.(check int) "cold run executed everything" (Array.length jobs)
+        (member_int [ "client"; "remote_executed" ] svc1);
+      Alcotest.(check int) "cold run had no hits" 0
+        (member_int [ "client"; "remote_hits" ] svc1);
+      Client.close c1;
+      (* Warm client: same jobs, 100% served from the shared store. *)
+      let c2 = Client.connect ~request_timeout:30. (Protocol.Unix_socket sock) in
+      let engine2 = Riq_exp.Engine.create ~backend:(Client.backend c2) () in
+      let again = Riq_exp.Engine.run engine2 jobs in
+      Alcotest.(check bool) "warm results identical" true (again = expected);
+      let svc2 = Client.service_json c2 in
+      Alcotest.(check int) "warm run is 100% hits" (Array.length jobs)
+        (member_int [ "client"; "remote_hits" ] svc2);
+      Alcotest.(check int) "warm run executed nothing" 0
+        (member_int [ "client"; "remote_executed" ] svc2);
+      (* Daemon-side counters agree. *)
+      (match Client.server_stats c2 with
+      | None -> Alcotest.fail "daemon stats unavailable"
+      | Some stats ->
+          Alcotest.(check int) "daemon hit counter" (Array.length jobs)
+            (member_int [ "hits" ] stats);
+          Alcotest.(check int) "daemon executed counter" (Array.length jobs)
+            (member_int [ "executed" ] stats));
+      Client.close c2)
+
+let test_daemon_batch_class () =
+  with_daemon ~workers:2 (fun ~sock ~pid:_ ->
+      let jobs = e2e_jobs () in
+      let client =
+        Client.connect ~klass:Protocol.Batch ~request_timeout:30.
+          (Protocol.Unix_socket sock)
+      in
+      let engine = Riq_exp.Engine.create ~backend:(Client.backend client) () in
+      let got = Riq_exp.Engine.run engine jobs in
+      let expected = Array.map Runner.execute jobs in
+      Alcotest.(check bool) "batch-class results identical" true (got = expected);
+      Client.close client)
+
+(* ------------------------------------------------------------------ *)
+(* The sweep export survives its own parser                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_sweep_json_parses () =
+  let open Riq_harness in
+  let bench = [ Riq_workloads.Workloads.find "tsf" ] in
+  let engine = Riq_exp.Engine.create () in
+  let sweep = Sweep.run ~engine ~sizes:[ 32 ] ~benchmarks:bench ~check:false () in
+  let doc = Sweep.to_json ~engine sweep in
+  let text = Json.to_string ~indent:true doc in
+  let parsed = Json.of_string_exn text in
+  (* Byte-level fixpoint: emit, parse, emit again — identical text. *)
+  Alcotest.(check string) "emit/parse/emit fixpoint" text
+    (Json.to_string ~indent:true parsed);
+  Alcotest.(check bool) "schema field readable" true
+    (Json.member "schema" parsed = Some (Json.String "riq-sweep/1"));
+  Alcotest.(check int) "engine jobs counter readable" 2
+    (member_int [ "engine"; "jobs" ] parsed)
+
+let suites =
+  [
+    ( "svc-wire",
+      [
+        Alcotest.test_case "hex round trip" `Quick test_hex_round_trip;
+        Alcotest.test_case "frame round trip" `Quick test_frame_round_trip;
+        Alcotest.test_case "oversized frame rejected" `Quick test_frame_rejects_oversized;
+        Alcotest.test_case "eof raises Closed" `Quick test_frame_eof_is_closed;
+        Alcotest.test_case "request round trip" `Quick test_request_round_trip;
+        Alcotest.test_case "job/outcome round trip" `Quick test_job_outcome_wire;
+        Alcotest.test_case "address parsing" `Quick test_address_parsing;
+      ] );
+    ( "svc-store",
+      [
+        Alcotest.test_case "round trip" `Quick test_store_round_trip;
+        Alcotest.test_case "find refreshes recency" `Quick test_store_find_touches;
+        Alcotest.test_case "lru eviction respects budget" `Quick
+          test_store_eviction_respects_budget;
+        Alcotest.test_case "gc respects cutoff" `Quick test_store_gc_respects_cutoff;
+        Alcotest.test_case "budget enforced on store" `Quick
+          test_store_budget_enforced_on_store;
+        Alcotest.test_case "stale lock broken" `Quick test_store_lock_stale_break;
+        Alcotest.test_case "cross-process lock contention" `Quick
+          test_store_lock_contention;
+        Alcotest.test_case "concurrent writers, one fingerprint" `Quick
+          test_store_concurrent_writers_one_fingerprint;
+      ] );
+    ( "svc-daemon",
+      [
+        Alcotest.test_case "end to end, warm repeat 100% hits" `Slow
+          test_daemon_end_to_end;
+        Alcotest.test_case "batch class end to end" `Slow test_daemon_batch_class;
+        Alcotest.test_case "sweep json parses" `Slow test_sweep_json_parses;
+      ] );
+  ]

@@ -116,6 +116,103 @@ let test_json_null () =
   Alcotest.(check string) "inf is null" "null"
     (Json.to_string (Json.Float Float.infinity))
 
+let test_json_parse_basics () =
+  let p = Json.of_string_exn in
+  Alcotest.(check bool) "null" true (p "null" = Json.Null);
+  Alcotest.(check bool) "bools" true (p "true" = Json.Bool true && p "false" = Json.Bool false);
+  Alcotest.(check bool) "int" true (p "-42" = Json.Int (-42));
+  Alcotest.(check bool) "float" true (p "2.5" = Json.Float 2.5);
+  Alcotest.(check bool) "exponent is float" true (p "1e3" = Json.Float 1000.);
+  Alcotest.(check bool) "string" true (p "\"ab\"" = Json.String "ab");
+  Alcotest.(check bool) "whitespace" true
+    (p " [ 1 , {\"a\" : null} ] \n" = Json.List [ Json.Int 1; Json.Obj [ ("a", Json.Null) ] ]);
+  Alcotest.(check bool) "empty containers" true
+    (p "[]" = Json.List [] && p "{}" = Json.Obj []);
+  (* Integers past the int range stay numeric as floats. *)
+  match p "123456789012345678901234567890" with
+  | Json.Float _ -> ()
+  | _ -> Alcotest.fail "overflowing integer should parse as Float"
+
+let test_json_parse_escapes () =
+  let p = Json.of_string_exn in
+  Alcotest.(check bool) "simple escapes" true
+    (p "\"a\\n\\t\\r\\\\\\\"\\/b\"" = Json.String "a\n\t\r\\\"/b");
+  Alcotest.(check bool) "unicode escape" true (p "\"\\u0041\"" = Json.String "A");
+  Alcotest.(check bool) "two-byte utf8" true (p "\"\\u00e9\"" = Json.String "\xc3\xa9");
+  Alcotest.(check bool) "three-byte utf8" true (p "\"\\u20ac\"" = Json.String "\xe2\x82\xac");
+  Alcotest.(check bool) "surrogate pair" true
+    (p "\"\\ud83d\\ude00\"" = Json.String "\xf0\x9f\x98\x80")
+
+let test_json_parse_errors () =
+  let rejects s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" s)
+    | Error _ -> ()
+  in
+  List.iter rejects
+    [
+      ""; "nul"; "tru"; "01"; "+1"; "1."; ".5"; "1e"; "--1";
+      "\"unterminated"; "\"bad \\x escape\""; "\"\\ud83d\"" (* lone surrogate *);
+      "[1,]"; "[1 2]"; "{\"a\"}"; "{\"a\":1,}"; "{1:2}"; "}";
+      "null null" (* trailing garbage *); "[1] x";
+    ]
+
+(* Parse-side round trip: any document the emitter can produce comes back
+   equal, up to the documented Int/Float split (an integral float prints
+   without a fraction and re-reads as Int). *)
+let rec json_eq a b =
+  match (a, b) with
+  | Json.Int i, Json.Float f | Json.Float f, Json.Int i -> float_of_int i = f
+  | Json.Float x, Json.Float y -> x = y
+  | Json.List xs, Json.List ys ->
+      List.length xs = List.length ys && List.for_all2 json_eq xs ys
+  | Json.Obj xs, Json.Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all2 (fun (k, v) (k', v') -> k = k' && json_eq v v') xs ys
+  | _ -> a = b
+
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        (* Finite by construction (m * 2^e, |e| <= 20). *)
+        map2
+          (fun m e -> Json.Float (Float.ldexp (float_of_int m) e))
+          (int_range (-1000000) 1000000) (int_range (-20) 20);
+        map (fun s -> Json.String s) (string_size (int_bound 12));
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n = 0 then scalar
+         else
+           frequency
+             [
+               (3, scalar);
+               (1, map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2))));
+               ( 1,
+                 map
+                   (fun l -> Json.Obj l)
+                   (list_size (int_bound 4)
+                      (pair (string_size (int_bound 6)) (self (n / 2)))) );
+             ])
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"json parses its own output" ~count:500
+    (QCheck.make ~print:(fun j -> Json.to_string j) json_gen)
+    (fun doc ->
+      json_eq doc (Json.of_string_exn (Json.to_string doc))
+      && json_eq doc (Json.of_string_exn (Json.to_string ~indent:true doc)))
+
+let prop_json_string_escaping_roundtrip =
+  QCheck.Test.make ~name:"json string escaping round-trips arbitrary bytes" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_bound 64))
+    (fun s -> Json.of_string_exn (Json.to_string (Json.String s)) = Json.String s)
+
 (* ---- Bits ---- *)
 
 let test_bits_mask () =
@@ -206,6 +303,11 @@ let suites =
         Alcotest.test_case "stats quantile" `Quick test_quantile;
         Alcotest.test_case "json string escaping" `Quick test_json_escaping;
         Alcotest.test_case "json null" `Quick test_json_null;
+        Alcotest.test_case "json parse basics" `Quick test_json_parse_basics;
+        Alcotest.test_case "json parse escapes" `Quick test_json_parse_escapes;
+        Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+        QCheck_alcotest.to_alcotest prop_json_roundtrip;
+        QCheck_alcotest.to_alcotest prop_json_string_escaping_roundtrip;
         Alcotest.test_case "bits mask" `Quick test_bits_mask;
         Alcotest.test_case "bits fields" `Quick test_bits_fields;
         Alcotest.test_case "bits sign extend" `Quick test_sign_extend;
