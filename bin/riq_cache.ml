@@ -26,10 +26,33 @@ let human_bytes b =
   else if b >= 1024 then Printf.sprintf "%.1f KiB" (float_of_int b /. 1024.)
   else Printf.sprintf "%d B" b
 
+(* The machine-readable stat: the legacy stat block plus the same
+   contents rendered as a riq-metrics/1 document, so CI asserts on store
+   state with the same parser it uses for daemon scrapes. *)
+let stat_metrics_json store =
+  let module M = Riq_obs.Metrics in
+  let s = Riq_svc.Store.stat store in
+  let registry = M.create () in
+  let gauge name help v = M.set (M.gauge registry ~help name) v in
+  gauge "store_entries" "Entries in the shared store" (float_of_int s.Riq_svc.Store.entry_count);
+  gauge "store_bytes" "Total bytes across store entries" (float_of_int s.Riq_svc.Store.total_bytes);
+  let now = Unix.gettimeofday () in
+  (match s.Riq_svc.Store.oldest_mtime with
+  | Some t -> gauge "store_oldest_age_seconds" "Age of the least recently used entry" (now -. t)
+  | None -> ());
+  (match s.Riq_svc.Store.newest_mtime with
+  | Some t -> gauge "store_newest_age_seconds" "Age of the most recently used entry" (now -. t)
+  | None -> ());
+  Riq_util.Json.Obj
+    [
+      ("stat", Riq_svc.Store.stat_json store);
+      ("metrics", M.to_json (M.snapshot registry));
+    ]
+
 let stat_cmd =
   let action cache_dir json =
     let store = open_store cache_dir in
-    if json then print_endline (Riq_util.Json.to_string (Riq_svc.Store.stat_json store))
+    if json then print_endline (Riq_util.Json.to_string (stat_metrics_json store))
     else begin
       let s = Riq_svc.Store.stat store in
       Printf.printf "root      %s\n" (Riq_svc.Store.root store);

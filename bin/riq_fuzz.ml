@@ -92,14 +92,21 @@ let run_cmd =
       | Error msg -> failwith msg
     in
     let s = Riq_exp.Engine.stats engine in
-    (* Stderr only: the stdout summary must stay byte-identical across
-       worker counts and cache states for CI's diff. *)
-    Printf.eprintf
-      "engine: %d jobs = %d cache hits + %d deduped + %d simulated, %d retried, \
-       %d timed out, %.1f s wall\n%!"
-      s.Riq_exp.Engine.jobs s.Riq_exp.Engine.cache_hits s.Riq_exp.Engine.deduped
-      s.Riq_exp.Engine.executed s.Riq_exp.Engine.retries s.Riq_exp.Engine.timeouts
-      s.Riq_exp.Engine.wall_seconds;
+    (* Logger (stderr by default), never stdout: the stdout summary must
+       stay byte-identical across worker counts and cache states for
+       CI's diff. *)
+    Riq_obs.Log.info ~scope:"fuzz"
+      ~kv:
+        [
+          ("jobs", Riq_obs.Log.int s.Riq_exp.Engine.jobs);
+          ("cache_hits", Riq_obs.Log.int s.Riq_exp.Engine.cache_hits);
+          ("deduped", Riq_obs.Log.int s.Riq_exp.Engine.deduped);
+          ("executed", Riq_obs.Log.int s.Riq_exp.Engine.executed);
+          ("retries", Riq_obs.Log.int s.Riq_exp.Engine.retries);
+          ("timeouts", Riq_obs.Log.int s.Riq_exp.Engine.timeouts);
+          ("wall_seconds", Riq_obs.Log.float s.Riq_exp.Engine.wall_seconds);
+        ]
+      "campaign engine summary";
     print_string (Driver.summary_to_string r);
     (match out with
     | None -> ()
@@ -111,7 +118,9 @@ let run_cmd =
             let oc = open_out path in
             output_string oc (Driver.repro_text ~config_name:config f);
             close_out oc;
-            Printf.eprintf "wrote %s\n%!" path)
+            Riq_obs.Log.info ~scope:"fuzz"
+              ~kv:[ ("path", path) ]
+              "wrote reproducer")
           r.Driver.failures);
     if r.Driver.failures <> [] then exit 1
   in

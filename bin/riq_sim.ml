@@ -11,6 +11,8 @@
      serve  — daemon: accept jobs over a socket, batch duplicates, run
               them on resident workers, answer repeats from the shared
               result store
+     top    — live dashboard over a serve daemon's metrics (or --prom /
+              --json one-shot scrapes)
      disasm — print the compiled RIQ32 code of a benchmark *)
 
 open Cmdliner
@@ -207,23 +209,67 @@ let progress_reporter () =
       if p.Riq_exp.Engine.finished = p.Riq_exp.Engine.total then Printf.eprintf "\n%!"
     end
 
-let make_engine ?serve ~jobs ~no_cache ~cache_dir ~timeout ~progress () =
+(* Engine + (in serve mode) the client it runs through, both instrumented
+   against one metrics registry so `engine_*` and `client_*` series land
+   in the same scrape. *)
+let make_engine ?serve ?trace ~jobs ~no_cache ~cache_dir ~timeout ~progress () =
   let on_progress = if progress then Some (progress_reporter ()) else None in
+  let metrics = Riq_obs.Metrics.create () in
   match serve with
   | Some addr ->
       (* Remote backend: no local cache — the daemon's shared store is the
          cache, and keeping a local one would hide its hit counters. *)
       let client =
-        Riq_svc.Client.connect ~klass:Riq_svc.Protocol.Interactive
+        Riq_svc.Client.connect ~klass:Riq_svc.Protocol.Interactive ~metrics ?trace
           (Riq_svc.Protocol.address_of_string addr)
       in
-      Riq_exp.Engine.create ~backend:(Riq_svc.Client.backend client) ~timeout
-        ?on_progress ()
+      let engine =
+        Riq_exp.Engine.create ~backend:(Riq_svc.Client.backend client) ~timeout
+          ~metrics ?on_progress ()
+      in
+      (engine, Some client, metrics)
   | None ->
       let cache =
         if no_cache then None else Some (Riq_exp.Cache.open_ ?root:cache_dir ())
       in
-      Riq_exp.Engine.create ~workers:jobs ?cache ~timeout ?on_progress ()
+      let engine =
+        Riq_exp.Engine.create ~workers:jobs ?cache ~timeout ~metrics ?on_progress ()
+      in
+      (engine, None, metrics)
+
+(* One merged Chrome trace: the client's own spans plus the daemon's span
+   ring (already shifted onto the client clock by the handshake offset).
+   Metadata records lead, payload events follow sorted by timestamp, so
+   the file is monotone and loads in Perfetto as one multi-process
+   timeline. *)
+let write_merged_trace ~path ~tracer ~client =
+  let client_events = List.map Riq_obs.Tracer.event_json (Riq_obs.Tracer.events tracer) in
+  let daemon_events =
+    match Riq_svc.Client.server_trace ~since:0 client with
+    | Ok (events, _next) -> events
+    | Error msg ->
+        Riq_obs.Log.warn ~scope:"sweep"
+          ~kv:[ ("error", msg) ]
+          "daemon trace unavailable; writing client spans only";
+        []
+  in
+  let ts_of j =
+    match Option.bind (Json.member "ts" j) Json.to_int with Some t -> t | None -> 0
+  in
+  let is_meta j = Json.member "ph" j = Some (Json.String "M") in
+  let metas, payload =
+    List.partition is_meta (client_events @ daemon_events)
+  in
+  let payload = List.stable_sort (fun a b -> compare (ts_of a) (ts_of b)) payload in
+  Json.to_file path (Json.List (metas @ payload));
+  Printf.printf "wrote %s: %d events across %d processes (open in ui.perfetto.dev)\n"
+    path
+    (List.length metas + List.length payload)
+    (List.length
+       (List.sort_uniq compare
+          (List.filter_map
+             (fun j -> Option.bind (Json.member "pid" j) Json.to_int)
+             (metas @ payload))))
 
 let print_engine_summary engine =
   let s = Riq_exp.Engine.stats engine in
@@ -261,11 +307,32 @@ let sweep_cmd =
   let csv =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values instead of tables.")
   in
-  let action jobs no_cache cache_dir timeout serve sizes benches no_check json_file csv =
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Serve mode only: write one merged Chrome trace covering the client's \
+                 submit/await spans and the daemon's queue-wait and per-worker \
+                 simulate spans, clock-aligned (load it in ui.perfetto.dev).")
+  in
+  let action jobs no_cache cache_dir timeout serve sizes benches no_check json_file csv
+      trace_file =
     let benchmarks =
       if benches = [] then Workloads.all else List.map find_workload benches
     in
-    let engine = make_engine ?serve ~jobs ~no_cache ~cache_dir ~timeout ~progress:true () in
+    let tracer =
+      match (trace_file, serve) with
+      | None, _ -> None
+      | Some _, None -> failwith "--trace requires --serve (it is a service-level trace)"
+      | Some _, Some _ ->
+          let tr = Riq_obs.Tracer.ring ~capacity:16384 () in
+          Riq_obs.Tracer.set_pid tr (Unix.getpid ());
+          Riq_obs.Tracer.set_process_name tr "riq-sim sweep";
+          Riq_obs.Tracer.set_thread_name tr ~tid:0 "client";
+          Some tr
+    in
+    let engine, client, _metrics =
+      make_engine ?serve ?trace:tracer ~jobs ~no_cache ~cache_dir ~timeout
+        ~progress:true ()
+    in
     let sweep = Sweep.run ~engine ~sizes ~benchmarks ~check:(not no_check) () in
     let emit t = if csv then print_string (Table.to_csv t) else Table.print t in
     emit (Figures.fig5 sweep);
@@ -281,6 +348,9 @@ let sweep_cmd =
         Riq_util.Json.to_file path (Sweep.to_json ~engine sweep);
         Printf.printf "wrote %s\n" path
     | None -> ());
+    (match (trace_file, tracer, client) with
+    | Some path, Some tr, Some cl -> write_merged_trace ~path ~tracer:tr ~client:cl
+    | _ -> ());
     print_engine_summary engine
   in
   Cmd.v
@@ -289,7 +359,7 @@ let sweep_cmd =
          "Run the issue-queue sweep through the experiment engine (parallel workers, \
           content-addressed result cache, or a remote serve daemon) and print Figures 5-8")
     Term.(const action $ jobs_arg $ no_cache_arg $ cache_dir_arg $ timeout_arg
-          $ serve_addr_arg $ sizes $ benches $ no_check $ json_file $ csv)
+          $ serve_addr_arg $ sizes $ benches $ no_check $ json_file $ csv $ trace_file)
 
 let fig_cmd =
   let which =
@@ -305,7 +375,9 @@ let fig_cmd =
   in
   let action which no_check csv jobs no_cache cache_dir timeout serve =
     let check = not no_check in
-    let engine = make_engine ?serve ~jobs ~no_cache ~cache_dir ~timeout ~progress:true () in
+    let engine, _client, _metrics =
+      make_engine ?serve ~jobs ~no_cache ~cache_dir ~timeout ~progress:true ()
+    in
     let sweep = lazy (Sweep.run ~engine ~check ()) in
     let emit t = if csv then print_string (Table.to_csv t) else Table.print t in
     let print_fig = function
@@ -506,21 +578,32 @@ let serve_cmd =
            ~doc:"Per-job wall-clock budget (<= 0 disables).")
   in
   let quiet =
-    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the per-event log on stderr.")
+    Arg.(value & flag & info [ "quiet"; "q" ]
+           ~doc:"Only log errors (equivalent to RIQ_LOG=error).")
   in
-  let action addr workers cache_dir budget timeout quiet =
+  let metrics_out =
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Atomically rewrite FILE with the Prometheus text exposition of the \
+                 daemon's merged metrics (daemon + workers) every few seconds and at \
+                 shutdown — a scrape target for file-based collectors.")
+  in
+  let metrics_interval =
+    Arg.(value & opt float 5. & info [ "metrics-interval" ] ~docv:"SECONDS"
+           ~doc:"Seconds between $(b,--metrics-out) rewrites.")
+  in
+  let action addr workers cache_dir budget timeout quiet metrics_out metrics_interval =
+    if quiet then Riq_obs.Log.set_level Riq_obs.Log.Error;
+    (* One registry for the store and the daemon: store_* and serve_*
+       series come back in a single scrape. *)
+    let metrics = Riq_obs.Metrics.create () in
     let store =
       Riq_svc.Store.open_ ?root:cache_dir
         ?budget_bytes:(Option.map (fun mb -> mb * 1024 * 1024) budget)
-        ()
-    in
-    let log =
-      if quiet then fun _ -> ()
-      else fun msg -> Printf.eprintf "[serve] %s\n%!" msg
+        ~metrics ()
     in
     let timeout = if timeout <= 0. then None else Some timeout in
     let config =
-      Riq_svc.Server.config ~workers ~timeout ~log
+      Riq_svc.Server.config ~workers ~timeout ~metrics ?metrics_out ~metrics_interval
         ~address:(Riq_svc.Protocol.address_of_string addr)
         store
     in
@@ -533,7 +616,141 @@ let serve_cmd =
           socket, batch identical requests, schedule them on resident workers with a \
           fair two-class queue, and answer repeats from the shared result store. \
           SIGTERM drains gracefully.")
-    Term.(const action $ addr $ workers $ cache_dir_arg $ budget $ timeout $ quiet)
+    Term.(const action $ addr $ workers $ cache_dir_arg $ budget $ timeout $ quiet
+          $ metrics_out $ metrics_interval)
+
+let top_cmd =
+  let addr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ADDR"
+           ~doc:"Daemon address: a Unix socket path or host:port.")
+  in
+  let interval =
+    Arg.(value & opt float 2. & info [ "interval"; "n" ] ~docv:"SECONDS"
+           ~doc:"Seconds between refreshes.")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ] ~doc:"Print one snapshot and exit.")
+  in
+  let prom =
+    Arg.(value & flag & info [ "prom" ]
+           ~doc:"Print the raw Prometheus text exposition and exit.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the metrics snapshot as riq-metrics/1 JSON and exit.")
+  in
+  let module M = Riq_obs.Metrics in
+  let find snap name labels =
+    List.find_opt
+      (fun s -> s.M.s_name = name && s.M.s_labels = labels)
+      snap
+  in
+  let counter_of snap name labels =
+    match find snap name labels with
+    | Some { M.s_value = M.Counter_sample v; _ } -> v
+    | _ -> 0
+  in
+  let hist_line snap name labels =
+    match find snap name labels with
+    | Some { M.s_value = M.Histogram_sample { bounds; counts; sum }; _ } ->
+        let n = Array.fold_left ( + ) 0 counts in
+        if n = 0 then "      (no samples)"
+        else
+          Printf.sprintf "%6d samples | mean %8.3fs | p50 %8.3fs | p95 %8.3fs" n
+            (sum /. float_of_int n)
+            (M.histogram_quantile 0.5 ~bounds ~counts)
+            (M.histogram_quantile 0.95 ~bounds ~counts)
+    | _ -> "      (absent)"
+  in
+  let member_int name j =
+    match Option.bind (Json.member name j) Json.to_int with Some v -> v | None -> 0
+  in
+  let render client =
+    let stats =
+      match Riq_svc.Client.server_stats client with
+      | Some s -> s
+      | None -> failwith "daemon went away"
+    in
+    let snap =
+      match Riq_svc.Client.server_metrics client with
+      | Ok s -> s
+      | Error e -> failwith ("metrics scrape failed: " ^ e)
+    in
+    let str name =
+      match Option.bind (Json.member name stats) Json.to_str with
+      | Some s -> s
+      | None -> "?"
+    in
+    let uptime =
+      match Option.bind (Json.member "uptime_seconds" stats) Json.to_float_opt with
+      | Some f -> f
+      | None -> 0.
+    in
+    Printf.printf "riq-serve %s | up %.0fs | %d workers | draining: %b\n" (str "address")
+      uptime (member_int "workers" stats)
+      (Json.member "draining" stats = Some (Json.Bool true));
+    Printf.printf
+      "jobs      %d submitted = %d store hits + %d batched + %d executed (%d retries, %d timeouts)\n"
+      (member_int "submitted" stats) (member_int "hits" stats)
+      (member_int "batched" stats) (member_int "executed" stats)
+      (member_int "retries" stats) (member_int "timeouts" stats);
+    Printf.printf "queues    interactive %d | batch %d | inflight %d | open tickets %d\n"
+      (member_int "queue_interactive" stats)
+      (member_int "queue_batch" stats) (member_int "inflight" stats)
+      (member_int "tickets_open" stats);
+    (match Json.member "store" stats with
+    | Some store ->
+        Printf.printf "store     %d entries, %d bytes, %d evictions\n"
+          (member_int "entries" store) (member_int "bytes" store)
+          (member_int "evictions" store)
+    | None -> ());
+    Printf.printf "workers   %d jobs executed by residents\n"
+      (counter_of snap "worker_jobs_total" []);
+    Printf.printf "wait(i)   %s\n"
+      (hist_line snap "serve_queue_wait_seconds" [ ("class", "interactive") ]);
+    Printf.printf "wait(b)   %s\n"
+      (hist_line snap "serve_queue_wait_seconds" [ ("class", "batch") ]);
+    Printf.printf "simulate  %s\n" (hist_line snap "serve_simulate_seconds" []);
+    flush stdout
+  in
+  let action addr interval once prom json =
+    let client =
+      Riq_svc.Client.connect (Riq_svc.Protocol.address_of_string addr)
+    in
+    if prom then begin
+      match Riq_svc.Client.server_exposition client with
+      | Ok s -> print_string s
+      | Error e -> failwith ("metrics scrape failed: " ^ e)
+    end
+    else if json then begin
+      match Riq_svc.Client.server_metrics client with
+      | Ok snap -> print_endline (Json.to_string (M.to_json snap))
+      | Error e -> failwith ("metrics scrape failed: " ^ e)
+    end
+    else if once then render client
+    else begin
+      let continue_ = ref true in
+      while !continue_ do
+        (* Home + clear-to-end keeps the refresh flicker-free. *)
+        print_string "\027[H\027[J";
+        (try render client
+         with Failure msg ->
+           continue_ := false;
+           Printf.printf "%s\n" msg);
+        flush stdout;
+        if !continue_ then
+          try ignore (Unix.select [] [] [] interval) with _ -> ()
+      done
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal view of a running serve daemon: job and store counters, \
+          per-class queue depth and wait quantiles, simulate-time quantiles — \
+          refreshed from the $(b,stats) and $(b,metrics) ops. With $(b,--prom) or \
+          $(b,--json), print one machine-readable scrape instead.")
+    Term.(const action $ addr $ interval $ once $ prom $ json)
 
 let disasm_cmd =
   let bench =
@@ -556,8 +773,8 @@ let () =
   let info = Cmd.info "riq-sim" ~version:"1.0.0" ~doc in
   let cmd =
     Cmd.group info
-      [ run_cmd; bench_cmd; sweep_cmd; fig_cmd; serve_cmd; disasm_cmd; trace_cmd;
-        pipeview_cmd ]
+      [ run_cmd; bench_cmd; sweep_cmd; fig_cmd; serve_cmd; top_cmd; disasm_cmd;
+        trace_cmd; pipeview_cmd ]
   in
   exit
     (try Cmd.eval ~catch:false cmd with

@@ -37,6 +37,7 @@ val create :
   ?backend:Backend.t ->
   ?cache:Cache.t ->
   ?timeout:float ->
+  ?metrics:Riq_obs.Metrics.t ->
   ?on_progress:(progress -> unit) ->
   unit ->
   t
@@ -46,8 +47,10 @@ val create :
     [cache] disables local result caching (a remote backend typically
     runs cache-less and lets the daemon's shared store serve repeats).
     [timeout] (default 600 s; [<= 0.] disables) is the per-job wall-clock
-    budget passed to the backend. [on_progress] fires after every job
-    completion. *)
+    budget passed to the backend. With [metrics], the engine registers
+    [engine_*_total] counters mirroring {!stats} plus the
+    [engine_job_seconds] histogram against the given registry.
+    [on_progress] fires after every job completion. *)
 
 val run : t -> Job.t array -> Outcome.t array
 (** Outcomes in job order. Per-job failures are recorded, never raised:

@@ -101,10 +101,15 @@ let result_json (r : Run.result) =
 let engine_json engine =
   let s = Engine.stats engine in
   let js = Engine.job_seconds engine in
+  (* A fully warm run executes nothing; its quantiles are absent, not
+     zero. Null-marked values keep the keys (consumers needn't branch on
+     shape) while staying unmistakable for a measured 0-second job. *)
+  let no_samples = Array.length js = 0 in
   let mean =
-    if Array.length js = 0 then 0.
+    if no_samples then 0.
     else Array.fold_left ( +. ) 0. js /. float_of_int (Array.length js)
   in
+  let stat v = if no_samples then Json.Null else Json.Float v in
   let q p = Stats.quantile p js in
   Json.Obj
     ([
@@ -125,10 +130,10 @@ let engine_json engine =
          Json.Obj
            [
              ("count", Json.Int (Array.length js));
-             ("mean", Json.Float mean);
-             ("p50", Json.Float (q 0.5));
-             ("p95", Json.Float (q 0.95));
-             ("max", Json.Float (q 1.0));
+             ("mean", stat mean);
+             ("p50", stat (q 0.5));
+             ("p95", stat (q 0.95));
+             ("max", stat (q 1.0));
            ] );
      ]
     (* A remote backend appends its "service" block here: client-side

@@ -1,0 +1,41 @@
+(** Leveled structured logger (logfmt) for the service tier.
+
+    One process-global logger, configured once from the environment:
+    [RIQ_LOG=debug|info|warn|error] sets the threshold (default [info]),
+    [RIQ_LOG_FILE=PATH] appends to a file instead of stderr. Every line
+    is logfmt — [ts=<RFC3339> level=info scope=serve msg="..." k=v ...] —
+    so `grep scope=serve` and any logfmt parser both work on it.
+
+    Call sites pass a [scope] (the subsystem: ["serve"], ["store"],
+    ["client"]) and optional key/value pairs; values are quoted only when
+    they need it. Disabled levels cost one branch. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_of_string : string -> (level, string) result
+val level_to_string : level -> string
+
+val set_level : level -> unit
+(** Override the environment-derived threshold (e.g. [--quiet]). *)
+
+val level : unit -> level
+
+val enabled : level -> bool
+(** [true] when a message at this level would be emitted. *)
+
+val set_output : out_channel -> unit
+(** Redirect away from the [RIQ_LOG_FILE]/stderr default. The caller owns
+    the channel. *)
+
+val log : level -> scope:string -> ?kv:(string * string) list -> string -> unit
+
+val debug : scope:string -> ?kv:(string * string) list -> string -> unit
+val info : scope:string -> ?kv:(string * string) list -> string -> unit
+val warn : scope:string -> ?kv:(string * string) list -> string -> unit
+val error : scope:string -> ?kv:(string * string) list -> string -> unit
+
+(** {1 Value helpers} — shorthand for the common kv payloads. *)
+
+val int : int -> string
+val float : float -> string
+(** Compact [%g] rendering. *)

@@ -1,6 +1,6 @@
 open Riq_util
 
-type phase = Begin | End | Instant | Counter | Meta
+type phase = Begin | End | Instant | Counter | Meta | Complete
 
 type arg = Int of int | Float of float | Str of string
 
@@ -9,7 +9,9 @@ type event = {
   ph : phase;
   name : string;
   cat : string;
+  pid : int;
   tid : int;
+  dur : int; (* Complete events only *)
   args : (string * arg) list;
 }
 
@@ -26,6 +28,7 @@ type sink = Null | Ring of ring_state | Stream of stream_state
 type t = {
   sink : sink;
   enabled : bool;
+  mutable default_pid : int;
   mutable n_recorded : int;
   mutable n_dropped : int;
   by_name : (string, int) Hashtbl.t;
@@ -37,6 +40,7 @@ let phase_code = function
   | Instant -> "i"
   | Counter -> "C"
   | Meta -> "M"
+  | Complete -> "X"
 
 let arg_json = function
   | Int v -> Json.Int v
@@ -50,9 +54,10 @@ let event_json e =
       ("cat", Json.String e.cat);
       ("ph", Json.String (phase_code e.ph));
       ("ts", Json.Int e.ts);
-      ("pid", Json.Int 1);
+      ("pid", Json.Int e.pid);
       ("tid", Json.Int e.tid);
     ]
+    @ (match e.ph with Complete -> [ ("dur", Json.Int e.dur) ] | _ -> [])
   in
   let args =
     match (e.args, e.ph) with
@@ -70,6 +75,7 @@ let make sink =
   {
     sink;
     enabled = sink <> Null;
+    default_pid = 1;
     n_recorded = 0;
     n_dropped = 0;
     by_name = Hashtbl.create 32;
@@ -96,12 +102,17 @@ let stream ?(process_name = "riq-sim") oc =
       ph = Meta;
       name = "process_name";
       cat = "__metadata";
+      pid = 1;
       tid = 0;
+      dur = 0;
       args = [ ("name", Str process_name) ];
     };
   make (Stream st)
 
 let enabled t = t.enabled
+
+let set_pid t pid = t.default_pid <- pid
+let pid t = t.default_pid
 
 let emit t e =
   if t.enabled then begin
@@ -119,17 +130,33 @@ let emit t e =
     | Stream st -> stream_write st e
   end
 
-let set_thread_name t ~tid name =
-  emit t { ts = 0; ph = Meta; name = "thread_name"; cat = "__metadata"; tid; args = [ ("name", Str name) ] }
+let set_thread_name t ?pid:pid_ ~tid name =
+  let pid = match pid_ with Some p -> p | None -> t.default_pid in
+  emit t
+    { ts = 0; ph = Meta; name = "thread_name"; cat = "__metadata"; pid; tid; dur = 0;
+      args = [ ("name", Str name) ] }
 
-let begin_span t ~now ?(tid = 0) ?(args = []) ~cat name =
-  emit t { ts = now; ph = Begin; name; cat; tid; args }
+let set_process_name t ?pid:pid_ name =
+  let pid = match pid_ with Some p -> p | None -> t.default_pid in
+  emit t
+    { ts = 0; ph = Meta; name = "process_name"; cat = "__metadata"; pid; tid = 0;
+      dur = 0; args = [ ("name", Str name) ] }
 
-let end_span t ~now ?(tid = 0) ?(args = []) ~cat name =
-  emit t { ts = now; ph = End; name; cat; tid; args }
+let begin_span t ~now ?pid:pid_ ?(tid = 0) ?(args = []) ~cat name =
+  let pid = match pid_ with Some p -> p | None -> t.default_pid in
+  emit t { ts = now; ph = Begin; name; cat; pid; tid; dur = 0; args }
 
-let instant t ~now ?(tid = 1) ?(args = []) ~cat name =
-  emit t { ts = now; ph = Instant; name; cat; tid; args }
+let end_span t ~now ?pid:pid_ ?(tid = 0) ?(args = []) ~cat name =
+  let pid = match pid_ with Some p -> p | None -> t.default_pid in
+  emit t { ts = now; ph = End; name; cat; pid; tid; dur = 0; args }
+
+let instant t ~now ?pid:pid_ ?(tid = 1) ?(args = []) ~cat name =
+  let pid = match pid_ with Some p -> p | None -> t.default_pid in
+  emit t { ts = now; ph = Instant; name; cat; pid; tid; dur = 0; args }
+
+let complete t ~now ~dur ?pid:pid_ ?(tid = 0) ?(args = []) ~cat name =
+  let pid = match pid_ with Some p -> p | None -> t.default_pid in
+  emit t { ts = now; ph = Complete; name; cat; pid; tid; dur = max 0 dur; args }
 
 let counter t ~now ~name series =
   emit t
@@ -138,7 +165,9 @@ let counter t ~now ~name series =
       ph = Counter;
       name;
       cat = "counter";
+      pid = t.default_pid;
       tid = 0;
+      dur = 0;
       args = List.map (fun (k, v) -> (k, Float v)) series;
     }
 

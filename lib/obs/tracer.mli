@@ -25,15 +25,18 @@ type phase =
   | Instant  (** point event — Chrome ["i"] *)
   | Counter  (** counter track sample — Chrome ["C"] *)
   | Meta  (** metadata (thread names) — Chrome ["M"] *)
+  | Complete  (** self-contained span with a duration — Chrome ["X"] *)
 
 type arg = Int of int | Float of float | Str of string
 
 type event = {
-  ts : int;  (** cycle number *)
+  ts : int;  (** cycle number (core traces) or wall-clock us (service traces) *)
   ph : phase;
   name : string;
   cat : string;
+  pid : int;  (** process track; see {!set_pid} *)
   tid : int;  (** track id; see {!set_thread_name} *)
+  dur : int;  (** {!Complete} events only: span length in ts units *)
   args : (string * arg) list;
 }
 
@@ -51,19 +54,40 @@ val enabled : t -> bool
 (** [false] only for the null sink. Call sites building argument lists
     should guard on this so the disabled tracer allocates nothing. *)
 
-val set_thread_name : t -> tid:int -> string -> unit
+val set_pid : t -> int -> unit
+(** Default process id stamped on subsequent events (initially 1). The
+    serving tier sets the real Unix pid so events from several processes
+    merge into one multi-process trace; core traces keep the default. *)
+
+val pid : t -> int
+
+val set_thread_name : t -> ?pid:int -> tid:int -> string -> unit
 (** Label a track; shows as a named thread row in trace viewers. *)
 
+val set_process_name : t -> ?pid:int -> string -> unit
+(** Label a process track — what {!stream} emits automatically; ring
+    traces destined for a merged multi-process file emit it themselves. *)
+
 val begin_span :
-  t -> now:int -> ?tid:int -> ?args:(string * arg) list -> cat:string -> string -> unit
+  t -> now:int -> ?pid:int -> ?tid:int -> ?args:(string * arg) list -> cat:string ->
+  string -> unit
 
 val end_span :
-  t -> now:int -> ?tid:int -> ?args:(string * arg) list -> cat:string -> string -> unit
+  t -> now:int -> ?pid:int -> ?tid:int -> ?args:(string * arg) list -> cat:string ->
+  string -> unit
 (** Spans pair by (name, tid) nesting in the viewer; emit [end_span] with
     the same name/tid as the matching {!begin_span}. *)
 
 val instant :
-  t -> now:int -> ?tid:int -> ?args:(string * arg) list -> cat:string -> string -> unit
+  t -> now:int -> ?pid:int -> ?tid:int -> ?args:(string * arg) list -> cat:string ->
+  string -> unit
+
+val complete :
+  t -> now:int -> dur:int -> ?pid:int -> ?tid:int -> ?args:(string * arg) list ->
+  cat:string -> string -> unit
+(** One Chrome ["X"] event: a span that starts at [now] and lasts [dur],
+    needing no matching end. The serving tier uses these for queue-wait
+    and simulate spans, whose begin and end are known together. *)
 
 val counter : t -> now:int -> name:string -> (string * float) list -> unit
 (** One sample on counter track [name]; each pair becomes a series. *)

@@ -11,18 +11,55 @@
    safe to retry because submission is idempotent up to ticket identity —
    a resubmitted batch just opens a fresh ticket whose jobs are served
    from the store or coalesced onto the still-running execution of the
-   lost one. *)
+   lost one.
+
+   Observability: the hello handshake carries the client's wall clock
+   and returns the daemon's, bracketed by the round trip, which gives a
+   clock-offset estimate good to about half the RTT — microseconds on a
+   Unix socket, plenty for aligning trace spans. With a [trace] sink the
+   client emits submit/await spans (wall-clock us, its own pid) and
+   {!server_trace} pulls the daemon's span ring already shifted onto the
+   client's clock, so one merged file loads in Perfetto with every
+   process on a common timeline. *)
 
 open Riq_util
 open Riq_exp
+module Metrics = Riq_obs.Metrics
+module Tracer = Riq_obs.Tracer
+module Log = Riq_obs.Log
+
+type instruments = {
+  i_requests : Metrics.counter;
+  i_reconnects : Metrics.counter;
+  i_request_seconds : Metrics.histogram;
+}
+
+let instruments_of registry =
+  {
+    i_requests =
+      Metrics.counter registry ~help:"Wire requests sent to the daemon"
+        "client_requests_total";
+    i_reconnects =
+      Metrics.counter registry ~help:"Reconnect-and-retry cycles"
+        "client_reconnects_total";
+    i_request_seconds =
+      Metrics.histogram registry ~help:"Round-trip seconds per wire request"
+        "client_request_seconds";
+  }
 
 type t = {
   address : Protocol.address;
   klass : Protocol.klass;
   poll_interval : float;
   request_timeout : float;
+  ins : instruments option;
+  tracer : Tracer.t option; (* caller-owned sink for client-side spans *)
+  trace_id : string;
   mutable fd : Unix.file_descr option;
   mutable server_workers : int;
+  mutable server_pid : int;
+  mutable clock_offset : float; (* daemon clock minus ours, seconds *)
+  mutable next_span : int;
   (* client-visible provenance counters, summed over every run *)
   mutable c_hits : int;
   mutable c_executed : int;
@@ -44,15 +81,28 @@ let do_connect t =
     | Protocol.Tcp _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
   in
   (try Unix.connect fd (Protocol.sockaddr_of_address t.address)
-   with e ->
-     (try Unix.close fd with _ -> ());
-     raise e);
+   with
+  | Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with _ -> ());
+      failwith
+        (Printf.sprintf "cannot reach riq-serve at %s: %s"
+           (Protocol.address_to_string t.address)
+           (Unix.error_message err))
+  | e ->
+      (try Unix.close fd with _ -> ());
+      raise e);
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.request_timeout with _ -> ());
+  let t0 = Unix.gettimeofday () in
   Wire.send fd
     (Protocol.request_to_json
        (Protocol.Hello
-          { revision = Revision.stamp; format = Revision.format_version }));
+          {
+            revision = Revision.stamp;
+            format = Revision.format_version;
+            t_client = Some t0;
+          }));
   let resp = Wire.recv fd in
+  let t1 = Unix.gettimeofday () in
   if not (Protocol.is_ok resp) then begin
     (try Unix.close fd with _ -> ());
     failwith ("riq-serve rejected the connection: " ^ Protocol.error_of resp)
@@ -60,6 +110,21 @@ let do_connect t =
   (match Option.bind (Json.member "workers" resp) Json.to_int with
   | Some w -> t.server_workers <- w
   | None -> ());
+  (match Option.bind (Json.member "pid" resp) Json.to_int with
+  | Some p -> t.server_pid <- p
+  | None -> ());
+  (* The daemon read its clock between our send (t0) and receive (t1);
+     assuming a symmetric path, it did so at the midpoint. *)
+  (match Option.bind (Json.member "server_time" resp) Json.to_float_opt with
+  | Some server_time -> t.clock_offset <- server_time -. ((t0 +. t1) /. 2.)
+  | None -> ());
+  Log.debug ~scope:"client"
+    ~kv:
+      [
+        ("address", Protocol.address_to_string t.address);
+        ("offset_us", Log.float (t.clock_offset *. 1e6));
+      ]
+    "connected";
   t.fd <- Some fd
 
 let ensure_connected t =
@@ -70,29 +135,52 @@ let ensure_connected t =
 let rec request ?(retried = false) t req =
   ensure_connected t;
   let fd = Option.get t.fd in
+  let t0 = Unix.gettimeofday () in
   match
     Wire.send fd (Protocol.request_to_json req);
     Wire.recv fd
   with
-  | resp -> resp
+  | resp ->
+      (match t.ins with
+      | None -> ()
+      | Some ins ->
+          Metrics.inc ins.i_requests;
+          Metrics.observe ins.i_request_seconds (Unix.gettimeofday () -. t0));
+      resp
   | exception e ->
       disconnect t;
       if retried then raise e
       else begin
         t.c_reconnects <- t.c_reconnects + 1;
+        (match t.ins with
+        | None -> ()
+        | Some ins -> Metrics.inc ins.i_reconnects);
+        Log.warn ~scope:"client"
+          ~kv:[ ("address", Protocol.address_to_string t.address) ]
+          "connection lost, retrying";
         request ~retried:true t req
       end
 
 let connect ?(klass = Protocol.Interactive) ?(poll_interval = 0.02)
-    ?(request_timeout = 120.) address =
+    ?(request_timeout = 120.) ?metrics ?trace address =
+  let trace_id =
+    Printf.sprintf "%d-%06x" (Unix.getpid ())
+      (int_of_float (Unix.gettimeofday () *. 1e6) land 0xffffff)
+  in
   let t =
     {
       address;
       klass;
       poll_interval;
       request_timeout;
+      ins = Option.map instruments_of metrics;
+      tracer = trace;
+      trace_id;
       fd = None;
       server_workers = 1;
+      server_pid = 0;
+      clock_offset = 0.;
+      next_span = 0;
       c_hits = 0;
       c_executed = 0;
       c_batched = 0;
@@ -105,6 +193,10 @@ let connect ?(klass = Protocol.Interactive) ?(poll_interval = 0.02)
 
 let server_stats t =
   try Some (request t Protocol.Stats) with _ -> None
+
+let clock_offset t = t.clock_offset
+let server_pid t = t.server_pid
+let trace_id t = t.trace_id
 
 let require name conv resp =
   match Option.bind (Json.member name resp) conv with
@@ -121,26 +213,107 @@ let strings_of resp name =
       | None -> raise (Wire.Protocol_error ("non-string in " ^ name)))
     (require name Json.to_list resp)
 
+(* ------------------------------------------------------------------ *)
+(* Metrics / trace ops                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let server_metrics t =
+  match request t Protocol.Metrics with
+  | exception e -> Error (Printexc.to_string e)
+  | resp when not (Protocol.is_ok resp) -> Error (Protocol.error_of resp)
+  | resp -> (
+      match Json.member "metrics" resp with
+      | None -> Error "response missing field \"metrics\""
+      | Some j -> Metrics.snapshot_of_json j)
+
+let server_exposition t =
+  match request t Protocol.Metrics with
+  | exception e -> Error (Printexc.to_string e)
+  | resp when not (Protocol.is_ok resp) -> Error (Protocol.error_of resp)
+  | resp -> (
+      match Option.bind (Json.member "exposition" resp) Json.to_str with
+      | None -> Error "response missing field \"exposition\""
+      | Some s -> Ok s)
+
+(* Shift a daemon trace event's timestamp onto the client's clock. The
+   events are plain Chrome-trace objects; only "ts" needs adjusting
+   (durations are offset-free), and metadata records stay pinned at 0. *)
+let shift_event offset_us j =
+  match j with
+  | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             match (k, v) with
+             | "ts", Json.Int ts when ts > 0 -> ("ts", Json.Int (ts - offset_us))
+             | _ -> (k, v))
+           fields)
+  | other -> other
+
+let server_trace ?(since = 0) t =
+  match request t (Protocol.Trace { since }) with
+  | exception e -> Error (Printexc.to_string e)
+  | resp when not (Protocol.is_ok resp) -> Error (Protocol.error_of resp)
+  | resp ->
+      let events = require "events" Json.to_list resp in
+      let next = require "next" Json.to_int resp in
+      let offset_us = int_of_float (t.clock_offset *. 1e6) in
+      Ok (List.map (shift_event offset_us) events, next)
+
+(* ------------------------------------------------------------------ *)
+(* Batch execution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let span t ~started name args k =
+  match t.tracer with
+  | None -> k None
+  | Some tr ->
+      t.next_span <- t.next_span + 1;
+      let id = t.next_span in
+      let r = k (Some id) in
+      let now = Unix.gettimeofday () in
+      Tracer.complete tr
+        ~now:(int_of_float (started *. 1e6))
+        ~dur:(int_of_float ((now -. started) *. 1e6))
+        ~args ~cat:"client" name;
+      r
+
 (* One engine batch: submit, poll to completion, fetch, replay. *)
 let run_batch t (jobs : Job.t array) indices on_result =
   let wire_jobs = List.map (fun i -> Protocol.job_to_wire jobs.(i)) indices in
+  let submit_started = Unix.gettimeofday () in
   let resp =
-    request t (Protocol.Submit { klass = t.klass; jobs = wire_jobs })
+    span t ~started:submit_started "submit-batch"
+      [ ("jobs", Tracer.Int (List.length wire_jobs));
+        ("trace_id", Tracer.Str t.trace_id) ]
+      (fun span_id ->
+        let trace =
+          Option.map
+            (fun parent_span -> { Protocol.trace_id = t.trace_id; parent_span })
+            span_id
+        in
+        request t (Protocol.Submit { klass = t.klass; jobs = wire_jobs; trace }))
   in
   if not (Protocol.is_ok resp) then
     failwith ("riq-serve submit refused: " ^ Protocol.error_of resp);
   let ticket = require "ticket" Json.to_int resp in
   t.c_submitted <- t.c_submitted + List.length indices;
-  let rec wait () =
-    let resp = request t (Protocol.Result { ticket }) in
-    if Protocol.is_ok resp then resp
-    else if Protocol.error_of resp = "pending" then begin
-      (try ignore (Unix.select [] [] [] t.poll_interval) with _ -> ());
-      wait ()
-    end
-    else failwith ("riq-serve result refused: " ^ Protocol.error_of resp)
+  let await_started = Unix.gettimeofday () in
+  let resp =
+    span t ~started:await_started "await-results"
+      [ ("ticket", Tracer.Int ticket); ("trace_id", Tracer.Str t.trace_id) ]
+      (fun _ ->
+        let rec wait () =
+          let resp = request t (Protocol.Result { ticket }) in
+          if Protocol.is_ok resp then resp
+          else if Protocol.error_of resp = "pending" then begin
+            (try ignore (Unix.select [] [] [] t.poll_interval) with _ -> ());
+            wait ()
+          end
+          else failwith ("riq-serve result refused: " ^ Protocol.error_of resp)
+        in
+        wait ())
   in
-  let resp = wait () in
   let outcomes = List.map Protocol.outcome_of_wire (strings_of resp "outcomes") in
   let sources =
     List.map
@@ -181,6 +354,7 @@ let service_json t =
         ("remote_executed", Json.Int t.c_executed);
         ("remote_batched", Json.Int t.c_batched);
         ("reconnects", Json.Int t.c_reconnects);
+        ("clock_offset_seconds", Json.Float t.clock_offset);
       ]
   in
   let server = match server_stats t with Some s -> s | None -> Json.Null in

@@ -11,24 +11,56 @@ val connect :
   ?klass:Protocol.klass ->
   ?poll_interval:float ->
   ?request_timeout:float ->
+  ?metrics:Riq_obs.Metrics.t ->
+  ?trace:Riq_obs.Tracer.t ->
   Protocol.address ->
   t
 (** Connect and handshake ([hello] with this build's revision stamp).
     [klass] (default [Interactive]) is the daemon queue class for every
     submit; [poll_interval] (default 20 ms) paces result polling;
-    [request_timeout] (default 120 s) is SO_RCVTIMEO per request. Raises
-    [Failure] when the daemon is unreachable or rejects the revision. *)
+    [request_timeout] (default 120 s) is SO_RCVTIMEO per request. With
+    [metrics], the client registers [client_requests_total],
+    [client_reconnects_total] and the [client_request_seconds] histogram.
+    With [trace] (a caller-owned sink), submit/await spans are emitted in
+    wall-clock microseconds under this process's default pid, and every
+    submit carries a {!Protocol.trace_context} so daemon spans can be
+    joined back. The handshake also estimates the daemon clock offset
+    from the round trip. Raises [Failure] when the daemon is unreachable
+    or rejects the revision. *)
 
 val close : t -> unit
 
 val backend : t -> Riq_exp.Backend.t
 (** The engine backend. Its telemetry hook contributes a ["service"]
     block: client-side provenance counters (remote hits / executed /
-    batched, reconnects) plus a live snapshot of the daemon's stats
-    (queue depths, batching fan-out, store size and evictions). *)
+    batched, reconnects, clock offset) plus a live snapshot of the
+    daemon's stats (queue depths, batching fan-out, store size and
+    evictions). *)
 
 val server_stats : t -> Riq_util.Json.t option
 (** One [stats] round-trip; [None] if the daemon went away. *)
 
 val service_json : t -> Riq_util.Json.t
 (** The telemetry block described under {!backend}. *)
+
+val server_metrics : t -> (Riq_obs.Metrics.snapshot, string) result
+(** One [metrics] round-trip: the daemon's merged fleet snapshot
+    (daemon + live workers + retired workers). *)
+
+val server_exposition : t -> (string, string) result
+(** Same scrape, rendered daemon-side as Prometheus text exposition. *)
+
+val server_trace : ?since:int -> t -> (Riq_util.Json.t list * int, string) result
+(** One [trace] round-trip: daemon/worker span events with global index
+    [>= since] as Chrome trace-event objects, timestamps already shifted
+    onto this client's clock by the handshake's offset estimate. Returns
+    the events and the next cursor. *)
+
+val clock_offset : t -> float
+(** Estimated daemon clock minus client clock, in seconds. *)
+
+val server_pid : t -> int
+(** The daemon's pid (0 before an old daemon that doesn't send it). *)
+
+val trace_id : t -> string
+(** This connection's trace identity, stamped on submits and spans. *)

@@ -47,34 +47,59 @@ let outcome_of_wire s : Outcome.t = Marshal.from_string (Wire.of_hex s) 0
 (* Requests                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* A submit may carry the client's trace identity so daemon- and
+   worker-side spans land in the same Perfetto trace as the client's. *)
+type trace_context = { trace_id : string; parent_span : int }
+
+let trace_context_to_json { trace_id; parent_span } =
+  Json.Obj
+    [ ("trace_id", Json.String trace_id); ("parent_span", Json.Int parent_span) ]
+
 type request =
-  | Hello of { revision : string; format : int }
-  | Submit of { klass : klass; jobs : string list (* wire-encoded *) }
+  | Hello of { revision : string; format : int; t_client : float option }
+  | Submit of {
+      klass : klass;
+      jobs : string list; (* wire-encoded *)
+      trace : trace_context option;
+    }
   | Status of { ticket : int }
   | Result of { ticket : int }
   | Stats
+  | Metrics
+  | Trace of { since : int }
 
 let request_to_json = function
-  | Hello { revision; format } ->
+  | Hello { revision; format; t_client } ->
       Json.Obj
-        [
-          ("op", Json.String "hello");
-          ("protocol", Json.String version);
-          ("revision", Json.String revision);
-          ("format", Json.Int format);
-        ]
-  | Submit { klass; jobs } ->
+        ([
+           ("op", Json.String "hello");
+           ("protocol", Json.String version);
+           ("revision", Json.String revision);
+           ("format", Json.Int format);
+         ]
+        @
+        match t_client with
+        | None -> []
+        | Some t -> [ ("t_client", Json.Float t) ])
+  | Submit { klass; jobs; trace } ->
       Json.Obj
-        [
-          ("op", Json.String "submit");
-          ("class", Json.String (klass_to_string klass));
-          ("jobs", Json.List (List.map (fun j -> Json.String j) jobs));
-        ]
+        ([
+           ("op", Json.String "submit");
+           ("class", Json.String (klass_to_string klass));
+           ("jobs", Json.List (List.map (fun j -> Json.String j) jobs));
+         ]
+        @
+        match trace with
+        | None -> []
+        | Some tc -> [ ("trace", trace_context_to_json tc) ])
   | Status { ticket } ->
       Json.Obj [ ("op", Json.String "status"); ("ticket", Json.Int ticket) ]
   | Result { ticket } ->
       Json.Obj [ ("op", Json.String "result"); ("ticket", Json.Int ticket) ]
   | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+  | Metrics -> Json.Obj [ ("op", Json.String "metrics") ]
+  | Trace { since } ->
+      Json.Obj [ ("op", Json.String "trace"); ("since", Json.Int since) ]
 
 let field name conv j =
   match Option.bind (Json.member name j) conv with
@@ -83,13 +108,29 @@ let field name conv j =
 
 let ( let* ) = Result.bind
 
+(* Optional numeric fields tolerate Int (Json parses whole floats back as
+   ints) and absence — older peers simply don't send them. *)
+let opt_float name j =
+  match Json.member name j with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let trace_context_of_json j =
+  match
+    ( Option.bind (Json.member "trace_id" j) Json.to_str,
+      Option.bind (Json.member "parent_span" j) Json.to_int )
+  with
+  | Some trace_id, Some parent_span -> Some { trace_id; parent_span }
+  | _ -> None
+
 let request_of_json j : (request, string) result =
   let* op = field "op" Json.to_str j in
   match op with
   | "hello" ->
       let* revision = field "revision" Json.to_str j in
       let* format = field "format" Json.to_int j in
-      Ok (Hello { revision; format })
+      Ok (Hello { revision; format; t_client = opt_float "t_client" j })
   | "submit" ->
       let* klass_s = field "class" Json.to_str j in
       let* klass = klass_of_string klass_s in
@@ -103,7 +144,8 @@ let request_of_json j : (request, string) result =
             | None -> Error "non-string entry in jobs")
           items (Ok [])
       in
-      Ok (Submit { klass; jobs })
+      let trace = Option.bind (Json.member "trace" j) trace_context_of_json in
+      Ok (Submit { klass; jobs; trace })
   | "status" ->
       let* ticket = field "ticket" Json.to_int j in
       Ok (Status { ticket })
@@ -111,6 +153,10 @@ let request_of_json j : (request, string) result =
       let* ticket = field "ticket" Json.to_int j in
       Ok (Result { ticket })
   | "stats" -> Ok Stats
+  | "metrics" -> Ok Metrics
+  | "trace" ->
+      let* since = field "since" Json.to_int j in
+      Ok (Trace { since })
   | other -> Error (Printf.sprintf "unknown op %S" other)
 
 (* ------------------------------------------------------------------ *)

@@ -30,12 +30,26 @@ val job_of_wire : string -> Job.t
 val outcome_to_wire : Outcome.t -> string
 val outcome_of_wire : string -> Outcome.t
 
+type trace_context = { trace_id : string; parent_span : int }
+(** The client's trace identity, attached to submits so daemon- and
+    worker-side spans can be merged into the client's Perfetto trace. *)
+
 type request =
-  | Hello of { revision : string; format : int }
-  | Submit of { klass : klass; jobs : string list }
+  | Hello of { revision : string; format : int; t_client : float option }
+      (** [t_client] is the client's wall clock ([Unix.gettimeofday]) at
+          send time; the daemon echoes its own in the reply so the client
+          can estimate the clock offset and align merged trace
+          timestamps. Absent from older clients. *)
+  | Submit of { klass : klass; jobs : string list; trace : trace_context option }
   | Status of { ticket : int }
   | Result of { ticket : int }
   | Stats
+  | Metrics
+      (** Merged metrics snapshot (daemon + workers), as riq-metrics/1
+          JSON plus rendered Prometheus exposition. *)
+  | Trace of { since : int }
+      (** Daemon/worker trace events with global index [>= since];
+          clients poll incrementally with the returned cursor. *)
 
 val request_to_json : request -> Riq_util.Json.t
 val request_of_json : Riq_util.Json.t -> (request, string) result

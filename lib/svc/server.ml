@@ -33,29 +33,44 @@
 
 open Riq_util
 open Riq_exp
+module Metrics = Riq_obs.Metrics
+module Tracer = Riq_obs.Tracer
+module Log = Riq_obs.Log
 
 (* When both classes are waiting, of every [batch_share] dispatches one
    goes to the batch queue. *)
 let batch_share = 4
+
+(* Daemon- and worker-side trace events are stamped in wall-clock
+   microseconds, the unit Chrome traces use natively; clients shift them
+   by the estimated clock offset before merging. *)
+let us seconds = int_of_float (seconds *. 1e6)
 
 type config = {
   address : Protocol.address;
   workers : int;
   store : Store.t;
   timeout : float option; (* per-job wall-clock budget *)
-  log : string -> unit;
+  metrics : Metrics.t;
+  metrics_out : string option; (* periodic atomic exposition dump *)
+  metrics_interval : float;
 }
 
-let config ?(workers = 1) ?(timeout = Some 600.) ?(log = ignore) ~address store =
+let config ?(workers = 1) ?(timeout = Some 600.) ?metrics ?metrics_out
+    ?(metrics_interval = 5.) ~address store =
   if workers < 1 then invalid_arg "Server.config: workers must be >= 1";
-  { address; workers; store; timeout; log }
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  { address; workers; store; timeout; metrics; metrics_out; metrics_interval }
 
 (* ------------------------------------------------------------------ *)
 (* Worker processes                                                    *)
 (* ------------------------------------------------------------------ *)
 
 (* Parent -> worker: one frame (4-byte BE length + marshalled Job.t).
-   Worker -> parent: one frame (marshalled (seconds, Outcome.t)).
+   Worker -> parent: one frame (marshalled
+   (seconds, Outcome.t, Metrics.snapshot)) — the snapshot is the worker's
+   cumulative registry, so the parent always holds each worker's latest
+   totals and loses nothing when a worker dies between results.
    EOF on the request pipe shuts the worker down. *)
 
 let read_frame fd =
@@ -71,6 +86,15 @@ let write_frame fd payload =
   Wire.write_all fd payload
 
 let worker_main req_r res_w =
+  let registry = Metrics.create () in
+  let jobs =
+    Metrics.counter registry ~help:"Jobs executed by this resident worker"
+      "worker_jobs_total"
+  in
+  let job_seconds =
+    Metrics.histogram registry ~help:"Wall-clock seconds per worker job"
+      "worker_job_seconds"
+  in
   let rec loop () =
     match read_frame req_r with
     | exception (Wire.Closed | Wire.Protocol_error _) -> ()
@@ -79,7 +103,12 @@ let worker_main req_r res_w =
         let t0 = Unix.gettimeofday () in
         let outcome = Runner.execute_safe job in
         let seconds = Unix.gettimeofday () -. t0 in
-        write_frame res_w (Marshal.to_bytes (seconds, (outcome : Outcome.t)) []);
+        Metrics.inc jobs;
+        Metrics.observe job_seconds seconds;
+        write_frame res_w
+          (Marshal.to_bytes
+             (seconds, (outcome : Outcome.t), Metrics.snapshot registry)
+             []);
         loop ()
   in
   loop ()
@@ -90,6 +119,7 @@ type worker = {
   w_res : Unix.file_descr;
   mutable w_fp : string option; (* fingerprint in flight *)
   mutable w_started : float;
+  mutable w_snap : Metrics.snapshot; (* latest cumulative registry *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -105,6 +135,8 @@ type waiter = {
 type pending = {
   p_job : Job.t;
   p_klass : Protocol.klass;
+  p_enqueued : float; (* wall clock at submit, for queue-wait spans *)
+  p_trace : Protocol.trace_context option;
   mutable p_state : [ `Queued | `Running ];
   mutable p_waiters : waiter list; (* reverse submission order *)
   mutable p_retried : bool;
@@ -125,9 +157,71 @@ type conn = {
   mutable c_hello : bool;
 }
 
+(* The daemon's own instruments, registered against cfg.metrics (which
+   the caller usually shares with the {!Store} it opened). Request
+   counters are registered lazily per op label. *)
+type instruments = {
+  i_submitted : Metrics.counter;
+  i_store_hits : Metrics.counter;
+  i_executed : Metrics.counter;
+  i_batched : Metrics.counter;
+  i_retries : Metrics.counter;
+  i_timeouts : Metrics.counter;
+  i_queue_interactive : Metrics.gauge;
+  i_queue_batch : Metrics.gauge;
+  i_inflight : Metrics.gauge;
+  i_workers : Metrics.gauge;
+  i_connections : Metrics.gauge;
+  i_tickets : Metrics.gauge;
+  i_uptime : Metrics.gauge;
+  i_wait_interactive : Metrics.histogram;
+  i_wait_batch : Metrics.histogram;
+  i_simulate : Metrics.histogram;
+}
+
+let instruments_of registry =
+  let counter = Metrics.counter registry in
+  let gauge = Metrics.gauge registry in
+  let wait_help = "Seconds jobs spent queued before dispatch" in
+  {
+    i_submitted = counter ~help:"Jobs submitted over the wire" "serve_submitted_total";
+    i_store_hits =
+      counter ~help:"Submitted jobs answered directly from the shared store"
+        "store_hits_total";
+    i_executed = counter ~help:"Jobs executed by resident workers" "serve_executed_total";
+    i_batched =
+      counter ~help:"Jobs coalesced onto an in-flight identical fingerprint"
+        "serve_batched_total";
+    i_retries = counter ~help:"Jobs retried after a worker crash" "serve_retries_total";
+    i_timeouts = counter ~help:"Jobs killed at the wall-clock budget" "serve_timeouts_total";
+    i_queue_interactive =
+      gauge ~help:"Queued jobs per class" ~labels:[ ("class", "interactive") ]
+        "serve_queue_depth";
+    i_queue_batch =
+      gauge ~help:"Queued jobs per class" ~labels:[ ("class", "batch") ]
+        "serve_queue_depth";
+    i_inflight = gauge ~help:"Jobs currently on a worker" "serve_inflight";
+    i_workers = gauge ~help:"Resident worker processes" "serve_workers";
+    i_connections = gauge ~help:"Open client connections" "serve_connections";
+    i_tickets = gauge ~help:"Tickets awaiting fetch" "serve_tickets_open";
+    i_uptime = gauge ~help:"Daemon uptime in seconds" "serve_uptime_seconds";
+    i_wait_interactive =
+      Metrics.histogram registry ~help:wait_help
+        ~labels:[ ("class", "interactive") ] "serve_queue_wait_seconds";
+    i_wait_batch =
+      Metrics.histogram registry ~help:wait_help ~labels:[ ("class", "batch") ]
+        "serve_queue_wait_seconds";
+    i_simulate =
+      Metrics.histogram registry ~help:"Wall-clock seconds per worker execution"
+        "serve_simulate_seconds";
+  }
+
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
+  ins : instruments;
+  tracer : Tracer.t; (* ring of wall-clock-us service spans *)
+  mutable retired : Metrics.snapshot; (* folded registries of dead workers *)
   mutable conns : conn list;
   mutable pool : worker list;
   pending : (string, pending) Hashtbl.t; (* fingerprint -> queued/running *)
@@ -138,6 +232,7 @@ type t = {
   mutable since_batch : int; (* interactive dispatches since a batch one *)
   mutable draining : bool;
   started : float;
+  mutable last_dump : float; (* last --metrics-out write *)
   (* counters *)
   mutable n_submitted : int;
   mutable n_hits : int;
@@ -152,6 +247,31 @@ type t = {
 }
 
 let queue_depth t = Queue.length t.q_interactive + Queue.length t.q_batch
+
+let inflight t = List.length (List.filter (fun w -> w.w_fp <> None) t.pool)
+
+(* Point-in-time gauges are refreshed right before any snapshot leaves
+   the daemon (metrics op, periodic dump) rather than on every change. *)
+let refresh_gauges t =
+  Metrics.set t.ins.i_queue_interactive (float_of_int (Queue.length t.q_interactive));
+  Metrics.set t.ins.i_queue_batch (float_of_int (Queue.length t.q_batch));
+  Metrics.set t.ins.i_inflight (float_of_int (inflight t));
+  Metrics.set t.ins.i_workers (float_of_int (List.length t.pool));
+  Metrics.set t.ins.i_connections (float_of_int (List.length t.conns));
+  Metrics.set t.ins.i_tickets (float_of_int (Hashtbl.length t.tickets));
+  Metrics.set t.ins.i_uptime (Unix.gettimeofday () -. t.started)
+
+(* Daemon totals + every worker's latest cumulative registry + what dead
+   workers left behind. Gauges sum across processes by convention, and
+   the worker registries only carry counters/histograms, so the merge is
+   exactly the fleet view. *)
+let merged_snapshot t =
+  refresh_gauges t;
+  Metrics.merge_all
+    (Metrics.snapshot t.cfg.metrics :: t.retired
+    :: List.filter_map
+         (fun w -> if w.w_snap = [] then None else Some w.w_snap)
+         t.pool)
 
 (* ------------------------------------------------------------------ *)
 (* Socket setup / teardown                                             *)
@@ -216,8 +336,19 @@ let spawn_worker t =
   | pid ->
       Unix.close req_r;
       Unix.close res_w;
-      let w = { w_pid = pid; w_req = req_w; w_res = res_r; w_fp = None; w_started = 0. } in
+      let w =
+        {
+          w_pid = pid;
+          w_req = req_w;
+          w_res = res_r;
+          w_fp = None;
+          w_started = 0.;
+          w_snap = [];
+        }
+      in
       t.pool <- w :: t.pool;
+      Tracer.set_process_name t.tracer ~pid (Printf.sprintf "riq-serve worker %d" pid);
+      Log.debug ~scope:"serve" ~kv:[ ("pid", Log.int pid) ] "worker spawned";
       w
 
 let reap_worker t ?(kill = false) w =
@@ -225,6 +356,8 @@ let reap_worker t ?(kill = false) w =
   (try Unix.close w.w_req with _ -> ());
   (try Unix.close w.w_res with _ -> ());
   (try ignore (Unix.waitpid [] w.w_pid) with _ -> ());
+  (* Keep the dead worker's totals in the fleet view. *)
+  if w.w_snap <> [] then t.retired <- Metrics.merge t.retired w.w_snap;
   t.pool <- List.filter (fun w' -> w'.w_pid <> w.w_pid) t.pool
 
 (* ------------------------------------------------------------------ *)
@@ -276,6 +409,15 @@ let next_fingerprint t =
     Some (Queue.pop qi)
   end
 
+(* Span args carry the fingerprint (and the submitting client's trace id
+   when it sent one) so merged traces can be joined back to jobs. *)
+let span_args p =
+  ("fp", Tracer.Str (String.sub (Job.fingerprint p.p_job) 0 12))
+  ::
+  (match p.p_trace with
+  | None -> []
+  | Some tc -> [ ("trace_id", Tracer.Str tc.Protocol.trace_id) ])
+
 let dispatch_one t w fp =
   match Hashtbl.find_opt t.pending fp with
   | None -> () (* evaporated (shouldn't happen) *)
@@ -283,6 +425,15 @@ let dispatch_one t w fp =
       p.p_state <- `Running;
       w.w_fp <- Some fp;
       w.w_started <- Unix.gettimeofday ();
+      let wait = Float.max 0. (w.w_started -. p.p_enqueued) in
+      let wait_hist, tid =
+        match p.p_klass with
+        | Protocol.Interactive -> (t.ins.i_wait_interactive, 1)
+        | Protocol.Batch -> (t.ins.i_wait_batch, 2)
+      in
+      Metrics.observe wait_hist wait;
+      Tracer.complete t.tracer ~now:(us p.p_enqueued) ~dur:(us wait) ~tid
+        ~args:(span_args p) ~cat:"serve" "queue-wait";
       try write_frame w.w_req (Marshal.to_bytes p.p_job [])
       with _ ->
         (* Worker died between jobs: retry via the crash path. *)
@@ -334,6 +485,10 @@ let worker_crashed t w =
           else begin
             p.p_retried <- true;
             t.n_retries <- t.n_retries + 1;
+            Metrics.inc t.ins.i_retries;
+            Log.warn ~scope:"serve"
+              ~kv:[ ("pid", Log.int w.w_pid) ]
+              "worker died mid-job, retrying";
             requeue_front t fp p
           end));
   reap_worker t w
@@ -342,12 +497,22 @@ let worker_result t w =
   match read_frame w.w_res with
   | exception _ -> worker_crashed t w
   | payload ->
-      let seconds, (outcome : Outcome.t) = Marshal.from_bytes payload 0 in
+      let seconds, (outcome : Outcome.t), (snap : Metrics.snapshot) =
+        Marshal.from_bytes payload 0
+      in
+      w.w_snap <- snap;
       (match w.w_fp with
       | None -> ()
       | Some fp ->
           Store.store t.cfg.store fp outcome;
           t.n_executed <- t.n_executed + 1;
+          Metrics.inc t.ins.i_executed;
+          Metrics.observe t.ins.i_simulate seconds;
+          (match Hashtbl.find_opt t.pending fp with
+          | Some p ->
+              Tracer.complete t.tracer ~now:(us w.w_started) ~dur:(us seconds)
+                ~pid:w.w_pid ~args:(span_args p) ~cat:"serve" "simulate"
+          | None -> ());
           resolve_pending t fp ~seconds outcome);
       w.w_fp <- None
 
@@ -361,6 +526,10 @@ let check_timeouts t =
           match w.w_fp with
           | Some fp when now -. w.w_started > budget ->
               t.n_timeouts <- t.n_timeouts + 1;
+              Metrics.inc t.ins.i_timeouts;
+              Log.warn ~scope:"serve"
+                ~kv:[ ("pid", Log.int w.w_pid); ("budget", Log.float budget) ]
+                "job exceeded wall-clock budget, killing worker";
               resolve_pending t fp ~seconds:budget (Error (Outcome.Job_timeout budget));
               reap_worker t ~kill:true w
           | _ -> ())
@@ -402,7 +571,7 @@ let stats_json t =
       ("store", Store.stat_json t.cfg.store);
     ]
 
-let handle_submit t ~klass ~(wire_jobs : string list) =
+let handle_submit t ~klass ~trace ~(wire_jobs : string list) =
   if t.draining then Protocol.error "draining: daemon is shutting down"
   else begin
     match List.map Protocol.job_of_wire wire_jobs with
@@ -422,13 +591,16 @@ let handle_submit t ~klass ~(wire_jobs : string list) =
           }
         in
         Hashtbl.replace t.tickets id tk;
+        let now = Unix.gettimeofday () in
         List.iteri
           (fun index job ->
             t.n_submitted <- t.n_submitted + 1;
+            Metrics.inc t.ins.i_submitted;
             let fp = Job.fingerprint job in
             match Store.find t.cfg.store fp with
             | Some outcome ->
                 t.n_hits <- t.n_hits + 1;
+                Metrics.inc t.ins.i_store_hits;
                 deliver_to_ticket t ~ticket:id ~index ~source:Protocol.Hit
                   ~seconds:0. outcome
             | None -> (
@@ -437,6 +609,7 @@ let handle_submit t ~klass ~(wire_jobs : string list) =
                     (* Same fingerprint already queued or running (possibly
                        for another client): coalesce. *)
                     t.n_batched <- t.n_batched + 1;
+                    Metrics.inc t.ins.i_batched;
                     p.p_waiters <-
                       { wt_ticket = id; wt_index = index; wt_source = Protocol.Batched }
                       :: p.p_waiters
@@ -445,6 +618,8 @@ let handle_submit t ~klass ~(wire_jobs : string list) =
                       {
                         p_job = job;
                         p_klass = klass;
+                        p_enqueued = now;
+                        p_trace = trace;
                         p_state = `Queued;
                         p_waiters =
                           [ { wt_ticket = id; wt_index = index; wt_source = Protocol.Executed } ];
@@ -466,10 +641,23 @@ let handle_submit t ~klass ~(wire_jobs : string list) =
           ]
   end
 
+let op_name = function
+  | Protocol.Hello _ -> "hello"
+  | Protocol.Submit _ -> "submit"
+  | Protocol.Status _ -> "status"
+  | Protocol.Result _ -> "result"
+  | Protocol.Stats -> "stats"
+  | Protocol.Metrics -> "metrics"
+  | Protocol.Trace _ -> "trace"
+
 let handle_request t conn (req : Protocol.request) =
   t.n_requests <- t.n_requests + 1;
+  Metrics.inc
+    (Metrics.counter t.cfg.metrics ~help:"Wire requests handled, by op"
+       ~labels:[ ("op", op_name req) ]
+       "serve_requests_total");
   match req with
-  | Protocol.Hello { revision; format } ->
+  | Protocol.Hello { revision; format; t_client = _ } ->
       if revision <> Revision.stamp then
         Protocol.error
           (Printf.sprintf "revision mismatch: daemon %s, client %s" Revision.stamp
@@ -480,14 +668,20 @@ let handle_request t conn (req : Protocol.request) =
              Revision.format_version format)
       else begin
         conn.c_hello <- true;
+        (* server_time lets the client estimate the clock offset (its
+           send/receive times bracket this read) and shift daemon trace
+           timestamps onto its own clock before merging. *)
         Protocol.ok
           [
             ("server", Json.String Protocol.version);
             ("workers", Json.Int t.cfg.workers);
+            ("server_time", Json.Float (Unix.gettimeofday ()));
+            ("pid", Json.Int (Unix.getpid ()));
           ]
       end
   | _ when not conn.c_hello -> Protocol.error "hello required before any other op"
-  | Protocol.Submit { klass; jobs } -> handle_submit t ~klass ~wire_jobs:jobs
+  | Protocol.Submit { klass; jobs; trace } ->
+      handle_submit t ~klass ~trace ~wire_jobs:jobs
   | Protocol.Status { ticket } -> (
       match Hashtbl.find_opt t.tickets ticket with
       | None -> Protocol.error "unknown ticket"
@@ -534,6 +728,30 @@ let handle_request t conn (req : Protocol.request) =
               ]
           end)
   | Protocol.Stats -> stats_json t
+  | Protocol.Metrics ->
+      let snap = merged_snapshot t in
+      Protocol.ok
+        [
+          ("metrics", Metrics.to_json snap);
+          ("exposition", Json.String (Metrics.to_prometheus snap));
+        ]
+  | Protocol.Trace { since } ->
+      (* Incremental read of the span ring: events carry a global index
+         (recorded order); [since] is the client's cursor. Overwritten
+         events are reported as dropped, not silently skipped. *)
+      let events = Tracer.events t.tracer in
+      let recorded = Tracer.recorded t.tracer in
+      let first = recorded - List.length events in
+      let fresh =
+        List.filteri (fun i _ -> first + i >= since) events
+      in
+      Protocol.ok
+        [
+          ("events", Json.List (List.map Tracer.event_json fresh));
+          ("next", Json.Int recorded);
+          ("dropped", Json.Int (max 0 (first - since)));
+          ("pid", Json.Int (Unix.getpid ()));
+        ]
 
 (* ------------------------------------------------------------------ *)
 (* Client connections                                                  *)
@@ -603,11 +821,43 @@ let install_signal_handlers () =
 let work_left t =
   queue_depth t > 0 || List.exists (fun w -> w.w_fp <> None) t.pool
 
+(* Atomic exposition dump: scrapers never see a torn file. *)
+let dump_metrics t path =
+  try
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    output_string oc (Metrics.to_prometheus (merged_snapshot t));
+    close_out oc;
+    Sys.rename tmp path
+  with e ->
+    Log.warn ~scope:"serve"
+      ~kv:[ ("path", path); ("error", Printexc.to_string e) ]
+      "metrics dump failed"
+
+let maybe_dump_metrics t =
+  match t.cfg.metrics_out with
+  | None -> ()
+  | Some path ->
+      let now = Unix.gettimeofday () in
+      if now -. t.last_dump >= t.cfg.metrics_interval then begin
+        t.last_dump <- now;
+        dump_metrics t path
+      end
+
 let serve cfg =
+  let tracer = Tracer.ring ~capacity:16384 () in
+  Tracer.set_pid tracer (Unix.getpid ());
+  Tracer.set_process_name tracer "riq-serve";
+  Tracer.set_thread_name tracer ~tid:0 "daemon";
+  Tracer.set_thread_name tracer ~tid:1 "queue interactive";
+  Tracer.set_thread_name tracer ~tid:2 "queue batch";
   let t =
     {
       cfg;
       listen_fd = listen_socket cfg.address;
+      ins = instruments_of cfg.metrics;
+      tracer;
+      retired = [];
       conns = [];
       pool = [];
       pending = Hashtbl.create 256;
@@ -618,6 +868,7 @@ let serve cfg =
       since_batch = 0;
       draining = false;
       started = Unix.gettimeofday ();
+      last_dump = Unix.gettimeofday ();
       n_submitted = 0;
       n_hits = 0;
       n_executed = 0;
@@ -636,10 +887,15 @@ let serve cfg =
   let old_sigpipe =
     try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with _ -> None
   in
-  cfg.log
-    (Printf.sprintf "riq-serve: listening on %s (%d workers, store %s)"
-       (Protocol.address_to_string cfg.address)
-       cfg.workers (Store.root cfg.store));
+  Log.info ~scope:"serve"
+    ~kv:
+      [
+        ("address", Protocol.address_to_string cfg.address);
+        ("workers", Log.int cfg.workers);
+        ("store", Store.root cfg.store);
+        ("pid", Log.int (Unix.getpid ()));
+      ]
+    "listening";
   let listener_open = ref true in
   Fun.protect
     ~finally:(fun () ->
@@ -647,6 +903,9 @@ let serve cfg =
       t.conns <- [];
       List.iter (fun w -> reap_worker t w) t.pool;
       if !listener_open then close_listener t;
+      (* Last write wins: the post-mortem exposition includes everything
+         the retired workers reported. *)
+      (match cfg.metrics_out with Some path -> dump_metrics t path | None -> ());
       match old_sigpipe with
       | Some b -> ( try Sys.set_signal Sys.sigpipe b with _ -> ())
       | None -> ())
@@ -655,10 +914,13 @@ let serve cfg =
       while !running do
         if !drain_requested && not t.draining then begin
           t.draining <- true;
-          cfg.log
-            (Printf.sprintf "riq-serve: drain requested (%d queued, %d in flight)"
-               (queue_depth t)
-               (List.length (List.filter (fun w -> w.w_fp <> None) t.pool)));
+          Log.info ~scope:"serve"
+            ~kv:
+              [
+                ("queued", Log.int (queue_depth t));
+                ("inflight", Log.int (inflight t));
+              ]
+            "drain requested";
           (* Stop accepting new clients; existing ones keep polling. *)
           close_listener t;
           listener_open := false
@@ -666,6 +928,7 @@ let serve cfg =
         if t.draining && not (work_left t) then running := false
         else begin
           fill_workers t;
+          maybe_dump_metrics t;
           let busy = List.filter (fun w -> w.w_fp <> None) t.pool in
           let read_fds =
             (if !listener_open then [ t.listen_fd ] else [])
@@ -705,4 +968,4 @@ let serve cfg =
           end
         end
       done;
-      cfg.log "riq-serve: drained, shutting down")
+      Log.info ~scope:"serve" "drained, shutting down")

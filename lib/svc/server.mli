@@ -12,25 +12,42 @@
 
     SIGTERM/SIGINT drains gracefully: stop accepting, run queued and
     in-flight jobs to completion (clients can still poll and fetch),
-    shut down and reap every worker, unlink the socket. *)
+    shut down and reap every worker, unlink the socket.
+
+    Observability: the daemon instruments itself against [metrics]
+    ([serve_*], [store_hits_total]; share the registry with the
+    {!Store.open_} call so [store_*] series land in the same scrape) and
+    keeps a bounded ring of wall-clock-microsecond spans (queue-wait per
+    class, simulate per worker pid). Both are served over the wire
+    ([metrics] and [trace] ops); workers ship their own registries back
+    with each result and the daemon merges them into the fleet view.
+    Logging goes through {!Riq_obs.Log} under scope ["serve"]. *)
 
 type config = {
   address : Protocol.address;
   workers : int;
   store : Store.t;
   timeout : float option;
-  log : string -> unit;
+  metrics : Riq_obs.Metrics.t;
+  metrics_out : string option;
+  metrics_interval : float;
 }
 
 val config :
   ?workers:int ->
   ?timeout:float option ->
-  ?log:(string -> unit) ->
+  ?metrics:Riq_obs.Metrics.t ->
+  ?metrics_out:string ->
+  ?metrics_interval:float ->
   address:Protocol.address ->
   Store.t ->
   config
 (** [workers] defaults to 1, [timeout] to 600 s per job ([None]
-    disables), [log] to silent. *)
+    disables). [metrics] defaults to a fresh registry; pass the one the
+    store was opened with to get a combined exposition. With
+    [metrics_out], the daemon atomically rewrites that file with the
+    Prometheus exposition every [metrics_interval] (default 5 s) seconds
+    and once more at shutdown. *)
 
 val serve : config -> unit
 (** Run the daemon until a graceful drain completes. Raises [Failure] if

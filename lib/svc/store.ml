@@ -16,20 +16,60 @@
      sees a miss, never a torn file. *)
 
 open Riq_exp
+module Metrics = Riq_obs.Metrics
+
+(* Store-level instruments, registered against a caller-supplied registry
+   so the daemon, the engine and the CLIs each see their own process's
+   store traffic under the same metric names. *)
+type instruments = {
+  i_hits : Metrics.counter;
+  i_misses : Metrics.counter;
+  i_writes : Metrics.counter;
+  i_evictions : Metrics.counter;
+  i_lock_wait : Metrics.histogram;
+}
+
+let instruments_of registry =
+  let counter = Metrics.counter registry in
+  {
+    i_hits =
+      counter ~help:"Store reads served from the shared tree"
+        ~labels:[ ("result", "hit") ] "store_reads_total";
+    i_misses =
+      counter ~help:"Store reads served from the shared tree"
+        ~labels:[ ("result", "miss") ] "store_reads_total";
+    i_writes = counter ~help:"Outcomes written to the store" "store_writes_total";
+    i_evictions =
+      counter ~help:"Entries evicted by budget enforcement" "store_evictions_total";
+    i_lock_wait =
+      Metrics.histogram registry
+        ~help:"Seconds spent waiting for the maintenance lockfile"
+        "store_lock_wait_seconds";
+  }
 
 type t = {
   cache : Cache.t;
   root : string;
   budget_bytes : int option;
+  ins : instruments option;
   mutable evictions : int; (* entries evicted by this process *)
   mutable stores : int; (* stores since the last budget check *)
 }
 
 let lock_stale_seconds = 60.
 
-let open_ ?root ?budget_bytes () =
+let open_ ?root ?budget_bytes ?metrics () =
   let cache = Cache.open_ ?root () in
-  { cache; root = Cache.root cache; budget_bytes; evictions = 0; stores = 0 }
+  {
+    cache;
+    root = Cache.root cache;
+    budget_bytes;
+    ins = Option.map instruments_of metrics;
+    evictions = 0;
+    stores = 0;
+  }
+
+let count t f = match t.ins with None -> () | Some ins -> Metrics.inc (f ins)
 
 let cache t = t.cache
 let root t = t.root
@@ -64,7 +104,8 @@ let try_lock t =
 let unlock t = try Sys.remove (lock_path t) with _ -> ()
 
 let with_lock ?(timeout = 30.) t f =
-  let deadline = Unix.gettimeofday () +. timeout in
+  let started = Unix.gettimeofday () in
+  let deadline = started +. timeout in
   let rec acquire () =
     if try_lock t then ()
     else if Unix.gettimeofday () > deadline then
@@ -75,6 +116,10 @@ let with_lock ?(timeout = 30.) t f =
     end
   in
   acquire ();
+  (match t.ins with
+  | None -> ()
+  | Some ins ->
+      Metrics.observe ins.i_lock_wait (Unix.gettimeofday () -. started));
   Fun.protect ~finally:(fun () -> unlock t) f
 
 (* ------------------------------------------------------------------ *)
@@ -147,10 +192,13 @@ let touch path =
 
 let find t key =
   match Cache.find t.cache key with
-  | None -> None
+  | None ->
+      count t (fun i -> i.i_misses);
+      None
   | Some outcome ->
       (* Recency for LRU eviction: hits refresh the entry's mtime. *)
       touch (Cache.path t.cache key);
+      count t (fun i -> i.i_hits);
       Some outcome
 
 (* Evict least-recently-used entries until the tree fits the budget.
@@ -170,6 +218,9 @@ let evict_to_budget_locked t budget =
       end)
     es;
   t.evictions <- t.evictions + !removed;
+  (match t.ins with
+  | None -> ()
+  | Some ins -> Metrics.add ins.i_evictions !removed);
   !removed
 
 let evict_to_budget t budget = with_lock t (fun () -> evict_to_budget_locked t budget)
@@ -180,6 +231,7 @@ let budget_check_interval = 32
 
 let store t key outcome =
   Cache.store t.cache key outcome;
+  count t (fun i -> i.i_writes);
   match t.budget_bytes with
   | None -> ()
   | Some budget ->

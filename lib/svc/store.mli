@@ -11,10 +11,14 @@ open Riq_exp
 
 type t
 
-val open_ : ?root:string -> ?budget_bytes:int -> unit -> t
+val open_ :
+  ?root:string -> ?budget_bytes:int -> ?metrics:Riq_obs.Metrics.t -> unit -> t
 (** [root] defaults like {!Cache.open_}. With [budget_bytes], every 32nd
     {!store} opportunistically evicts to the budget (skipped without
-    blocking if another process holds the maintenance lock). *)
+    blocking if another process holds the maintenance lock). With
+    [metrics], the store registers [store_reads_total{result=hit|miss}],
+    [store_writes_total], [store_evictions_total] and the
+    [store_lock_wait_seconds] histogram against the given registry. *)
 
 val cache : t -> Cache.t
 val root : t -> string

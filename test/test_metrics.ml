@@ -1,0 +1,249 @@
+open Riq_util
+open Riq_obs
+
+(* ---- Registration and instrument basics ---- *)
+
+let test_registration () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~help:"h" "jobs_total" in
+  Metrics.inc c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  (* Re-registering (name, labels) yields the same cell. *)
+  let c' = Metrics.counter m "jobs_total" in
+  Metrics.inc c';
+  Alcotest.(check int) "same cell" 6 (Metrics.counter_value c);
+  Alcotest.check_raises "monotonic"
+    (Invalid_argument "Metrics.add: counters are monotonic") (fun () ->
+      Metrics.add c (-1));
+  let g = Metrics.gauge m "depth" in
+  Metrics.set g 3.5;
+  Alcotest.(check (float 0.)) "gauge" 3.5 (Metrics.gauge_value g);
+  (* One name, one kind; names are validated. *)
+  Alcotest.(check bool) "kind clash rejected" true
+    (try
+       ignore (Metrics.gauge m "jobs_total");
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad name rejected" true
+    (try
+       ignore (Metrics.counter m "1bad");
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Histogram bucket edges ---- *)
+
+let test_bucket_edges () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~buckets:[| 0.001; 0.01; 0.1 |] "lat_seconds" in
+  (* Prometheus [le] semantics: a value exactly on an edge belongs to
+     that edge's bucket; past the last bound is the overflow bucket. *)
+  Metrics.observe h 0.001;
+  Metrics.observe h 0.002;
+  Metrics.observe h 0.01;
+  Metrics.observe h 0.1;
+  Metrics.observe h 0.2;
+  Metrics.observe h 0.;
+  Alcotest.(check int) "count" 6 (Metrics.histogram_count h);
+  match Metrics.snapshot m with
+  | [ { Metrics.s_value = Metrics.Histogram_sample { bounds; counts; sum }; _ } ] ->
+      Alcotest.(check (array (float 0.))) "bounds" [| 0.001; 0.01; 0.1 |] bounds;
+      Alcotest.(check (array int)) "per-bucket counts" [| 2; 2; 1; 1 |] counts;
+      Alcotest.(check (float 1e-9)) "sum" 0.313 sum
+  | _ -> Alcotest.fail "unexpected snapshot shape"
+
+let test_log_buckets () =
+  Alcotest.(check (array (float 1e-12)))
+    "geometric" [| 0.5; 1.; 2. |]
+    (Metrics.log_buckets ~start:0.5 ~factor:2. 3);
+  let d = Metrics.log_buckets 30 in
+  Alcotest.(check int) "default width" 30 (Array.length d);
+  Alcotest.(check (float 1e-18)) "default start" 1e-6 d.(0);
+  let ascending = ref true in
+  Array.iteri (fun i b -> if i > 0 && b <= d.(i - 1) then ascending := false) d;
+  Alcotest.(check bool) "strictly ascending" true !ascending;
+  Alcotest.(check bool) "spans minutes" true (d.(29) > 300.)
+
+(* ---- Snapshot merge across a real fork ---- *)
+
+let find_sample name snap =
+  match List.find_opt (fun s -> s.Metrics.s_name = name) snap with
+  | Some s -> s.Metrics.s_value
+  | None -> Alcotest.fail ("series missing: " ^ name)
+
+(* The worker protocol in miniature: the child instruments its own
+   registry and ships one marshaled snapshot back over a pipe; the parent
+   merges it with its own. Counters and buckets add; gauges add (the
+   fleet-sum convention for per-worker gauges). *)
+let instrument m ~jobs ~inflight ~observations =
+  Metrics.add (Metrics.counter m "jobs_total") jobs;
+  Metrics.set (Metrics.gauge m "inflight") inflight;
+  let h = Metrics.histogram m ~buckets:[| 0.1; 1. |] "dur_seconds" in
+  List.iter (Metrics.observe h) observations;
+  m
+
+let test_fork_merge () =
+  let rd, wr = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close rd;
+      let m =
+        instrument (Metrics.create ()) ~jobs:3 ~inflight:2. ~observations:[ 0.5; 5. ]
+      in
+      let oc = Unix.out_channel_of_descr wr in
+      Marshal.to_channel oc (Metrics.snapshot m) [];
+      flush oc;
+      Unix._exit 0
+  | pid ->
+      Unix.close wr;
+      let ic = Unix.in_channel_of_descr rd in
+      let child : Metrics.snapshot = Marshal.from_channel ic in
+      close_in ic;
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "child did not exit cleanly");
+      let parent =
+        instrument (Metrics.create ()) ~jobs:2 ~inflight:1. ~observations:[ 0.05 ]
+      in
+      let merged = Metrics.merge (Metrics.snapshot parent) child in
+      (match find_sample "jobs_total" merged with
+      | Metrics.Counter_sample v -> Alcotest.(check int) "counters add" 5 v
+      | _ -> Alcotest.fail "jobs_total not a counter");
+      (match find_sample "inflight" merged with
+      | Metrics.Gauge_sample v -> Alcotest.(check (float 0.)) "gauges add" 3. v
+      | _ -> Alcotest.fail "inflight not a gauge");
+      (match find_sample "dur_seconds" merged with
+      | Metrics.Histogram_sample { counts; sum; _ } ->
+          Alcotest.(check (array int)) "buckets add" [| 1; 1; 1 |] counts;
+          Alcotest.(check (float 1e-9)) "sums add" 5.55 sum
+      | _ -> Alcotest.fail "dur_seconds not a histogram");
+      (* absorb folds the same snapshot into live registry state. *)
+      let live =
+        instrument (Metrics.create ()) ~jobs:2 ~inflight:1. ~observations:[ 0.05 ]
+      in
+      Metrics.absorb live child;
+      Alcotest.(check bool) "absorb = merge" true (Metrics.snapshot live = merged)
+
+let test_merge_mismatch () =
+  let snap_of build =
+    let m = Metrics.create () in
+    build m;
+    Metrics.snapshot m
+  in
+  let refuses a b =
+    try
+      ignore (Metrics.merge a b);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "kind mismatch" true
+    (refuses
+       (snap_of (fun m -> ignore (Metrics.counter m "x_total")))
+       (snap_of (fun m -> ignore (Metrics.gauge m "x_total"))));
+  Alcotest.(check bool) "bounds mismatch" true
+    (refuses
+       (snap_of (fun m -> ignore (Metrics.histogram m ~buckets:[| 1. |] "h_seconds")))
+       (snap_of (fun m -> ignore (Metrics.histogram m ~buckets:[| 2. |] "h_seconds"))))
+
+(* ---- Exposition ---- *)
+
+let golden_registry () =
+  let m = Metrics.create () in
+  let h =
+    Metrics.histogram m ~help:"Request latency" ~buckets:[| 0.001; 0.01; 0.1 |]
+      "latency_seconds"
+  in
+  List.iter (Metrics.observe h) [ 0.001; 0.005; 0.05; 0.5 ];
+  Metrics.set (Metrics.gauge m ~help:"Jobs queued" "queue_depth") 4.;
+  Metrics.add
+    (Metrics.counter m ~help:"Requests served" ~labels:[ ("op", "submit") ]
+       "requests_total")
+    3;
+  Metrics.inc
+    (Metrics.counter m ~help:"Requests served" ~labels:[ ("op", "poll") ]
+       "requests_total");
+  m
+
+(* Byte-for-byte: sorted by (name, labels), HELP/TYPE once per name,
+   histogram buckets cumulative with le edges, +Inf closing the family. *)
+let test_prometheus_golden () =
+  let expected =
+    "# HELP latency_seconds Request latency\n\
+     # TYPE latency_seconds histogram\n\
+     latency_seconds_bucket{le=\"0.001\"} 1\n\
+     latency_seconds_bucket{le=\"0.01\"} 2\n\
+     latency_seconds_bucket{le=\"0.1\"} 3\n\
+     latency_seconds_bucket{le=\"+Inf\"} 4\n\
+     latency_seconds_sum 0.556\n\
+     latency_seconds_count 4\n\
+     # HELP queue_depth Jobs queued\n\
+     # TYPE queue_depth gauge\n\
+     queue_depth 4\n\
+     # HELP requests_total Requests served\n\
+     # TYPE requests_total counter\n\
+     requests_total{op=\"poll\"} 1\n\
+     requests_total{op=\"submit\"} 3\n"
+  in
+  Alcotest.(check string) "exposition" expected
+    (Metrics.to_prometheus (Metrics.snapshot (golden_registry ())))
+
+let test_label_escaping () =
+  let m = Metrics.create () in
+  Metrics.inc
+    (Metrics.counter m ~labels:[ ("path", "a\"b\\c\nd") ] "files_total");
+  let exposition = Metrics.to_prometheus (Metrics.snapshot m) in
+  Alcotest.(check bool) "escaped" true
+    (String.length exposition > 0
+    && exposition
+       = "# TYPE files_total counter\nfiles_total{path=\"a\\\"b\\\\c\\nd\"} 1\n")
+
+(* The wire format: registry -> JSON text -> snapshot must be the
+   identity, since the metrics op ships exactly this document. *)
+let test_json_round_trip () =
+  let snap = Metrics.snapshot (golden_registry ()) in
+  let text = Json.to_string (Metrics.to_json snap) in
+  match Result.bind (Json.of_string text) Metrics.snapshot_of_json with
+  | Ok snap' -> Alcotest.(check bool) "round trip" true (snap = snap')
+  | Error msg -> Alcotest.fail msg
+
+let test_json_rejects () =
+  let reject j =
+    match Metrics.snapshot_of_json j with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "wrong schema" true
+    (reject (Json.Obj [ ("schema", Json.String "riq-metrics/9") ]));
+  Alcotest.(check bool) "not an object" true (reject (Json.List []))
+
+(* ---- Quantile estimation ---- *)
+
+let test_histogram_quantile () =
+  let bounds = [| 1.; 2.; 4. |] in
+  let counts = [| 2; 2; 0; 0 |] in
+  Alcotest.(check (float 1e-9)) "median at bucket edge" 1.
+    (Metrics.histogram_quantile 0.5 ~bounds ~counts);
+  Alcotest.(check (float 1e-9)) "p75 interpolates" 1.5
+    (Metrics.histogram_quantile 0.75 ~bounds ~counts);
+  Alcotest.(check (float 1e-9)) "overflow clamps to last bound" 4.
+    (Metrics.histogram_quantile 1.0 ~bounds ~counts:[| 0; 0; 0; 5 |]);
+  Alcotest.(check (float 0.)) "empty histogram" 0.
+    (Metrics.histogram_quantile 0.5 ~bounds ~counts:[| 0; 0; 0; 0 |]);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Metrics.histogram_quantile: q outside [0, 1]") (fun () ->
+      ignore (Metrics.histogram_quantile 1.5 ~bounds ~counts))
+
+let suites =
+  [
+    ( "metrics",
+      [
+        Alcotest.test_case "registration" `Quick test_registration;
+        Alcotest.test_case "histogram bucket edges" `Quick test_bucket_edges;
+        Alcotest.test_case "log buckets" `Quick test_log_buckets;
+        Alcotest.test_case "merge across fork" `Quick test_fork_merge;
+        Alcotest.test_case "merge mismatch" `Quick test_merge_mismatch;
+        Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+        Alcotest.test_case "label escaping" `Quick test_label_escaping;
+        Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+        Alcotest.test_case "json rejects" `Quick test_json_rejects;
+        Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
+      ] );
+  ]

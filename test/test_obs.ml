@@ -77,8 +77,8 @@ let test_event_json_shape () =
   let instant_json =
     Json.to_string
       (Tracer.event_json
-         { Tracer.ts = 7; ph = Tracer.Instant; name = "revoke"; cat = "reuse"; tid = 1;
-           args = [ ("pc", Tracer.Int 4096) ] })
+         { Tracer.ts = 7; ph = Tracer.Instant; name = "revoke"; cat = "reuse"; pid = 1;
+           tid = 1; dur = 0; args = [ ("pc", Tracer.Int 4096) ] })
   in
   Alcotest.(check bool) "instant has scope" true (contains instant_json "\"s\":\"t\"");
   Alcotest.(check bool) "microsecond ts" true (contains instant_json "\"ts\":7");

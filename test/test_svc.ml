@@ -95,12 +95,27 @@ let test_frame_eof_is_closed () =
 let test_request_round_trip () =
   let reqs =
     [
-      Protocol.Hello { revision = Revision.stamp; format = Revision.format_version };
-      Protocol.Submit { klass = Protocol.Interactive; jobs = [ "00ab"; "ff01" ] };
-      Protocol.Submit { klass = Protocol.Batch; jobs = [] };
+      Protocol.Hello
+        { revision = Revision.stamp; format = Revision.format_version; t_client = None };
+      Protocol.Hello
+        {
+          revision = Revision.stamp;
+          format = Revision.format_version;
+          t_client = Some 1723000000.25;
+        };
+      Protocol.Submit
+        { klass = Protocol.Interactive; jobs = [ "00ab"; "ff01" ]; trace = None };
+      Protocol.Submit
+        {
+          klass = Protocol.Batch;
+          jobs = [];
+          trace = Some { Protocol.trace_id = "42-00abcd"; parent_span = 3 };
+        };
       Protocol.Status { ticket = 7 };
       Protocol.Result { ticket = 0 };
       Protocol.Stats;
+      Protocol.Metrics;
+      Protocol.Trace { since = 12 };
     ]
   in
   List.iter
@@ -443,6 +458,74 @@ let test_daemon_end_to_end () =
             (member_int [ "hits" ] stats);
           Alcotest.(check int) "daemon executed counter" (Array.length jobs)
             (member_int [ "executed" ] stats));
+      (* The metrics op: the fleet snapshot carries the store-hit counter
+         CI asserts on, and the duration histograms saw every executed
+         job (cold run) and every dispatch. *)
+      (match Client.server_metrics c2 with
+      | Error msg -> Alcotest.fail ("metrics op failed: " ^ msg)
+      | Ok snap ->
+          let sample name =
+            match List.find_opt (fun s -> s.Riq_obs.Metrics.s_name = name) snap with
+            | Some s -> s.Riq_obs.Metrics.s_value
+            | None -> Alcotest.fail ("metric missing: " ^ name)
+          in
+          (match sample "store_hits_total" with
+          | Riq_obs.Metrics.Counter_sample v ->
+              Alcotest.(check int) "store_hits_total = warm submits"
+                (Array.length jobs) v
+          | _ -> Alcotest.fail "store_hits_total not a counter");
+          (match sample "serve_executed_total" with
+          | Riq_obs.Metrics.Counter_sample v ->
+              Alcotest.(check int) "serve_executed_total = cold submits"
+                (Array.length jobs) v
+          | _ -> Alcotest.fail "serve_executed_total not a counter");
+          (match sample "serve_simulate_seconds" with
+          | Riq_obs.Metrics.Histogram_sample { counts; _ } ->
+              Alcotest.(check int) "simulate histogram counts executions"
+                (Array.length jobs)
+                (Array.fold_left ( + ) 0 counts)
+          | _ -> Alcotest.fail "serve_simulate_seconds not a histogram");
+          (match sample "worker_jobs_total" with
+          | Riq_obs.Metrics.Counter_sample v ->
+              Alcotest.(check int) "worker snapshots merged in"
+                (Array.length jobs) v
+          | _ -> Alcotest.fail "worker_jobs_total not a counter"));
+      (match Client.server_exposition c2 with
+      | Error msg -> Alcotest.fail ("exposition op failed: " ^ msg)
+      | Ok text ->
+          let contains needle =
+            let n = String.length needle and h = String.length text in
+            let rec go i =
+              i + n <= h && (String.sub text i n = needle || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "exposition has store_hits_total" true
+            (contains "store_hits_total 6");
+          Alcotest.(check bool) "exposition has histogram buckets" true
+            (contains "serve_simulate_seconds_bucket"));
+      (* The trace op: daemon + worker spans, already shifted onto this
+         client's clock, behind a stable cursor. *)
+      (match Client.server_trace ~since:0 c2 with
+      | Error msg -> Alcotest.fail ("trace op failed: " ^ msg)
+      | Ok (events, next) ->
+          Alcotest.(check bool) "trace has events" true (events <> []);
+          Alcotest.(check int) "cursor accounts for every event"
+            (List.length events) next;
+          let named name j = Json.member "name" j = Some (Json.String name) in
+          Alcotest.(check bool) "queue-wait spans present" true
+            (List.exists (named "queue-wait") events);
+          Alcotest.(check bool) "simulate spans present" true
+            (List.exists (named "simulate") events);
+          (* Worker spans carry the worker pid, distinct from the daemon's. *)
+          let pids =
+            List.sort_uniq compare
+              (List.filter_map
+                 (fun j -> Option.bind (Json.member "pid" j) Json.to_int)
+                 events)
+          in
+          Alcotest.(check bool) "two or more processes traced" true
+            (List.length pids >= 2));
       Client.close c2)
 
 let test_daemon_batch_class () =
