@@ -26,52 +26,64 @@ let create ~sets ~ways =
     n_update = 0;
   }
 
-let set_and_tag t ~pc =
+(* Table index of the matching way, or -1: the hot path stays free of
+   option and tuple allocations. *)
+let find_idx t ~pc =
   let idx = pc lsr 2 in
-  (idx land (t.sets - 1), idx / t.sets)
-
-let find t ~pc =
-  let set, tag = set_and_tag t ~pc in
+  let set = idx land (t.sets - 1) in
+  let tag = idx / t.sets in
   let base = set * t.ways in
-  let found = ref None in
-  for w = 0 to t.ways - 1 do
-    let e = t.table.(base + w) in
-    if e.valid && e.tag = tag then found := Some e
-  done;
-  !found
+  let rec go w last =
+    if w = t.ways then last
+    else
+      let e = t.table.(base + w) in
+      go (w + 1) (if e.valid && e.tag = tag then base + w else last)
+  in
+  go 0 (-1)
 
-let lookup t ~pc =
+let lookup_target t ~pc =
   t.n_lookup <- t.n_lookup + 1;
   t.clock <- t.clock + 1;
-  match find t ~pc with
-  | Some e ->
-      t.n_hit <- t.n_hit + 1;
-      e.lru <- t.clock;
-      Some e.target
-  | None -> None
+  let i = find_idx t ~pc in
+  if i >= 0 then begin
+    let e = t.table.(i) in
+    t.n_hit <- t.n_hit + 1;
+    e.lru <- t.clock;
+    e.target
+  end
+  else -1
+
+let lookup t ~pc =
+  let tgt = lookup_target t ~pc in
+  if tgt >= 0 then Some tgt else None
 
 let update t ~pc ~target =
   t.n_update <- t.n_update + 1;
   t.clock <- t.clock + 1;
-  match find t ~pc with
-  | Some e ->
-      e.target <- target;
-      e.lru <- t.clock
-  | None ->
-      let set, tag = set_and_tag t ~pc in
-      let base = set * t.ways in
-      let victim = ref t.table.(base) in
-      for w = 1 to t.ways - 1 do
-        let e = t.table.(base + w) in
-        let v = !victim in
-        if (not e.valid) && v.valid then victim := e
-        else if v.valid && e.valid && e.lru < v.lru then victim := e
-      done;
+  let i = find_idx t ~pc in
+  if i >= 0 then begin
+    let e = t.table.(i) in
+    e.target <- target;
+    e.lru <- t.clock
+  end
+  else begin
+    let idx = pc lsr 2 in
+    let set = idx land (t.sets - 1) in
+    let tag = idx / t.sets in
+    let base = set * t.ways in
+    let victim = ref t.table.(base) in
+    for w = 1 to t.ways - 1 do
+      let e = t.table.(base + w) in
       let v = !victim in
-      v.tag <- tag;
-      v.target <- target;
-      v.valid <- true;
-      v.lru <- t.clock
+      if (not e.valid) && v.valid then victim := e
+      else if v.valid && e.valid && e.lru < v.lru then victim := e
+    done;
+    let v = !victim in
+    v.tag <- tag;
+    v.target <- target;
+    v.valid <- true;
+    v.lru <- t.clock
+  end
 
 let lookups t = t.n_lookup
 let hits t = t.n_hit

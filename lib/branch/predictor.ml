@@ -86,6 +86,41 @@ let lookup t ~pc ~insn =
       { taken = true; target = btb; used_ras = false; btb_hit = btb <> None }
   | K_int | K_fp | K_load | K_store | K_nop | K_halt -> fall_through
 
+(* Decoded variants: same table mutations in the same order as
+   [lookup]/[resolve], but driven by a pre-extracted kind and static
+   target (-1 = statically unknown) and returning the predicted next pc
+   directly (-1 = unknown, fetch must stall) — no option or record
+   allocation on the fetch path. *)
+
+let lookup_decoded t ~pc ~kind ~static_target =
+  match kind with
+  | Insn.K_branch ->
+      let taken = predict_dir t ~pc in
+      ignore (Btb.lookup_target t.btb ~pc);
+      if taken then static_target else pc + 4
+  | K_jump ->
+      ignore (Btb.lookup_target t.btb ~pc);
+      static_target
+  | K_call ->
+      Ras.push t.ras (pc + 4);
+      let btb = Btb.lookup_target t.btb ~pc in
+      if static_target >= 0 then static_target else btb
+  | K_return -> (
+      match Ras.pop t.ras with
+      | Some target -> target
+      | None -> Btb.lookup_target t.btb ~pc)
+  | K_ijump -> Btb.lookup_target t.btb ~pc
+  | K_int | K_fp | K_load | K_store | K_nop | K_halt -> pc + 4
+
+let resolve_decoded t ~pc ~kind ~taken ~target =
+  match kind with
+  | Insn.K_branch ->
+      update_dir t ~pc ~taken;
+      if taken then Btb.update t.btb ~pc ~target
+  | K_jump | K_call | K_ijump -> Btb.update t.btb ~pc ~target
+  | K_return -> ()
+  | K_int | K_fp | K_load | K_store | K_nop | K_halt -> ()
+
 let resolve t ~pc ~insn ~taken ~target =
   match Insn.kind insn with
   | Insn.K_branch ->

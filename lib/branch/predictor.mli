@@ -44,6 +44,17 @@ val lookup : t -> pc:int -> insn:Insn.t -> decision
 val resolve : t -> pc:int -> insn:Insn.t -> taken:bool -> target:int -> unit
 (** Train the unit with the architectural outcome. *)
 
+val lookup_decoded : t -> pc:int -> kind:Insn.kind -> static_target:int -> int
+(** Allocation-free {!lookup} for the packed fast path: the caller
+    supplies the pre-decoded kind and statically-known taken target
+    ([-1] = unknown), and gets the predicted next pc back directly
+    ([-1] = no target, fetch must stall). Performs exactly the same table
+    lookups and RAS operations (in the same order) as {!lookup}, so
+    every access counter advances identically. *)
+
+val resolve_decoded : t -> pc:int -> kind:Insn.kind -> taken:bool -> target:int -> unit
+(** {!resolve} driven by a pre-decoded kind. *)
+
 type checkpoint = int
 (** Concrete so pipeline structures can store checkpoints in plain integer
     fields; treat the value as opaque. *)

@@ -1,0 +1,218 @@
+open Riq_util
+open Riq_isa
+open Riq_asm
+open Riq_interp
+
+(* Struct-of-arrays side tables for one program, built once at
+   [Processor.create]: every per-instruction property the cycle loop
+   needs, pre-derived from the packed words so the hot path is pure
+   [int array]/flag-array indexing — no constructor matches, no option
+   or tuple allocation, no per-cycle re-derivation.
+
+   Indexing is by word index [wi = (pc - text_base) / 4]; [valid] tells
+   whether a pc maps into the text segment at all (the flat-array
+   replacement for [Program.insn_at]).
+
+   Immediates are pre-transformed to what the execute stage consumes:
+   ALU immediates go through [Semantics.alui_imm] (sign/zero extension
+   per opcode), [Lui]'s shift is pre-applied, branch and direct-jump
+   targets are absolute byte addresses in [target]. *)
+
+(* Load extension codes for [ext]. *)
+let ext_word = 0
+let ext_s8 = 1
+let ext_u8 = 2
+let ext_s16 = 3
+let ext_u16 = 4
+
+type t = {
+  n : int;
+  text_base : int;
+  insns : Insn.t array;  (** original constructors; rare seams only *)
+  words : Packed.word array;
+  exe : int array;  (** [Insn.code] per word *)
+  kind : Insn.kind array;
+  fu : Insn.fu_class array;
+  lat : int array;
+  pipe : bool array;
+  is_ctrl : bool array;
+  is_mem : bool array;
+  is_store : bool array;
+  is_fp_mem : bool array;
+  width : int array;  (** access bytes, 0 for non-memory *)
+  amask : int array;  (** width - 1, for alignment checks *)
+  ext : int array;  (** load extension code *)
+  r1 : int array;  (** first operand register, -1 = none (r0 filtered) *)
+  r2 : int array;  (** second operand register (store data), -1 = none *)
+  dst : int array;  (** destination register, -1 = none *)
+  imm : int array;  (** pre-transformed immediate / shift amount / offset *)
+  target : int array;  (** absolute static taken target, -1 = unknown *)
+}
+
+let wi_of_pc t pc = (pc - t.text_base) asr 2
+let pc_of_wi t wi = t.text_base + (wi lsl 2)
+let valid t pc = pc land 3 = 0 && pc >= t.text_base && wi_of_pc t pc < t.n
+
+(* Operand registers exactly as the seed core's [operand_regs]: integer
+   registers are filtered through "r0 is never a dependence", FP
+   registers are not; for stores r1 is the base and r2 the data. *)
+let operand_regs insn =
+  let z r = if r = Reg.zero then -1 else r in
+  match insn with
+  | Insn.Alu (_, _, rs, rt) | Mul (_, rs, rt) | Div (_, rs, rt) -> (z rs, z rt)
+  | Alui (_, _, rs, _) -> (z rs, -1)
+  | Shift (_, _, rt, _) -> (z rt, -1)
+  | Shiftv (_, _, rt, rs) -> (z rt, z rs)
+  | Lui _ -> (-1, -1)
+  | Fpu (op, _, fs, ft) -> if Insn.fpu_unary op then (fs, -1) else (fs, ft)
+  | Fcmp (_, _, fs, ft) -> (fs, ft)
+  | Cvtsw (_, rs) -> (z rs, -1)
+  | Cvtws (_, fs) -> (fs, -1)
+  | Lw (_, base, _) | Lb (_, base, _) | Lbu (_, base, _) | Lh (_, base, _)
+  | Lhu (_, base, _) | Lwf (_, base, _) ->
+      (z base, -1)
+  | Sw (rt, base, _) | Sb (rt, base, _) | Sh (rt, base, _) -> (z base, z rt)
+  | Swf (ft, base, _) -> (z base, ft)
+  | Br (cond, rs, rt, _) -> (
+      match cond with
+      | Beq | Bne -> (z rs, z rt)
+      | Blez | Bgtz | Bltz | Bgez -> (z rs, -1))
+  | Jr rs | Jalr (_, rs) -> (z rs, -1)
+  | J _ | Jal _ | Nop | Halt -> (-1, -1)
+
+let exec_imm insn =
+  match insn with
+  | Insn.Alui (op, _, _, imm) -> Semantics.alui_imm op imm
+  | Shift (_, _, _, sh) -> sh
+  | Lui (_, imm) -> Bits.of_i32 (imm lsl 16)
+  | Lw (_, _, off) | Lb (_, _, off) | Lbu (_, _, off) | Lh (_, _, off)
+  | Lhu (_, _, off) | Lwf (_, _, off) | Sw (_, _, off) | Sb (_, _, off)
+  | Sh (_, _, off) | Swf (_, _, off) ->
+      off
+  | _ -> 0
+
+let ext_of insn =
+  match insn with
+  | Insn.Lb _ -> ext_s8
+  | Lbu _ -> ext_u8
+  | Lh _ -> ext_s16
+  | Lhu _ -> ext_u16
+  | _ -> ext_word
+
+let of_program (p : Program.t) =
+  let code = p.Program.code in
+  let n = Array.length code in
+  let text_base = p.Program.text_base in
+  let t =
+    {
+      n;
+      text_base;
+      insns = Array.copy code;
+      words = Packed.of_code_array code;
+      exe = Array.make n 0;
+      kind = Array.make n Insn.K_nop;
+      fu = Array.make n Insn.FU_none;
+      lat = Array.make n 1;
+      pipe = Array.make n true;
+      is_ctrl = Array.make n false;
+      is_mem = Array.make n false;
+      is_store = Array.make n false;
+      is_fp_mem = Array.make n false;
+      width = Array.make n 0;
+      amask = Array.make n 0;
+      ext = Array.make n 0;
+      r1 = Array.make n (-1);
+      r2 = Array.make n (-1);
+      dst = Array.make n (-1);
+      imm = Array.make n 0;
+      target = Array.make n (-1);
+    }
+  in
+  for wi = 0 to n - 1 do
+    let insn = code.(wi) in
+    let pc = pc_of_wi t wi in
+    let c = Insn.code insn in
+    t.exe.(wi) <- c;
+    t.kind.(wi) <- Insn.kind_table.(c);
+    t.fu.(wi) <- Insn.fu_table.(c);
+    t.lat.(wi) <- Insn.latency_table.(c);
+    t.pipe.(wi) <- Insn.pipelined_table.(c);
+    (match t.kind.(wi) with
+    | Insn.K_branch | K_jump | K_call | K_return | K_ijump -> t.is_ctrl.(wi) <- true
+    | K_int | K_fp | K_load | K_store | K_nop | K_halt -> ());
+    (match t.kind.(wi) with
+    | Insn.K_load | K_store ->
+        t.is_mem.(wi) <- true;
+        t.is_store.(wi) <- t.kind.(wi) = Insn.K_store;
+        t.is_fp_mem.(wi) <- (match insn with Insn.Lwf _ | Swf _ -> true | _ -> false);
+        t.width.(wi) <- Insn.access_bytes_table.(c);
+        t.amask.(wi) <- t.width.(wi) - 1;
+        t.ext.(wi) <- ext_of insn
+    | _ -> ());
+    let r1, r2 = operand_regs insn in
+    t.r1.(wi) <- r1;
+    t.r2.(wi) <- r2;
+    t.dst.(wi) <- (match Insn.dest insn with Some d -> d | None -> -1);
+    t.imm.(wi) <- exec_imm insn;
+    t.target.(wi) <-
+      (match Insn.ctrl_target insn ~pc with Some tgt -> tgt | None -> -1)
+  done;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch descriptors: the decode-cache payload.                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything rename/dispatch needs about one instruction, packed into a
+   single int so a decode-cache hit replaces ~10 side-table loads with
+   one load and a few shifts:
+
+     bits  0..6   r1 + 1
+     bits  7..13  r2 + 1
+     bits 14..20  dst + 1
+     bits 21..25  latency
+     bits 26..28  fu class
+     bit  29     pipelined
+     bit  30     is_mem
+     bit  31     is_store
+     bit  32     is_fp_mem
+     bit  33     is_ctrl
+     bits 34..36  load extension code
+     bits 37..39  access width *)
+
+let fu_to_int = function
+  | Insn.FU_none -> 0
+  | FU_ialu -> 1
+  | FU_imult -> 2
+  | FU_fpalu -> 3
+  | FU_fpmult -> 4
+  | FU_mem -> 5
+
+let fu_of_int = [| Insn.FU_none; FU_ialu; FU_imult; FU_fpalu; FU_fpmult; FU_mem |]
+
+let descriptor t wi =
+  (t.r1.(wi) + 1)
+  lor ((t.r2.(wi) + 1) lsl 7)
+  lor ((t.dst.(wi) + 1) lsl 14)
+  lor (t.lat.(wi) lsl 21)
+  lor (fu_to_int t.fu.(wi) lsl 26)
+  lor ((if t.pipe.(wi) then 1 else 0) lsl 29)
+  lor ((if t.is_mem.(wi) then 1 else 0) lsl 30)
+  lor ((if t.is_store.(wi) then 1 else 0) lsl 31)
+  lor ((if t.is_fp_mem.(wi) then 1 else 0) lsl 32)
+  lor ((if t.is_ctrl.(wi) then 1 else 0) lsl 33)
+  lor (t.ext.(wi) lsl 34)
+  lor (t.width.(wi) lsl 37)
+
+let d_r1 d = (d land 0x7F) - 1
+let d_r2 d = ((d lsr 7) land 0x7F) - 1
+let d_dst d = ((d lsr 14) land 0x7F) - 1
+let d_lat d = (d lsr 21) land 0x1F
+let d_fu d = fu_of_int.((d lsr 26) land 0x7)
+let d_pipe d = (d lsr 29) land 1 <> 0
+let d_is_mem d = (d lsr 30) land 1 <> 0
+let d_is_store d = (d lsr 31) land 1 <> 0
+let d_is_fp_mem d = (d lsr 32) land 1 <> 0
+let d_is_ctrl d = (d lsr 33) land 1 <> 0
+let d_ext d = (d lsr 34) land 0x7
+let d_width d = (d lsr 37) land 0x7

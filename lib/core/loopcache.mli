@@ -34,6 +34,12 @@ val on_fetch : t -> pc:int -> insn:Insn.t -> pred_npc:int -> unit
 (** Advance the controller with one fetched instruction and the next-PC
     prediction made for it. *)
 
+val on_fetch_decoded :
+  t -> pc:int -> kind:Insn.kind -> static_target:int -> pred_npc:int -> unit
+(** {!on_fetch} for the packed fast path: kind and statically-known taken
+    target ([-1] = none) are pre-decoded side-table loads. Identical
+    state-machine behavior and counters. *)
+
 val reset : t -> unit
 (** Pipeline redirect (misprediction recovery): back to Idle. *)
 

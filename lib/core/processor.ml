@@ -8,28 +8,72 @@ open Riq_ooo
 open Riq_interp
 open Riq_obs
 
-(* Instruction fetched but not yet dispatched. *)
+(* The packed fast-path execution core. The pipeline structure is the
+   seed core's (see [Slowpath], the locked reference copy the
+   differential suite compares against), but every per-instruction
+   property is pre-decoded once at [create] into the flat side tables of
+   [Decoded], and the cycle loop's dynamic structures are preallocated
+   flat arrays:
+
+   - fetch queue and decode latch are rings of mutable records instead
+     of [Queue.t]s (no cell allocation per instruction);
+   - the writeback event set is a ring-indexed event wheel instead of a
+     per-cycle [Hashtbl] of lists (no bucket/cons allocation, no hash);
+   - load replays live in a swap-buffered FIFO of int arrays;
+   - execute is a single dispatch on the dense opcode, reading
+     pre-transformed immediates and absolute targets from the tables.
+
+   Everything observable — architectural state, statistics counters, and
+   the exact per-component order of power charges (floats accumulate, so
+   charge order matters bit-for-bit) — is kept identical to the seed
+   core; the differential suite asserts this on every corpus program. *)
+
+(* Instruction fetched but not yet dispatched: one preallocated record
+   per ring slot, fields overwritten in place. *)
 type fetched = {
-  f_pc : int;
-  f_insn : Insn.t;
-  f_pred_npc : int; (* -1: unknown target, fetch stalls until resolution *)
-  f_ras_ck : Predictor.checkpoint;
+  mutable f_pc : int;
+  mutable f_wi : int; (* word index into the side tables *)
+  mutable f_pred_npc : int; (* -1: unknown target, fetch stalls until resolution *)
+  mutable f_ras_ck : Predictor.checkpoint;
   mutable f_buffered : bool; (* classification decided at decode *)
 }
 
-type ev_kind = Complete | Agen
+type ring = { slots : fetched array; mutable head : int; mutable len : int }
 
-type ev = {
-  ev_seq : int;
-  ev_rob : int;
-  ev_kind : ev_kind;
-  ev_addr : int; (* memory ops: effective address *)
-  ev_di : int; (* stores: integer data *)
-  ev_df : float; (* stores: FP data *)
-  ev_dtag : int; (* stores: ROB index the data waits on, or -1 *)
-}
+let ring_create cap =
+  {
+    slots =
+      Array.init cap (fun _ ->
+          { f_pc = 0; f_wi = -1; f_pred_npc = 0; f_ras_ck = 0; f_buffered = false });
+    head = 0;
+    len = 0;
+  }
 
-type replay = { rp_seq : int; rp_rob : int; rp_addr : int }
+let ring_cap r = Array.length r.slots
+let ring_clear r = r.len <- 0
+
+let ring_push r =
+  let i = r.head + r.len in
+  let i = if i >= Array.length r.slots then i - Array.length r.slots else i in
+  r.len <- r.len + 1;
+  r.slots.(i)
+
+let ring_peek r = r.slots.(r.head)
+
+let ring_pop r =
+  r.head <- r.head + 1;
+  if r.head = Array.length r.slots then r.head <- 0;
+  r.len <- r.len - 1
+
+(* Event wheel: writeback events indexed by [cycle land wheel_mask].
+   The maximum schedule distance is bounded by the worst-case memory
+   latency chain (TLB walk + L2 + DRAM bursts, well under 200 cycles),
+   so a 256-slot wheel always has the target slot drained before any
+   event can wrap onto it; [schedule] enforces the horizon. *)
+let wheel_size = 256
+let wheel_mask = wheel_size - 1
+let ev_complete = 0
+let ev_agen = 1
 
 (* Why a buffering attempt was revoked, one constructor per revoke site.
    The static side (Riq_analysis.Bufferability) predicts these; keeping
@@ -67,9 +111,15 @@ type loop_decision = {
   mutable ld_reuse_committed : int; (* committed instructions supplied by reuse *)
 }
 
+(* Ways of the steady-state decode cache: dispatch descriptors for the
+   loop being buffered, installed when buffering starts and keyed by the
+   loop tail — the same key the reuse IQ and the NBLT use. *)
+let dc_ways = 16
+
 type t = {
   cfg : Config.t;
   program : Program.t;
+  dec : Decoded.t; (* pre-decoded side tables, built once *)
   memory : Store.t;
   hier : Hierarchy.t;
   pred : Predictor.t;
@@ -86,12 +136,41 @@ type t = {
   map : int array; (* logical register -> ROB index, -1 = architectural *)
   mutable fetch_pc : int; (* -1: blocked until redirect *)
   mutable fetch_stall_until : int;
-  fetch_q : fetched Queue.t;
-  decode_latch : fetched Queue.t;
+  fetch_q : ring;
+  decode_latch : ring;
   mutable now : int;
   mutable seq_ctr : int;
-  events : (int, ev list ref) Hashtbl.t;
-  mutable replays : replay list;
+  (* Event wheel, struct-of-arrays per slot; [ev_n.(i)] live events. *)
+  ev_n : int array;
+  ev_seq : int array array;
+  ev_rob : int array array;
+  ev_kind : int array array;
+  ev_addr : int array array;
+  ev_di : int array array;
+  ev_dtag : int array array;
+  ev_df : float array array;
+  mutable ev_ord : int array; (* drain-order scratch *)
+  (* Replay FIFO: arrival-ordered parallel arrays, swap-buffered. *)
+  mutable rp_n : int;
+  mutable rp_seq : int array;
+  mutable rp_rob : int array;
+  mutable rp_addr : int array;
+  mutable rp2_seq : int array;
+  mutable rp2_rob : int array;
+  mutable rp2_addr : int array;
+  (* Decode cache: per-way loop window [dc_head..dc_tail] (word indices)
+     and the dispatch descriptors covering it. *)
+  dc_head : int array;
+  dc_tail : int array;
+  dc_desc : int array array;
+  mutable dc_hits : int;
+  mutable dc_installs : int;
+  (* Issue-select scratch, [issue_width] wide, reset every cycle. *)
+  issue_cand : Iq.slot array;
+  issue_cand_seq : int array;
+  (* Reuse-attribution memo: wi -> smallest logged window containing it
+     (None = outside every window); invalidated when a window is logged. *)
+  attr_memo : loop_decision option option array;
   mutable halted : bool;
   mutable halt_pc : int;
   mutable committed : int;
@@ -142,14 +221,16 @@ let create ?tracer ?sampler cfg program =
   Program.load program ~write_word:(Store.write_word memory);
   let arch_i = Array.make 32 0 in
   arch_i.(Reg.sp) <- Machine.default_sp;
+  let iq = Iq.create cfg.Config.iq_entries in
   {
     cfg;
     program;
+    dec = Decoded.of_program program;
     memory;
     hier = Hierarchy.create cfg.Config.mem;
     pred = Predictor.create cfg.Config.bpred;
     rob = Rob.create cfg.Config.rob_entries;
-    iq = Iq.create cfg.Config.iq_entries;
+    iq;
     lsq = Lsq.create cfg.Config.lsq_entries;
     fu =
       Fu.create ~n_ialu:cfg.Config.n_ialu ~n_imult:cfg.Config.n_imult
@@ -167,12 +248,34 @@ let create ?tracer ?sampler cfg program =
     map = Array.make Reg.count (-1);
     fetch_pc = program.Program.entry;
     fetch_stall_until = 0;
-    fetch_q = Queue.create ();
-    decode_latch = Queue.create ();
+    fetch_q = ring_create cfg.Config.fetch_queue;
+    decode_latch = ring_create cfg.Config.decode_width;
     now = 0;
     seq_ctr = 0;
-    events = Hashtbl.create 64;
-    replays = [];
+    ev_n = Array.make wheel_size 0;
+    ev_seq = Array.init wheel_size (fun _ -> Array.make 8 0);
+    ev_rob = Array.init wheel_size (fun _ -> Array.make 8 0);
+    ev_kind = Array.init wheel_size (fun _ -> Array.make 8 0);
+    ev_addr = Array.init wheel_size (fun _ -> Array.make 8 0);
+    ev_di = Array.init wheel_size (fun _ -> Array.make 8 0);
+    ev_dtag = Array.init wheel_size (fun _ -> Array.make 8 0);
+    ev_df = Array.init wheel_size (fun _ -> Array.make 8 0.);
+    ev_ord = Array.make 16 0;
+    rp_n = 0;
+    rp_seq = Array.make 16 0;
+    rp_rob = Array.make 16 0;
+    rp_addr = Array.make 16 0;
+    rp2_seq = Array.make 16 0;
+    rp2_rob = Array.make 16 0;
+    rp2_addr = Array.make 16 0;
+    dc_head = Array.make dc_ways (-1);
+    dc_tail = Array.make dc_ways (-1);
+    dc_desc = Array.init dc_ways (fun _ -> [||]);
+    dc_hits = 0;
+    dc_installs = 0;
+    issue_cand = Array.make cfg.Config.issue_width (Iq.slots iq).(0);
+    issue_cand_seq = Array.make cfg.Config.issue_width max_int;
+    attr_memo = Array.make (max 1 (Array.length program.Program.code)) None;
     halted = false;
     halt_pc = 0;
     committed = 0;
@@ -217,26 +320,72 @@ let loop_record t ~head ~tail =
         }
       in
       Hashtbl.replace t.loop_log tail r;
+      Array.fill t.attr_memo 0 (Array.length t.attr_memo) None;
       r
 
 let charge t c n = Account.add t.acct c n
 let charge1 t c = Account.add t.acct c 1.
 
-let schedule t ~cycle ev =
-  match Hashtbl.find_opt t.events cycle with
-  | Some l -> l := ev :: !l
-  | None -> Hashtbl.replace t.events cycle (ref [ ev ])
+let schedule t ~cycle ~seq ~rob ~kind ~addr ~di ~df ~dtag =
+  if cycle <= t.now || cycle - t.now >= wheel_size then
+    failwith "Processor.schedule: event outside the wheel horizon";
+  let sl = cycle land wheel_mask in
+  let n = t.ev_n.(sl) in
+  if n = Array.length t.ev_seq.(sl) then begin
+    let grow a =
+      let b = Array.make (2 * n) 0 in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    t.ev_seq.(sl) <- grow t.ev_seq.(sl);
+    t.ev_rob.(sl) <- grow t.ev_rob.(sl);
+    t.ev_kind.(sl) <- grow t.ev_kind.(sl);
+    t.ev_addr.(sl) <- grow t.ev_addr.(sl);
+    t.ev_di.(sl) <- grow t.ev_di.(sl);
+    t.ev_dtag.(sl) <- grow t.ev_dtag.(sl);
+    let bf = Array.make (2 * n) 0. in
+    Array.blit t.ev_df.(sl) 0 bf 0 n;
+    t.ev_df.(sl) <- bf
+  end;
+  t.ev_seq.(sl).(n) <- seq;
+  t.ev_rob.(sl).(n) <- rob;
+  t.ev_kind.(sl).(n) <- kind;
+  t.ev_addr.(sl).(n) <- addr;
+  t.ev_di.(sl).(n) <- di;
+  t.ev_dtag.(sl).(n) <- dtag;
+  t.ev_df.(sl).(n) <- df;
+  t.ev_n.(sl) <- n + 1
+
+let schedule_complete t ~cycle ~seq ~rob =
+  schedule t ~cycle ~seq ~rob ~kind:ev_complete ~addr:0 ~di:0 ~df:0. ~dtag:(-1)
 
 let next_seq t =
   t.seq_ctr <- t.seq_ctr + 1;
   t.seq_ctr
+
+let push_replay t ~seq ~rob ~addr =
+  let n = t.rp_n in
+  if n = Array.length t.rp_seq then begin
+    let grow a =
+      let b = Array.make (2 * n) 0 in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    t.rp_seq <- grow t.rp_seq;
+    t.rp_rob <- grow t.rp_rob;
+    t.rp_addr <- grow t.rp_addr
+  end;
+  t.rp_seq.(n) <- seq;
+  t.rp_rob.(n) <- rob;
+  t.rp_addr.(n) <- addr;
+  t.rp_n <- n + 1
 
 (* Memory hierarchy wrappers that charge the power account, including the
    L2 accesses triggered by L1 misses. *)
 let fetch_latency t addr =
   let l1_before = Cache.accesses (Hierarchy.l1i t.hier) in
   let l2_before = Cache.accesses (Hierarchy.l2 t.hier) in
-  let lat = Hierarchy.fetch t.hier ~now:t.now ~addr () in
+  let lat = Hierarchy.fetch_at t.hier ~now:t.now ~addr in
   (* With a filter cache, an L0 hit never reaches the L1I; charging by
      access deltas attributes the energy to the structure actually used. *)
   (match Hierarchy.l0i t.hier with
@@ -251,97 +400,161 @@ let fetch_latency t addr =
 
 let data_latency t ~addr ~write =
   let l2_before = Cache.accesses (Hierarchy.l2 t.hier) in
-  let lat = Hierarchy.data t.hier ~now:t.now ~addr ~write () in
+  let lat = Hierarchy.data_at t.hier ~now:t.now ~addr ~write in
   charge1 t Component.Dcache;
   charge1 t Component.Dtlb;
   let dl2 = Cache.accesses (Hierarchy.l2 t.hier) - l2_before in
   if dl2 > 0 then charge t Component.L2 (float_of_int dl2);
   lat
 
-(* The two register-source operands of an instruction, as logical register
-   numbers (-1 = none). For stores src1 is the base and src2 the data. *)
-let operand_regs insn =
-  let z r = if r = Reg.zero then -1 else r in
-  match insn with
-  | Insn.Alu (_, _, rs, rt) | Mul (_, rs, rt) | Div (_, rs, rt) -> (z rs, z rt)
-  | Alui (_, _, rs, _) -> (z rs, -1)
-  | Shift (_, _, rt, _) -> (z rt, -1)
-  | Shiftv (_, _, rt, rs) -> (z rt, z rs)
-  | Lui _ -> (-1, -1)
-  | Fpu (op, _, fs, ft) -> if Insn.fpu_unary op then (fs, -1) else (fs, ft)
-  | Fcmp (_, _, fs, ft) -> (fs, ft)
-  | Cvtsw (_, rs) -> (z rs, -1)
-  | Cvtws (_, fs) -> (fs, -1)
-  | Lw (_, base, _) | Lb (_, base, _) | Lbu (_, base, _) | Lh (_, base, _)
-  | Lhu (_, base, _) | Lwf (_, base, _) ->
-      (z base, -1)
-  | Sw (rt, base, _) | Sb (rt, base, _) | Sh (rt, base, _) -> (z base, z rt)
-  | Swf (ft, base, _) -> (z base, ft)
-  | Br (cond, rs, rt, _) -> (
-      match cond with
-      | Beq | Bne -> (z rs, z rt)
-      | Blez | Bgtz | Bltz | Bgez -> (z rs, -1))
-  | Jr rs | Jalr (_, rs) -> (z rs, -1)
-  | J _ | Jal _ | Nop | Halt -> (-1, -1)
-
-(* Resolve one source operand through the map table: (tag, value_i,
-   value_f); tag = -1 when the value is available now. *)
-let read_operand t r =
-  if r < 0 then (-1, 0, 0.)
+(* Resolve one source operand through the map table directly into the
+   slot's src fields; registers are plain ints ([0..31] integer file,
+   [32..63] FP file) so no tuple or option is allocated. *)
+let read_src1 t (s : Iq.slot) r =
+  if r < 0 then begin
+    s.Iq.src1_tag <- -1;
+    s.Iq.src1_i <- 0;
+    s.Iq.src1_f <- 0.
+  end
   else begin
     charge1 t Component.Regfile;
-    match t.map.(r) with
-    | -1 ->
-        if Reg.is_fp r then (-1, 0, t.arch_f.(Reg.index r))
-        else (-1, t.arch_i.(Reg.index r), 0.)
-    | idx ->
-        let e = Rob.entry t.rob idx in
-        if e.Rob.completed then (-1, e.Rob.value_i, e.Rob.value_f) else (idx, 0, 0.)
+    let idx = t.map.(r) in
+    if idx = -1 then
+      if r >= 32 then begin
+        s.Iq.src1_tag <- -1;
+        s.Iq.src1_i <- 0;
+        s.Iq.src1_f <- t.arch_f.(r - 32)
+      end
+      else begin
+        s.Iq.src1_tag <- -1;
+        s.Iq.src1_i <- t.arch_i.(r);
+        s.Iq.src1_f <- 0.
+      end
+    else begin
+      let e = Rob.entry t.rob idx in
+      if e.Rob.completed then begin
+        s.Iq.src1_tag <- -1;
+        s.Iq.src1_i <- e.Rob.value_i;
+        s.Iq.src1_f <- e.Rob.value_f
+      end
+      else begin
+        s.Iq.src1_tag <- idx;
+        s.Iq.src1_i <- 0;
+        s.Iq.src1_f <- 0.
+      end
+    end
   end
 
-(* Execute an instruction given its operand values; returns
-   (value_i, value_f, taken, next_pc). Memory operations are handled
-   separately (address generation + cache access). *)
-let compute insn ~pc ~s1i ~s1f ~s2i ~s2f =
+let read_src2 t (s : Iq.slot) r =
+  if r < 0 then begin
+    s.Iq.src2_tag <- -1;
+    s.Iq.src2_i <- 0;
+    s.Iq.src2_f <- 0.
+  end
+  else begin
+    charge1 t Component.Regfile;
+    let idx = t.map.(r) in
+    if idx = -1 then
+      if r >= 32 then begin
+        s.Iq.src2_tag <- -1;
+        s.Iq.src2_i <- 0;
+        s.Iq.src2_f <- t.arch_f.(r - 32)
+      end
+      else begin
+        s.Iq.src2_tag <- -1;
+        s.Iq.src2_i <- t.arch_i.(r);
+        s.Iq.src2_f <- 0.
+      end
+    else begin
+      let e = Rob.entry t.rob idx in
+      if e.Rob.completed then begin
+        s.Iq.src2_tag <- -1;
+        s.Iq.src2_i <- e.Rob.value_i;
+        s.Iq.src2_f <- e.Rob.value_f
+      end
+      else begin
+        s.Iq.src2_tag <- idx;
+        s.Iq.src2_i <- 0;
+        s.Iq.src2_f <- 0.
+      end
+    end
+  end
+
+(* Operation groups of the dense opcode space, for the execute dispatch. *)
+let alu_ops = [| Insn.Add; Sub; And; Or; Xor; Nor; Slt; Sltu |] (* 0..7 *)
+let alui_ops = [| Insn.Add; And; Or; Xor; Slt; Sltu |] (* 8..13 *)
+let shift_ops = [| Insn.Sll; Srl; Sra |] (* 14..16 imm, 17..19 variable *)
+let fpu_ops = [| Insn.Fadd; Fsub; Fmul; Fdiv; Fsqrt; Fneg; Fabs; Fmov |] (* 23..30 *)
+let fcmp_ops = [| Insn.Feq; Flt; Fle |] (* 31..33 *)
+let br_conds = [| Insn.Beq; Bne; Blez; Bgtz; Bltz; Bgez |] (* 46..51 *)
+
+(* Execute a non-memory instruction straight into its ROB entry: one
+   dispatch on the dense opcode, immediates and branch/jump targets read
+   pre-transformed from the side tables. Memory operations never reach
+   this (they go through address generation); 57/58 (nop/halt) keep the
+   defaults. *)
+let execute_into t (e : Rob.entry) ~wi ~pc ~s1i ~s1f ~s2i ~s2f =
+  let d = t.dec in
   let next = pc + 4 in
-  match insn with
-  | Insn.Alu (op, _, _, _) -> (Semantics.alu op s1i s2i, 0., false, next)
-  | Alui (op, _, _, imm) -> (Semantics.alu op s1i (Semantics.alui_imm op imm), 0., false, next)
-  | Shift (op, _, _, sh) -> (Semantics.shift op s1i sh, 0., false, next)
-  | Shiftv (op, _, _, _) -> (Semantics.shift op s1i s2i, 0., false, next)
-  | Lui (_, imm) -> (Bits.of_i32 (imm lsl 16), 0., false, next)
-  | Mul (_, _, _) -> (Semantics.mul s1i s2i, 0., false, next)
-  | Div (_, _, _) -> (Semantics.div s1i s2i, 0., false, next)
-  | Fpu (op, _, _, _) -> (0, Semantics.fpu op s1f s2f, false, next)
-  | Fcmp (op, _, _, _) -> (Semantics.fcmp op s1f s2f, 0., false, next)
-  | Cvtsw (_, _) -> (0, Semantics.cvt_s_w s1i, false, next)
-  | Cvtws (_, _) -> (Semantics.cvt_w_s s1f, 0., false, next)
-  | Br (cond, _, _, off) ->
-      let taken = Semantics.branch_taken cond s1i s2i in
-      (0, 0., taken, if taken then pc + 4 + (4 * off) else next)
-  | J tgt -> (0, 0., true, 4 * tgt)
-  | Jal tgt -> (next, 0., true, 4 * tgt)
-  | Jr _ -> (0, 0., true, s1i)
-  | Jalr (_, _) -> (next, 0., true, s1i)
-  | Lw _ | Lb _ | Lbu _ | Lh _ | Lhu _ | Sw _ | Sb _ | Sh _ | Lwf _ | Swf _ | Nop | Halt ->
-      (0, 0., false, next)
+  e.Rob.value_i <- 0;
+  e.Rob.value_f <- 0.;
+  e.Rob.taken <- false;
+  e.Rob.actual_npc <- next;
+  let c = d.Decoded.exe.(wi) in
+  if c < 8 then e.Rob.value_i <- Semantics.alu alu_ops.(c) s1i s2i
+  else if c < 14 then
+    e.Rob.value_i <- Semantics.alu alui_ops.(c - 8) s1i d.Decoded.imm.(wi)
+  else if c < 17 then
+    e.Rob.value_i <- Semantics.shift shift_ops.(c - 14) s1i d.Decoded.imm.(wi)
+  else if c < 20 then
+    e.Rob.value_i <- Semantics.shift shift_ops.(c - 17) s1i s2i
+  else if c = 20 then e.Rob.value_i <- d.Decoded.imm.(wi) (* lui, pre-shifted *)
+  else if c = 21 then e.Rob.value_i <- Semantics.mul s1i s2i
+  else if c = 22 then e.Rob.value_i <- Semantics.div s1i s2i
+  else if c < 31 then e.Rob.value_f <- Semantics.fpu fpu_ops.(c - 23) s1f s2f
+  else if c < 34 then e.Rob.value_i <- Semantics.fcmp fcmp_ops.(c - 31) s1f s2f
+  else if c = 34 then e.Rob.value_f <- Semantics.cvt_s_w s1i
+  else if c = 35 then e.Rob.value_i <- Semantics.cvt_w_s s1f
+  else if c >= 46 then
+    if c <= 51 then begin
+      let taken = Semantics.branch_taken br_conds.(c - 46) s1i s2i in
+      e.Rob.taken <- taken;
+      if taken then e.Rob.actual_npc <- d.Decoded.target.(wi)
+    end
+    else if c = 52 then begin
+      e.Rob.taken <- true;
+      e.Rob.actual_npc <- d.Decoded.target.(wi)
+    end
+    else if c = 53 then begin
+      e.Rob.value_i <- next;
+      e.Rob.taken <- true;
+      e.Rob.actual_npc <- d.Decoded.target.(wi)
+    end
+    else if c <= 55 then begin
+      e.Rob.taken <- true;
+      e.Rob.actual_npc <- s1i
+    end
+    else if c = 56 then begin
+      e.Rob.value_i <- next;
+      e.Rob.taken <- true;
+      e.Rob.actual_npc <- s1i
+    end
 
-let effective_addr insn ~base =
-  match insn with
-  | Insn.Lw (_, _, off) | Lb (_, _, off) | Lbu (_, _, off) | Lh (_, _, off)
-  | Lhu (_, _, off) | Sw (_, _, off) | Sb (_, _, off) | Sh (_, _, off)
-  | Lwf (_, _, off) | Swf (_, _, off) ->
-      Bits.add32 base off
-  | Alu _ | Alui _ | Shift _ | Shiftv _ | Lui _ | Mul _ | Div _ | Fpu _ | Fcmp _
-  | Cvtsw _ | Cvtws _ | Br _ | J _ | Jal _ | Jr _ | Jalr _ | Nop | Halt ->
-      invalid_arg "Processor.effective_addr: not a memory operation"
+(* The integer value a load produces, per the side tables' extension
+   code: extract and extend the low bits per width and signedness. *)
+let load_from_reg ext raw =
+  if ext = Decoded.ext_word then Bits.of_i32 raw
+  else if ext = Decoded.ext_s8 then Bits.sign_extend raw ~width:8
+  else if ext = Decoded.ext_u8 then raw land 0xFF
+  else if ext = Decoded.ext_s16 then Bits.sign_extend raw ~width:16
+  else raw land 0xFFFF
 
-let is_fp_mem insn = match insn with Insn.Lwf _ | Swf _ -> true | _ -> false
-
-(* Wrong-path accesses may compute garbage addresses; an address is usable
-   when non-negative and aligned to the access width. *)
-let valid_addr insn addr =
-  addr >= 0 && addr land (Insn.access_bytes insn - 1) = 0
+let load_from_memory t ext addr =
+  if ext = Decoded.ext_word then Bits.of_i32 (Store.read_word t.memory addr)
+  else if ext = Decoded.ext_s8 then Bits.sign_extend (Store.read_byte t.memory addr) ~width:8
+  else if ext = Decoded.ext_u8 then Store.read_byte t.memory addr
+  else if ext = Decoded.ext_s16 then Bits.sign_extend (Store.read_half t.memory addr) ~width:16
+  else Store.read_half t.memory addr
 
 (* ------------------------------------------------------------------ *)
 (* Misprediction recovery and reuse-engine state transitions.          *)
@@ -353,8 +566,8 @@ let rebuild_map t =
       if e.Rob.dest >= 0 then t.map.(e.Rob.dest) <- idx)
 
 let flush_front_end t =
-  Queue.clear t.fetch_q;
-  Queue.clear t.decode_latch
+  ring_clear t.fetch_q;
+  ring_clear t.decode_latch
 
 let revoke_buffering t ~register_nblt ~cause =
   let r =
@@ -405,7 +618,17 @@ let recover t (e : Rob.entry) =
   flush_front_end t;
   t.fetch_pc <- e.Rob.actual_npc;
   t.fetch_stall_until <- t.now + 1;
-  t.replays <- List.filter (fun r -> r.rp_seq <= seq) t.replays;
+  (* Drop replays younger than the redirect, keeping arrival order. *)
+  let w = ref 0 in
+  for i = 0 to t.rp_n - 1 do
+    if t.rp_seq.(i) <= seq then begin
+      t.rp_seq.(!w) <- t.rp_seq.(i);
+      t.rp_rob.(!w) <- t.rp_rob.(i);
+      t.rp_addr.(!w) <- t.rp_addr.(i);
+      incr w
+    end
+  done;
+  t.rp_n <- !w;
   Option.iter Loopcache.reset t.lc;
   match t.reuse.Reuse_state.state with
   | Reuse_state.Normal -> ()
@@ -428,8 +651,8 @@ let commit_one t (e : Rob.entry) =
   | -1 -> ()
   | d ->
       charge1 t Component.Regfile;
-      if Reg.is_fp d then t.arch_f.(Reg.index d) <- e.Rob.value_f
-      else t.arch_i.(Reg.index d) <- e.Rob.value_i;
+      if d >= 32 then t.arch_f.(d - 32) <- e.Rob.value_f
+      else t.arch_i.(d) <- e.Rob.value_i;
       let head_idx = Rob.head t.rob in
       if t.map.(d) = head_idx then t.map.(d) <- -1);
   if e.Rob.lsq_idx >= 0 then begin
@@ -440,18 +663,15 @@ let commit_one t (e : Rob.entry) =
       charge1 t Component.Lsq;
       ignore (data_latency t ~addr:le.Lsq.addr ~write:true);
       if le.Lsq.is_fp then Store.write_float t.memory le.Lsq.addr le.Lsq.data_f
-      else begin
-        match e.Rob.insn with
-        | Insn.Sb _ -> Store.write_byte t.memory le.Lsq.addr le.Lsq.data_i
-        | Insn.Sh _ -> Store.write_half t.memory le.Lsq.addr le.Lsq.data_i
-        | _ -> Store.write_word t.memory le.Lsq.addr (Bits.to_u32 le.Lsq.data_i)
-      end
+      else if le.Lsq.width = 1 then Store.write_byte t.memory le.Lsq.addr le.Lsq.data_i
+      else if le.Lsq.width = 2 then Store.write_half t.memory le.Lsq.addr le.Lsq.data_i
+      else Store.write_word t.memory le.Lsq.addr (Bits.to_u32 le.Lsq.data_i)
     end
     else t.n_loads <- t.n_loads + 1;
     Lsq.pop_head t.lsq
   end;
-  (match e.Rob.insn with
-  | Insn.Halt ->
+  (match t.dec.Decoded.kind.(e.Rob.wi) with
+  | Insn.K_halt ->
       t.halted <- true;
       t.halt_pc <- e.Rob.pc;
       (* End-of-run drain: everything still in flight is younger than the
@@ -463,28 +683,44 @@ let commit_one t (e : Rob.entry) =
       Lsq.squash_after t.lsq ~seq:e.Rob.seq;
       Iq.clear t.iq;
       flush_front_end t;
-      Hashtbl.reset t.events;
-      t.replays <- [];
+      Array.fill t.ev_n 0 wheel_size 0;
+      t.rp_n <- 0;
       if Tracer.enabled t.tracer then
         Tracer.instant t.tracer ~now:t.now
           ~args:[ ("pc", Tracer.Int e.Rob.pc) ]
           ~cat:"pipeline" "halted"
-  | _ -> ());
+  | K_branch | K_jump | K_call | K_return | K_ijump | K_int | K_fp | K_load
+  | K_store | K_nop ->
+      ());
   if e.Rob.from_reuse then begin
     t.n_reuse_commit <- t.n_reuse_commit + 1;
     (* Attribute to the smallest logged window containing the pc; callee
-       instructions (outside every window) go to the loop being reused. *)
-    let best = ref None in
-    Hashtbl.iter
-      (fun _ r ->
-        if e.Rob.pc >= r.ld_head && e.Rob.pc <= r.ld_tail then
-          match !best with
-          | Some b when b.ld_span <= r.ld_span -> ()
-          | _ -> best := Some r)
-      t.loop_log;
-    match (!best, Hashtbl.find_opt t.loop_log t.cur_reuse_tail) with
-    | Some r, _ | None, Some r -> r.ld_reuse_committed <- r.ld_reuse_committed + 1
-    | None, None -> ()
+       instructions (outside every window) go to the loop being reused.
+       Memoized per word index — reuse commits the same few pcs millions
+       of times and the window set changes only when a loop is first
+       logged (which clears the memo). *)
+    let wi = e.Rob.wi in
+    let best =
+      match t.attr_memo.(wi) with
+      | Some b -> b
+      | None ->
+          let best = ref None in
+          Hashtbl.iter
+            (fun _ r ->
+              if e.Rob.pc >= r.ld_head && e.Rob.pc <= r.ld_tail then
+                match !best with
+                | Some b when b.ld_span <= r.ld_span -> ()
+                | _ -> best := Some r)
+            t.loop_log;
+          t.attr_memo.(wi) <- Some !best;
+          !best
+    in
+    match best with
+    | Some r -> r.ld_reuse_committed <- r.ld_reuse_committed + 1
+    | None -> (
+        match Hashtbl.find_opt t.loop_log t.cur_reuse_tail with
+        | Some r -> r.ld_reuse_committed <- r.ld_reuse_committed + 1
+        | None -> ())
   end;
   t.committed <- t.committed + 1;
   Rob.pop_head t.rob
@@ -493,11 +729,15 @@ let commit_stage t =
   let n = ref 0 in
   let continue_ = ref true in
   while !continue_ && !n < t.cfg.Config.commit_width && not t.halted do
-    match Rob.head_entry t.rob with
-    | Some e when e.Rob.completed ->
+    if Rob.count t.rob = 0 then continue_ := false
+    else begin
+      let e = Rob.entry t.rob (Rob.head t.rob) in
+      if e.Rob.completed then begin
         commit_one t e;
         incr n
-    | Some _ | None -> continue_ := false
+      end
+      else continue_ := false
+    end
   done
 
 (* ------------------------------------------------------------------ *)
@@ -510,28 +750,25 @@ let complete t (e : Rob.entry) rob_idx =
   charge1 t Component.Resultbus;
   charge1 t Component.Iq_wakeup;
   Iq.wakeup t.iq ~tag:rob_idx ~value_i:e.Rob.value_i ~value_f:e.Rob.value_f;
-  List.iter
-    (fun (store_rob, store_seq) ->
-      schedule t ~cycle:(t.now + 1)
-        {
-          ev_seq = store_seq;
-          ev_rob = store_rob;
-          ev_kind = Complete;
-          ev_addr = 0;
-          ev_di = 0;
-          ev_df = 0.;
-          ev_dtag = -1;
-        })
-    (Lsq.capture_data t.lsq ~tag:rob_idx ~value_i:e.Rob.value_i ~value_f:e.Rob.value_f);
+  (match Lsq.capture_data t.lsq ~tag:rob_idx ~value_i:e.Rob.value_i ~value_f:e.Rob.value_f with
+  | [] -> ()
+  | captured ->
+      List.iter
+        (fun (store_rob, store_seq) ->
+          schedule_complete t ~cycle:(t.now + 1) ~seq:store_seq ~rob:store_rob)
+        captured);
   if e.Rob.is_ctrl then begin
     t.n_branches <- t.n_branches + 1;
     (* Predictor tables are trained at resolution in every issue-queue
        state (lookups are what gating suppresses). *)
-    (match e.Rob.insn with
-    | Insn.Br _ -> charge1 t Component.Bpred_dir
-    | _ -> ());
+    let kind = t.dec.Decoded.kind.(e.Rob.wi) in
+    (match kind with
+    | Insn.K_branch -> charge1 t Component.Bpred_dir
+    | K_jump | K_call | K_return | K_ijump | K_int | K_fp | K_load | K_store
+    | K_nop | K_halt ->
+        ());
     if e.Rob.taken then charge1 t Component.Btb;
-    Predictor.resolve t.pred ~pc:e.Rob.pc ~insn:e.Rob.insn ~taken:e.Rob.taken
+    Predictor.resolve_decoded t.pred ~pc:e.Rob.pc ~kind ~taken:e.Rob.taken
       ~target:e.Rob.actual_npc;
     if e.Rob.actual_npc <> e.Rob.pred_npc then begin
       t.n_mispredicts <- t.n_mispredicts + 1;
@@ -542,25 +779,6 @@ let complete t (e : Rob.entry) rob_idx =
 (* A load attempting to execute: forward or access the cache. The LSQ
    search is charged once, on the first attempt — replayed loads sleep in
    the queue and are re-checked without a fresh CAM search. *)
-(* The integer value a load produces, given the raw register value a
-   matching store would write (forwarding) — extract and extend the low
-   bits per the load's width and signedness. *)
-let load_value_from_reg insn raw =
-  match insn with
-  | Insn.Lb _ -> Bits.sign_extend raw ~width:8
-  | Lbu _ -> raw land 0xFF
-  | Lh _ -> Bits.sign_extend raw ~width:16
-  | Lhu _ -> raw land 0xFFFF
-  | _ -> Bits.of_i32 raw
-
-let load_value_from_memory t insn addr =
-  match insn with
-  | Insn.Lb _ -> Bits.sign_extend (Store.read_byte t.memory addr) ~width:8
-  | Lbu _ -> Store.read_byte t.memory addr
-  | Lh _ -> Bits.sign_extend (Store.read_half t.memory addr) ~width:16
-  | Lhu _ -> Store.read_half t.memory addr
-  | _ -> Bits.of_i32 (Store.read_word t.memory addr)
-
 let start_load ?(charge_search = true) t ~rob_idx ~(e : Rob.entry) ~addr =
   let le = Lsq.entry t.lsq e.Rob.lsq_idx in
   if charge_search then charge1 t Component.Lsq;
@@ -568,92 +786,134 @@ let start_load ?(charge_search = true) t ~rob_idx ~(e : Rob.entry) ~addr =
   | Lsq.Wait -> false
   | Lsq.Forward se ->
       if le.Lsq.is_fp then e.Rob.value_f <- se.Lsq.data_f
-      else e.Rob.value_i <- load_value_from_reg e.Rob.insn se.Lsq.data_i;
-      schedule t ~cycle:(t.now + 1)
-        { ev_seq = e.Rob.seq; ev_rob = rob_idx; ev_kind = Complete; ev_addr = 0; ev_di = 0; ev_df = 0.; ev_dtag = -1 };
+      else e.Rob.value_i <- load_from_reg t.dec.Decoded.ext.(e.Rob.wi) se.Lsq.data_i;
+      schedule_complete t ~cycle:(t.now + 1) ~seq:e.Rob.seq ~rob:rob_idx;
       true
   | Lsq.Access ->
+      let wi = e.Rob.wi in
       let lat =
-        if valid_addr e.Rob.insn addr then begin
+        (* Wrong-path accesses may compute garbage addresses; an address
+           is usable when non-negative and aligned to the access width. *)
+        if addr >= 0 && addr land t.dec.Decoded.amask.(wi) = 0 then begin
           let lat = data_latency t ~addr ~write:false in
           if le.Lsq.is_fp then e.Rob.value_f <- Store.read_float t.memory addr
-          else e.Rob.value_i <- load_value_from_memory t e.Rob.insn addr;
+          else e.Rob.value_i <- load_from_memory t t.dec.Decoded.ext.(wi) addr;
           lat
         end
         else 1 (* wrong-path garbage address: complete without touching memory *)
       in
-      schedule t ~cycle:(t.now + lat)
-        { ev_seq = e.Rob.seq; ev_rob = rob_idx; ev_kind = Complete; ev_addr = 0; ev_di = 0; ev_df = 0.; ev_dtag = -1 };
+      schedule_complete t ~cycle:(t.now + lat) ~seq:e.Rob.seq ~rob:rob_idx;
       true
 
-let process_agen t ev =
-  let e = Rob.entry t.rob ev.ev_rob in
-  if e.Rob.seq = ev.ev_seq then begin
+let process_agen t ~seq ~rob ~addr ~di ~df ~dtag =
+  let e = Rob.entry t.rob rob in
+  if e.Rob.seq = seq then begin
     let le = Lsq.entry t.lsq e.Rob.lsq_idx in
-    le.Lsq.addr <- ev.ev_addr;
+    le.Lsq.addr <- addr;
     le.Lsq.addr_ready <- true;
     charge1 t Component.Lsq;
     if e.Rob.is_store then begin
-      if ev.ev_dtag = -1 then begin
-        le.Lsq.data_i <- ev.ev_di;
-        le.Lsq.data_f <- ev.ev_df;
+      if dtag = -1 then begin
+        le.Lsq.data_i <- di;
+        le.Lsq.data_f <- df;
         le.Lsq.data_ready <- true;
         (* The store has done all its execute-stage work. *)
-        schedule t ~cycle:(t.now + 1)
-          { ev with ev_kind = Complete; ev_addr = 0; ev_di = 0; ev_df = 0.; ev_dtag = -1 }
+        schedule_complete t ~cycle:(t.now + 1) ~seq ~rob
       end
       else begin
         (* Address is known; the data operand is still in flight and will
            arrive over the result bus. *)
-        let producer = Rob.entry t.rob ev.ev_dtag in
+        let producer = Rob.entry t.rob dtag in
         if producer.Rob.completed then begin
           le.Lsq.data_i <- producer.Rob.value_i;
           le.Lsq.data_f <- producer.Rob.value_f;
           le.Lsq.data_ready <- true;
-          schedule t ~cycle:(t.now + 1)
-            { ev with ev_kind = Complete; ev_addr = 0; ev_di = 0; ev_df = 0.; ev_dtag = -1 }
+          schedule_complete t ~cycle:(t.now + 1) ~seq ~rob
         end
-        else le.Lsq.data_tag <- ev.ev_dtag
+        else Lsq.wait_data t.lsq le ~tag:dtag
       end
     end
-    else if not (start_load t ~rob_idx:ev.ev_rob ~e ~addr:ev.ev_addr) then
-      t.replays <- { rp_seq = ev.ev_seq; rp_rob = ev.ev_rob; rp_addr = ev.ev_addr } :: t.replays
+    else if not (start_load t ~rob_idx:rob ~e ~addr) then
+      push_replay t ~seq ~rob ~addr
   end
 
 let writeback_stage t =
-  match Hashtbl.find_opt t.events t.now with
-  | None -> ()
-  | Some l ->
-      Hashtbl.remove t.events t.now;
-      let evs = List.sort (fun a b -> compare a.ev_seq b.ev_seq) !l in
-      List.iter
-        (fun ev ->
-          let e = Rob.entry t.rob ev.ev_rob in
-          if e.Rob.seq = ev.ev_seq && not e.Rob.completed then begin
-            match ev.ev_kind with
-            | Complete -> complete t e ev.ev_rob
-            | Agen -> process_agen t ev
-          end)
-        evs
+  let sl = t.now land wheel_mask in
+  let n = t.ev_n.(sl) in
+  if n > 0 then begin
+    (* Snapshot the slot: events scheduled while draining always target a
+       strictly later cycle, hence a different wheel slot. *)
+    t.ev_n.(sl) <- 0;
+    let seqs = t.ev_seq.(sl) in
+    let robs = t.ev_rob.(sl) in
+    let kinds = t.ev_kind.(sl) in
+    let addrs = t.ev_addr.(sl) in
+    let dis = t.ev_di.(sl) in
+    let dtags = t.ev_dtag.(sl) in
+    let dfs = t.ev_df.(sl) in
+    if Array.length t.ev_ord < n then t.ev_ord <- Array.make (2 * n) 0;
+    let ord = t.ev_ord in
+    for i = 0 to n - 1 do
+      ord.(i) <- i
+    done;
+    (* Drain order: sequence ascending; equal sequences in reverse
+       insertion order (the seed stable-sorted a cons-built list, so the
+       later insertion comes first within a sequence number). *)
+    for i = 1 to n - 1 do
+      let x = ord.(i) in
+      let j = ref (i - 1) in
+      while
+        !j >= 0
+        && (let y = ord.(!j) in
+            seqs.(y) > seqs.(x) || (seqs.(y) = seqs.(x) && y < x))
+      do
+        ord.(!j + 1) <- ord.(!j);
+        decr j
+      done;
+      ord.(!j + 1) <- x
+    done;
+    for k = 0 to n - 1 do
+      let i = ord.(k) in
+      let rob = robs.(i) in
+      let seq = seqs.(i) in
+      let e = Rob.entry t.rob rob in
+      if e.Rob.seq = seq && not e.Rob.completed then
+        if kinds.(i) = ev_complete then complete t e rob
+        else
+          process_agen t ~seq ~rob ~addr:addrs.(i) ~di:dis.(i) ~df:dfs.(i)
+            ~dtag:dtags.(i)
+    done
+  end
 
 let replay_stage t =
-  let pending = t.replays in
-  t.replays <- [];
-  List.iter
-    (fun r ->
-      let e = Rob.entry t.rob r.rp_rob in
-      if e.Rob.seq = r.rp_seq && not e.Rob.completed then
-        if not (start_load ~charge_search:false t ~rob_idx:r.rp_rob ~e ~addr:r.rp_addr) then
-          t.replays <- r :: t.replays)
-    (List.rev pending)
+  let n = t.rp_n in
+  if n > 0 then begin
+    (* Swap the arrival-ordered FIFO into scratch; failed attempts are
+       re-appended in processing order, exactly the order the seed's
+       cons-and-reverse produced. *)
+    let seqs = t.rp_seq and robs = t.rp_rob and addrs = t.rp_addr in
+    t.rp_seq <- t.rp2_seq;
+    t.rp_rob <- t.rp2_rob;
+    t.rp_addr <- t.rp2_addr;
+    t.rp2_seq <- seqs;
+    t.rp2_rob <- robs;
+    t.rp2_addr <- addrs;
+    t.rp_n <- 0;
+    for i = 0 to n - 1 do
+      let seq = seqs.(i) and rob = robs.(i) and addr = addrs.(i) in
+      let e = Rob.entry t.rob rob in
+      if e.Rob.seq = seq && not e.Rob.completed then
+        if not (start_load ~charge_search:false t ~rob_idx:rob ~e ~addr) then
+          push_replay t ~seq ~rob ~addr
+    done
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Issue stage: oldest-first selection of ready instructions.          *)
 (* ------------------------------------------------------------------ *)
 
 let issue_slot t (s : Iq.slot) =
-  let insn = s.Iq.insn in
-  s.Iq.issued <- true;
+  Iq.mark_issued t.iq s;
   charge1 t Component.Iq_payload;
   (match s.Iq.fu with
   | Insn.FU_ialu -> charge1 t Component.Ialu
@@ -663,66 +923,50 @@ let issue_slot t (s : Iq.slot) =
   | FU_mem -> charge1 t Component.Ialu (* address generation adder *)
   | FU_none -> ());
   let e = Rob.entry t.rob s.Iq.rob_idx in
-  (match Insn.kind insn with
-  | Insn.K_load | K_store ->
-      let addr = effective_addr insn ~base:s.Iq.src1_i in
-      schedule t ~cycle:(t.now + 1)
-        {
-          ev_seq = s.Iq.seq;
-          ev_rob = s.Iq.rob_idx;
-          ev_kind = Agen;
-          ev_addr = addr;
-          ev_di = s.Iq.src2_i;
-          ev_df = s.Iq.src2_f;
-          ev_dtag = s.Iq.src2_tag;
-        }
-  | K_int | K_fp | K_branch | K_jump | K_call | K_return | K_ijump | K_nop | K_halt ->
-      let vi, vf, taken, npc =
-        compute insn ~pc:s.Iq.pc ~s1i:s.Iq.src1_i ~s1f:s.Iq.src1_f ~s2i:s.Iq.src2_i
-          ~s2f:s.Iq.src2_f
-      in
-      e.Rob.value_i <- vi;
-      e.Rob.value_f <- vf;
-      e.Rob.taken <- taken;
-      e.Rob.actual_npc <- npc;
-      let lat = max 1 (Insn.latency insn) in
-      schedule t ~cycle:(t.now + lat)
-        { ev_seq = s.Iq.seq; ev_rob = s.Iq.rob_idx; ev_kind = Complete; ev_addr = 0; ev_di = 0; ev_df = 0.; ev_dtag = -1 });
-  if not s.Iq.reusable then s.Iq.dead <- true
+  if s.Iq.is_mem then begin
+    let addr = Bits.add32 s.Iq.src1_i t.dec.Decoded.imm.(s.Iq.wi) in
+    schedule t ~cycle:(t.now + 1) ~seq:s.Iq.seq ~rob:s.Iq.rob_idx ~kind:ev_agen
+      ~addr ~di:s.Iq.src2_i ~df:s.Iq.src2_f ~dtag:s.Iq.src2_tag
+  end
+  else begin
+    execute_into t e ~wi:s.Iq.wi ~pc:s.Iq.pc ~s1i:s.Iq.src1_i ~s1f:s.Iq.src1_f
+      ~s2i:s.Iq.src2_i ~s2f:s.Iq.src2_f;
+    schedule_complete t ~cycle:(t.now + s.Iq.lat) ~seq:s.Iq.seq ~rob:s.Iq.rob_idx
+  end;
+  if not s.Iq.reusable then Iq.kill t.iq s
+
+(* Top-level (closure-free) ready-ring walk: insertion into the running
+   top-[width] youngest-seq candidate table. *)
+let rec select_scan (rdy : Iq.slot) (cand : Iq.slot array) cand_seq width (s : Iq.slot) =
+  if s != rdy then begin
+    let j = ref (width - 1) in
+    if s.Iq.seq < cand_seq.(!j) then begin
+      while !j > 0 && s.Iq.seq < cand_seq.(!j - 1) do
+        cand_seq.(!j) <- cand_seq.(!j - 1);
+        cand.(!j) <- cand.(!j - 1);
+        decr j
+      done;
+      cand_seq.(!j) <- s.Iq.seq;
+      cand.(!j) <- s
+    end;
+    select_scan rdy cand cand_seq width s.Iq.r_next
+  end
 
 let issue_stage t =
   let width = t.cfg.Config.issue_width in
   if Iq.count t.iq > 0 then charge1 t Component.Iq_select;
-  (* Collect the [width] oldest ready instructions (the array is not in
-     age order during Code Reuse, so order by sequence number). *)
-  let cand = Array.make width (-1) in
-  let cand_seq = Array.make width max_int in
-  let slots = Iq.slots t.iq in
-  for i = 0 to Iq.count t.iq - 1 do
-    let s = slots.(i) in
-    let is_store = match Insn.kind s.Iq.insn with Insn.K_store -> true | _ -> false in
-    if
-      (not s.Iq.dead) && (not s.Iq.issued) && s.Iq.src1_tag = -1
-      && (s.Iq.src2_tag = -1 || is_store)
-    then begin
-      (* Insertion into the running top-[width] youngest-seq table. *)
-      let j = ref (width - 1) in
-      if s.Iq.seq < cand_seq.(!j) then begin
-        while !j > 0 && s.Iq.seq < cand_seq.(!j - 1) do
-          cand_seq.(!j) <- cand_seq.(!j - 1);
-          cand.(!j) <- cand.(!j - 1);
-          decr j
-        done;
-        cand_seq.(!j) <- s.Iq.seq;
-        cand.(!j) <- i
-      end
-    end
-  done;
+  (* Collect the [width] oldest ready instructions from the ready ring
+     (the ring is not in age order during Code Reuse, so order by
+     sequence number — unique, so ring order cannot matter). *)
+  let cand = t.issue_cand in
+  let cand_seq = t.issue_cand_seq in
+  Array.fill cand_seq 0 width max_int;
+  let rdy = Iq.ready t.iq in
+  select_scan rdy cand cand_seq width rdy.Iq.r_next;
   for k = 0 to width - 1 do
-    if cand.(k) >= 0 then begin
-      let s = slots.(cand.(k)) in
-      let lat = max 1 (Insn.latency s.Iq.insn) in
-      if Fu.acquire t.fu s.Iq.fu ~now:t.now ~latency:lat ~pipelined:(Insn.pipelined s.Iq.insn)
+    if cand_seq.(k) < max_int then begin
+      let s = cand.(k) in
+      if Fu.acquire t.fu s.Iq.fu ~now:t.now ~latency:s.Iq.lat ~pipelined:s.Iq.pipe
       then issue_slot t s
     end
   done
@@ -731,18 +975,19 @@ let issue_stage t =
 (* Dispatch (rename + queue): normal mode.                             *)
 (* ------------------------------------------------------------------ *)
 
-let fill_rob_entry t ~rob_idx ~seq ~pc ~insn ~pred_npc ~ras_ck ~from_reuse =
+let fill_rob_entry t ~rob_idx ~seq ~pc ~wi ~pred_npc ~ras_ck ~from_reuse ~dst
+    ~is_store ~is_ctrl =
   let e = Rob.entry t.rob rob_idx in
   e.Rob.seq <- seq;
   e.Rob.pc <- pc;
-  e.Rob.insn <- insn;
+  e.Rob.wi <- wi;
   e.Rob.completed <- false;
   e.Rob.value_i <- 0;
   e.Rob.value_f <- 0.;
-  e.Rob.dest <- (match Insn.dest insn with Some d -> d | None -> -1);
-  e.Rob.is_store <- (match Insn.kind insn with Insn.K_store -> true | _ -> false);
+  e.Rob.dest <- dst;
+  e.Rob.is_store <- is_store;
   e.Rob.lsq_idx <- -1;
-  e.Rob.is_ctrl <- Insn.is_ctrl insn;
+  e.Rob.is_ctrl <- is_ctrl;
   e.Rob.pred_npc <- pred_npc;
   e.Rob.actual_npc <- pc + 4;
   e.Rob.taken <- false;
@@ -750,64 +995,91 @@ let fill_rob_entry t ~rob_idx ~seq ~pc ~insn ~pred_npc ~ras_ck ~from_reuse =
   e.Rob.from_reuse <- from_reuse;
   e
 
-let is_mem insn =
-  match Insn.kind insn with Insn.K_load | K_store -> true | _ -> false
-
-let rename_into_slot t (s : Iq.slot) ~seq ~rob_idx ~pc ~insn ~pred_npc =
+let rename_into_slot t (s : Iq.slot) ~seq ~rob_idx ~pc ~wi ~pred_npc ~d =
   charge1 t Component.Rename;
-  let r1, r2 = operand_regs insn in
-  let t1, v1i, v1f = read_operand t r1 in
-  let t2, v2i, v2f = read_operand t r2 in
+  read_src1 t s (Decoded.d_r1 d);
+  read_src2 t s (Decoded.d_r2 d);
   s.Iq.seq <- seq;
   s.Iq.rob_idx <- rob_idx;
   s.Iq.pc <- pc;
-  s.Iq.insn <- insn;
-  s.Iq.fu <- Insn.fu insn;
-  s.Iq.src1_tag <- t1;
-  s.Iq.src1_i <- v1i;
-  s.Iq.src1_f <- v1f;
-  s.Iq.src2_tag <- t2;
-  s.Iq.src2_i <- v2i;
-  s.Iq.src2_f <- v2f;
+  s.Iq.wi <- wi;
+  s.Iq.fu <- Decoded.d_fu d;
+  s.Iq.lat <- Decoded.d_lat d;
+  s.Iq.pipe <- Decoded.d_pipe d;
+  s.Iq.is_mem <- Decoded.d_is_mem d;
+  s.Iq.is_store <- Decoded.d_is_store d;
   s.Iq.issued <- false;
   s.Iq.pred_npc <- pred_npc;
-  (match Insn.dest insn with
-  | Some d -> t.map.(d) <- rob_idx
-  | None -> ())
+  let dst = Decoded.d_dst d in
+  if dst >= 0 then t.map.(dst) <- rob_idx
+
+(* Decode-cache lookup for the loop currently being buffered; falls back
+   to packing a descriptor from the side tables (callee instructions
+   buffered from inside the loop live outside the cached window). *)
+let dcache_lookup t wi =
+  let tail_wi = Decoded.wi_of_pc t.dec t.reuse.Reuse_state.tail in
+  let way = tail_wi land (dc_ways - 1) in
+  if t.dc_tail.(way) = tail_wi && wi >= t.dc_head.(way) && wi <= tail_wi then begin
+    t.dc_hits <- t.dc_hits + 1;
+    t.dc_desc.(way).(wi - t.dc_head.(way))
+  end
+  else Decoded.descriptor t.dec wi
+
+let dcache_install t ~head ~tail =
+  let head_wi = Decoded.wi_of_pc t.dec head in
+  let tail_wi = Decoded.wi_of_pc t.dec tail in
+  if head_wi >= 0 && tail_wi >= head_wi && tail_wi < t.dec.Decoded.n then begin
+    let way = tail_wi land (dc_ways - 1) in
+    if t.dc_tail.(way) <> tail_wi || t.dc_head.(way) <> head_wi then begin
+      t.dc_installs <- t.dc_installs + 1;
+      t.dc_head.(way) <- head_wi;
+      t.dc_tail.(way) <- tail_wi;
+      t.dc_desc.(way) <-
+        Array.init (tail_wi - head_wi + 1) (fun k ->
+            Decoded.descriptor t.dec (head_wi + k))
+    end
+  end
 
 (* Dispatch one decoded instruction; returns false on a structural stall. *)
 let dispatch_one t (f : fetched) =
+  let buffering = t.reuse.Reuse_state.state = Reuse_state.Buffering in
+  let d =
+    if buffering && f.f_buffered then dcache_lookup t f.f_wi
+    else Decoded.descriptor t.dec f.f_wi
+  in
+  let is_mem = Decoded.d_is_mem d in
   if Rob.is_full t.rob then false
   else if Iq.is_full t.iq then begin
     (* Queue exhausted while buffering a loop (e.g. a too-large procedure
        inside it): the loop is non-bufferable (Section 2.2.2). *)
-    if t.reuse.Reuse_state.state = Reuse_state.Buffering && f.f_buffered then
+    if buffering && f.f_buffered then
       revoke_buffering t ~register_nblt:true ~cause:Rv_overflow;
     false
   end
-  else if is_mem f.f_insn && Lsq.is_full t.lsq then false
+  else if is_mem && Lsq.is_full t.lsq then false
   else begin
     let seq = next_seq t in
     let rob_idx = Rob.alloc t.rob in
     charge1 t Component.Rob;
     let e =
-      fill_rob_entry t ~rob_idx ~seq ~pc:f.f_pc ~insn:f.f_insn ~pred_npc:f.f_pred_npc
-        ~ras_ck:f.f_ras_ck ~from_reuse:false
+      fill_rob_entry t ~rob_idx ~seq ~pc:f.f_pc ~wi:f.f_wi ~pred_npc:f.f_pred_npc
+        ~ras_ck:f.f_ras_ck ~from_reuse:false ~dst:(Decoded.d_dst d)
+        ~is_store:(Decoded.d_is_store d) ~is_ctrl:(Decoded.d_is_ctrl d)
     in
-    if is_mem f.f_insn then begin
+    if is_mem then begin
       let li = Lsq.alloc t.lsq in
       let le = Lsq.entry t.lsq li in
       le.Lsq.seq <- seq;
       le.Lsq.rob_idx <- rob_idx;
       le.Lsq.is_store <- e.Rob.is_store;
-      le.Lsq.is_fp <- is_fp_mem f.f_insn;
-      le.Lsq.width <- Insn.access_bytes f.f_insn;
+      le.Lsq.is_fp <- Decoded.d_is_fp_mem d;
+      le.Lsq.width <- Decoded.d_width d;
       e.Rob.lsq_idx <- li
     end;
     let s = Iq.dispatch t.iq in
-    rename_into_slot t s ~seq ~rob_idx ~pc:f.f_pc ~insn:f.f_insn ~pred_npc:f.f_pred_npc;
+    rename_into_slot t s ~seq ~rob_idx ~pc:f.f_pc ~wi:f.f_wi ~pred_npc:f.f_pred_npc ~d;
+    Iq.enqueue t.iq s;
     charge1 t Component.Iq_payload;
-    let buffering = t.reuse.Reuse_state.state = Reuse_state.Buffering in
     if buffering && f.f_buffered then begin
       s.Iq.reusable <- true;
       charge1 t Component.Lrl;
@@ -843,14 +1115,14 @@ let dispatch_normal t =
   let continue_ = ref true in
   while
     !continue_ && !budget > 0
-    && (not (Queue.is_empty t.decode_latch))
+    && t.decode_latch.len > 0
     && t.reuse.Reuse_state.state <> Reuse_state.Reusing
   do
-    let f = Queue.peek t.decode_latch in
+    let f = ring_peek t.decode_latch in
     if dispatch_one t f then begin
       (* [dispatch_one] may have promoted to Code Reuse and flushed the
          front-end queues, in which case the latch is now empty. *)
-      if not (Queue.is_empty t.decode_latch) then ignore (Queue.pop t.decode_latch);
+      if t.decode_latch.len > 0 then ring_pop t.decode_latch;
       decr budget
     end
     else continue_ := false
@@ -859,6 +1131,20 @@ let dispatch_normal t =
 (* ------------------------------------------------------------------ *)
 (* Dispatch in Code Reuse state: the queue feeds rename itself.        *)
 (* ------------------------------------------------------------------ *)
+
+(* Rename a reused slot in place: only the register information, the ROB
+   pointer and the sequence number change (Section 2.4) — the payload
+   fields cached at capture (wi, fu, latency, classification) are the
+   point of reuse and stay. *)
+let rename_reuse_slot t (s : Iq.slot) ~seq ~rob_idx =
+  charge1 t Component.Rename;
+  read_src1 t s t.dec.Decoded.r1.(s.Iq.wi);
+  read_src2 t s t.dec.Decoded.r2.(s.Iq.wi);
+  s.Iq.seq <- seq;
+  s.Iq.rob_idx <- rob_idx;
+  Iq.mark_renamed t.iq s;
+  let dst = t.dec.Decoded.dst.(s.Iq.wi) in
+  if dst >= 0 then t.map.(dst) <- rob_idx
 
 (* [allow_wrap] implements the paper's unidirectional scan: within one
    cycle the pointer only moves forward; it resets to the first buffered
@@ -872,41 +1158,43 @@ let reuse_dispatch_one t ~allow_wrap =
     let needs_wrap = p >= Iq.count t.iq || not (Iq.slots t.iq).(p).Iq.reusable in
     if needs_wrap && not allow_wrap then false
     else begin
-    let rptr = if needs_wrap then first else p in
-    let s = (Iq.slots t.iq).(rptr) in
-    if not s.Iq.issued then false (* previous instance still in flight *)
-    else if Rob.is_full t.rob then false
-    else if is_mem s.Iq.insn && Lsq.is_full t.lsq then false
-    else begin
-      let insn = s.Iq.insn in
-      let pc = s.Iq.pc in
-      let seq = next_seq t in
-      let rob_idx = Rob.alloc t.rob in
-      charge1 t Component.Rob;
-      let e =
-        fill_rob_entry t ~rob_idx ~seq ~pc ~insn ~pred_npc:s.Iq.pred_npc
-          ~ras_ck:(Predictor.checkpoint t.pred) ~from_reuse:true
-      in
-      if is_mem insn then begin
-        let li = Lsq.alloc t.lsq in
-        let le = Lsq.entry t.lsq li in
-        le.Lsq.seq <- seq;
-        le.Lsq.rob_idx <- rob_idx;
-        le.Lsq.is_store <- e.Rob.is_store;
-        le.Lsq.is_fp <- is_fp_mem insn;
-        le.Lsq.width <- Insn.access_bytes insn;
-        e.Rob.lsq_idx <- li
-      end;
-      (* Partial update: only the register information and the ROB pointer
-         change (Section 2.4) — renaming happens as in normal dispatch. *)
-      rename_into_slot t s ~seq ~rob_idx ~pc ~insn ~pred_npc:s.Iq.pred_npc;
-      s.Iq.reusable <- true;
-      charge1 t Component.Lrl;
-      charge t Component.Iq_payload Model.iq_partial_update_fraction;
-      t.n_reuse_dispatch <- t.n_reuse_dispatch + 1;
-      Iq.set_reuse_ptr t.iq (rptr + 1);
-      true
-    end
+      let rptr = if needs_wrap then first else p in
+      let s = (Iq.slots t.iq).(rptr) in
+      if not s.Iq.issued then false (* previous instance still in flight *)
+      else if Rob.is_full t.rob then false
+      else if s.Iq.is_mem && Lsq.is_full t.lsq then false
+      else begin
+        let wi = s.Iq.wi in
+        let pc = s.Iq.pc in
+        let seq = next_seq t in
+        let rob_idx = Rob.alloc t.rob in
+        charge1 t Component.Rob;
+        let e =
+          fill_rob_entry t ~rob_idx ~seq ~pc ~wi ~pred_npc:s.Iq.pred_npc
+            ~ras_ck:(Predictor.checkpoint t.pred) ~from_reuse:true
+            ~dst:t.dec.Decoded.dst.(wi) ~is_store:s.Iq.is_store
+            ~is_ctrl:t.dec.Decoded.is_ctrl.(wi)
+        in
+        if s.Iq.is_mem then begin
+          let li = Lsq.alloc t.lsq in
+          let le = Lsq.entry t.lsq li in
+          le.Lsq.seq <- seq;
+          le.Lsq.rob_idx <- rob_idx;
+          le.Lsq.is_store <- e.Rob.is_store;
+          le.Lsq.is_fp <- t.dec.Decoded.is_fp_mem.(wi);
+          le.Lsq.width <- t.dec.Decoded.width.(wi);
+          e.Rob.lsq_idx <- li
+        end;
+        (* Partial update: only the register information and the ROB pointer
+           change (Section 2.4) — renaming happens as in normal dispatch. *)
+        rename_reuse_slot t s ~seq ~rob_idx;
+        s.Iq.reusable <- true;
+        charge1 t Component.Lrl;
+        charge t Component.Iq_payload Model.iq_partial_update_fraction;
+        t.n_reuse_dispatch <- t.n_reuse_dispatch + 1;
+        Iq.set_reuse_ptr t.iq (rptr + 1);
+        true
+      end
     end
   end
 
@@ -924,43 +1212,71 @@ let dispatch_reuse t =
 (* Decode stage: loop detection and classification (Section 2.1).      *)
 (* ------------------------------------------------------------------ *)
 
+(* A detector hit in Normal state: filter through the NBLT, then start
+   buffering when the loop branch is predicted to loop back. *)
+let handle_capture t (f : fetched) ~head ~tail =
+  let r = t.reuse in
+  r.Reuse_state.n_detections <- r.Reuse_state.n_detections + 1;
+  let ld = loop_record t ~head ~tail in
+  ld.ld_detections <- ld.ld_detections + 1;
+  charge1 t Component.Nblt;
+  if Nblt.mem t.nblt tail then begin
+    r.Reuse_state.n_nblt_filtered <- r.Reuse_state.n_nblt_filtered + 1;
+    ld.ld_nblt_filtered <- ld.ld_nblt_filtered + 1;
+    if Tracer.enabled t.tracer then
+      Tracer.instant t.tracer ~now:t.now
+        ~args:[ ("head", Tracer.Int head); ("tail", Tracer.Int tail) ]
+        ~cat:"nblt" "nblt-suppress"
+  end
+  else if f.f_pred_npc = head then begin
+    ld.ld_attempts <- ld.ld_attempts + 1;
+    (* Detection works on the predicted target (Section 2.1): buffering
+       begins with the second iteration, so it only makes sense when the
+       branch is predicted to loop back. *)
+    Reuse_state.start_buffering ~now:t.now t.reuse ~head ~tail;
+    dcache_install t ~head ~tail
+  end
+
 let decode_reuse_hooks t (f : fetched) =
   if t.cfg.Config.reuse_enabled then begin
     let r = t.reuse in
+    let dec = t.dec in
+    let wi = f.f_wi in
     match r.Reuse_state.state with
-    | Reuse_state.Normal -> (
-        if Insn.is_ctrl f.f_insn then charge1 t Component.Reuse_logic;
-        match
-          Detector.examine ~tracer:t.tracer ~now:t.now ~iq_size:t.cfg.Config.iq_entries
-            ~pc:f.f_pc f.f_insn
-        with
-        | Detector.Capturable { head; tail; span = _ } ->
-            r.Reuse_state.n_detections <- r.Reuse_state.n_detections + 1;
-            let ld = loop_record t ~head ~tail in
-            ld.ld_detections <- ld.ld_detections + 1;
-            charge1 t Component.Nblt;
-            if Nblt.mem t.nblt tail then begin
-              r.Reuse_state.n_nblt_filtered <- r.Reuse_state.n_nblt_filtered + 1;
-              ld.ld_nblt_filtered <- ld.ld_nblt_filtered + 1;
-              if Tracer.enabled t.tracer then
-                Tracer.instant t.tracer ~now:t.now
-                  ~args:[ ("head", Tracer.Int head); ("tail", Tracer.Int tail) ]
-                  ~cat:"nblt" "nblt-suppress"
-            end
-            else if f.f_pred_npc = head then begin
-              ld.ld_attempts <- ld.ld_attempts + 1;
-              (* Detection works on the predicted target (Section 2.1):
-                 buffering begins with the second iteration, so it only
-                 makes sense when the branch is predicted to loop back. *)
-              Reuse_state.start_buffering ~now:t.now r ~head ~tail
-            end
-        | Detector.Too_large _ | Detector.Not_a_loop -> ())
+    | Reuse_state.Normal ->
+        if dec.Decoded.is_ctrl.(wi) then charge1 t Component.Reuse_logic;
+        if Tracer.enabled t.tracer then begin
+          (* The tracer wants the detector's instants, so take the
+             constructor-matching reference path. *)
+          match
+            Detector.examine ~tracer:t.tracer ~now:t.now
+              ~iq_size:t.cfg.Config.iq_entries ~pc:f.f_pc dec.Decoded.insns.(wi)
+          with
+          | Detector.Capturable { head; tail; span = _ } ->
+              handle_capture t f ~head ~tail
+          | Detector.Too_large _ | Detector.Not_a_loop -> ()
+        end
+        else begin
+          (* Pure side-table form of [Detector.examine]: conditional
+             branches and direct jumps always carry a static target. *)
+          match dec.Decoded.kind.(wi) with
+          | Insn.K_branch | K_jump ->
+              let head = dec.Decoded.target.(wi) in
+              let tail = f.f_pc in
+              if head <= tail && ((tail - head) / 4) + 1 <= t.cfg.Config.iq_entries
+              then handle_capture t f ~head ~tail
+          | K_call | K_return | K_ijump | K_int | K_fp | K_load | K_store
+          | K_nop | K_halt ->
+              ()
+        end
     | Reuse_state.Buffering ->
         let in_loop = Reuse_state.in_loop r ~pc:f.f_pc in
         let in_callee = r.Reuse_state.call_depth > 0 in
         f.f_buffered <- in_loop || in_callee;
-        (match Insn.kind f.f_insn with
-        | Insn.K_call -> if f.f_buffered then r.Reuse_state.call_depth <- r.Reuse_state.call_depth + 1
+        (match dec.Decoded.kind.(wi) with
+        | Insn.K_call ->
+            if f.f_buffered then
+              r.Reuse_state.call_depth <- r.Reuse_state.call_depth + 1
         | K_return ->
             if in_callee then r.Reuse_state.call_depth <- r.Reuse_state.call_depth - 1
         | K_branch | K_jump | K_ijump | K_int | K_fp | K_load | K_store | K_nop | K_halt ->
@@ -969,27 +1285,40 @@ let decode_reuse_hooks t (f : fetched) =
           (* The execution left the loop while buffering (Section 2.2.3). *)
           revoke_buffering t ~register_nblt:true ~cause:Rv_left_loop
         else begin
-          match Detector.examine ~iq_size:t.cfg.Config.iq_entries ~pc:f.f_pc f.f_insn with
-          | Detector.Capturable { tail; _ } when tail <> r.Reuse_state.tail ->
-              (* An inner loop makes the current loop non-bufferable. *)
-              revoke_buffering t ~register_nblt:true ~cause:Rv_inner_loop
-          | Detector.Capturable _ | Detector.Too_large _ | Detector.Not_a_loop -> ()
+          (* An inner loop makes the current loop non-bufferable. *)
+          match dec.Decoded.kind.(wi) with
+          | Insn.K_branch | K_jump ->
+              let head = dec.Decoded.target.(wi) in
+              if
+                head <= f.f_pc
+                && ((f.f_pc - head) / 4) + 1 <= t.cfg.Config.iq_entries
+                && f.f_pc <> r.Reuse_state.tail
+              then revoke_buffering t ~register_nblt:true ~cause:Rv_inner_loop
+          | K_call | K_return | K_ijump | K_int | K_fp | K_load | K_store
+          | K_nop | K_halt ->
+              ()
         end
     | Reuse_state.Reusing -> ()
   end
 
 let decode_stage t =
   if t.reuse.Reuse_state.state <> Reuse_state.Reusing then begin
-    let room = t.cfg.Config.decode_width - Queue.length t.decode_latch in
+    let room = t.cfg.Config.decode_width - t.decode_latch.len in
     for _ = 1 to room do
-      if
-        (not (Queue.is_empty t.fetch_q))
-        && t.reuse.Reuse_state.state <> Reuse_state.Reusing
+      if t.fetch_q.len > 0 && t.reuse.Reuse_state.state <> Reuse_state.Reusing
       then begin
-        let f = Queue.pop t.fetch_q in
+        let f = ring_peek t.fetch_q in
         charge1 t Component.Decoder;
         decode_reuse_hooks t f;
-        Queue.push f t.decode_latch
+        (* The hooks never flush the front end (promotion happens at
+           dispatch), so the latch slot is always available. *)
+        let g = ring_push t.decode_latch in
+        g.f_pc <- f.f_pc;
+        g.f_wi <- f.f_wi;
+        g.f_pred_npc <- f.f_pred_npc;
+        g.f_ras_ck <- f.f_ras_ck;
+        g.f_buffered <- f.f_buffered;
+        ring_pop t.fetch_q
       end
     done
   end
@@ -1003,9 +1332,10 @@ let fetch_stage t =
     t.reuse.Reuse_state.state <> Reuse_state.Reusing
     && t.fetch_pc >= 0
     && t.now >= t.fetch_stall_until
-    && Queue.length t.fetch_q < t.cfg.Config.fetch_queue
-    && Program.insn_at t.program t.fetch_pc <> None
+    && t.fetch_q.len < ring_cap t.fetch_q
+    && Decoded.valid t.dec t.fetch_pc
   then begin
+    let dec = t.dec in
     (* The loop cache, when present and active, supplies the whole fetch
        group without touching the instruction cache or ITLB. *)
     let serve_lc =
@@ -1021,70 +1351,72 @@ let fetch_stage t =
     if lat > t.cfg.Config.mem.Hierarchy.l1i.Cache.hit_latency then
       t.fetch_stall_until <- t.now + lat
     else begin
-      let line = t.cfg.Config.mem.Hierarchy.l1i.Cache.line_bytes in
-      let line_of pc = pc / line in
-      let cur_line = ref (line_of t.fetch_pc) in
+      let il1 = Hierarchy.l1i t.hier in
+      let cur_line = ref (Cache.line_index il1 ~addr:t.fetch_pc) in
       let fetched = ref 0 in
       let continue_ = ref true in
       while
         !continue_ && !fetched < t.cfg.Config.fetch_width
-        && Queue.length t.fetch_q < t.cfg.Config.fetch_queue
+        && t.fetch_q.len < ring_cap t.fetch_q
         && t.fetch_pc >= 0
       do
         (* Crossing into another cache line (sequentially or through a
            taken branch) costs another port access; a miss there ends the
            group and stalls the front end. Loop-cache-served groups never
            touch the line ports. *)
-        if (not serve_lc) && line_of t.fetch_pc <> !cur_line then begin
+        if (not serve_lc) && Cache.line_index il1 ~addr:t.fetch_pc <> !cur_line
+        then begin
           let lat = fetch_latency t t.fetch_pc in
           if lat > t.cfg.Config.mem.Hierarchy.l1i.Cache.hit_latency then begin
             t.fetch_stall_until <- t.now + lat;
             continue_ := false
           end
-          else cur_line := line_of t.fetch_pc
+          else cur_line := Cache.line_index il1 ~addr:t.fetch_pc
         end;
         if !continue_ then begin
-          match Program.insn_at t.program t.fetch_pc with
-          | None -> continue_ := false
-          | Some insn ->
-              let pc = t.fetch_pc in
-              let pred_npc, ck =
-                if Insn.is_ctrl insn then begin
-                  (match Insn.kind insn with
-                  | Insn.K_branch -> charge1 t Component.Bpred_dir
-                  | K_call | K_return -> charge1 t Component.Ras
-                  | K_jump | K_ijump | K_int | K_fp | K_load | K_store | K_nop | K_halt -> ());
-                  charge1 t Component.Btb;
-                  let d = Predictor.lookup t.pred ~pc ~insn in
-                  let ck = Predictor.checkpoint t.pred in
-                  let npc =
-                    if d.Predictor.taken then
-                      match d.Predictor.target with Some tgt -> tgt | None -> -1
-                    else pc + 4
-                  in
-                  (npc, ck)
-                end
-                else (pc + 4, Predictor.checkpoint t.pred)
-              in
-              Queue.push
-                { f_pc = pc; f_insn = insn; f_pred_npc = pred_npc; f_ras_ck = ck; f_buffered = false }
-                t.fetch_q;
-              (match t.lc with
-              | Some lc ->
-                  (* Fill writes are charged; supplied reads were charged
-                     once for the group. *)
-                  if Loopcache.state lc = Loopcache.Fill then charge1 t Component.Loopcache;
-                  Loopcache.on_fetch lc ~pc ~insn ~pred_npc
-              | None -> ());
-              incr fetched;
-              (match Insn.kind insn with
-              | Insn.K_halt ->
-                  t.fetch_pc <- -1;
-                  continue_ := false
-              | _ ->
-                  t.fetch_pc <- pred_npc;
-                  (* Unknown target: wait for the instruction to resolve. *)
-                  if pred_npc < 0 then continue_ := false)
+          if not (Decoded.valid t.dec t.fetch_pc) then continue_ := false
+          else begin
+            let pc = t.fetch_pc in
+            let wi = Decoded.wi_of_pc dec pc in
+            let kind = dec.Decoded.kind.(wi) in
+            let pred_npc =
+              if dec.Decoded.is_ctrl.(wi) then begin
+                (match kind with
+                | Insn.K_branch -> charge1 t Component.Bpred_dir
+                | K_call | K_return -> charge1 t Component.Ras
+                | K_jump | K_ijump | K_int | K_fp | K_load | K_store | K_nop | K_halt ->
+                    ());
+                charge1 t Component.Btb;
+                Predictor.lookup_decoded t.pred ~pc ~kind
+                  ~static_target:dec.Decoded.target.(wi)
+              end
+              else pc + 4
+            in
+            let f = ring_push t.fetch_q in
+            f.f_pc <- pc;
+            f.f_wi <- wi;
+            f.f_pred_npc <- pred_npc;
+            f.f_ras_ck <- Predictor.checkpoint t.pred;
+            f.f_buffered <- false;
+            (match t.lc with
+            | Some lc ->
+                (* Fill writes are charged; supplied reads were charged
+                   once for the group. *)
+                if Loopcache.state lc = Loopcache.Fill then charge1 t Component.Loopcache;
+                Loopcache.on_fetch_decoded lc ~pc ~kind
+                  ~static_target:dec.Decoded.target.(wi) ~pred_npc
+            | None -> ());
+            incr fetched;
+            match kind with
+            | Insn.K_halt ->
+                t.fetch_pc <- -1;
+                continue_ := false
+            | K_branch | K_jump | K_call | K_return | K_ijump | K_int | K_fp
+            | K_load | K_store | K_nop ->
+                t.fetch_pc <- pred_npc;
+                (* Unknown target: wait for the instruction to resolve. *)
+                if pred_npc < 0 then continue_ := false
+          end
         end
       done
     end
@@ -1178,6 +1510,8 @@ let committed t = t.committed
 let ipc t = if t.now = 0 then 0. else float_of_int t.committed /. float_of_int t.now
 let gated_cycles t = t.gated_cycles
 let occupancy t = (Iq.count t.iq, Rob.count t.rob, Lsq.count t.lsq)
+let decode_cache_hits t = t.dc_hits
+let decode_cache_installs t = t.dc_installs
 
 let arch_state t =
   {

@@ -67,6 +67,14 @@ val occupancy : t -> int * int * int
     (anything younger than the halt is wrong-path), so this reads
     (0, 0, 0). *)
 
+val decode_cache_hits : t -> int
+(** Dispatch descriptors served by the steady-state decode cache while
+    buffering a loop (correctness-neutral memoization; see DESIGN.md §9). *)
+
+val decode_cache_installs : t -> int
+(** Loop windows whose descriptors were installed into the decode cache
+    when buffering started. *)
+
 val tracer : t -> Riq_obs.Tracer.t
 val sampler : t -> Riq_obs.Sampler.t option
 

@@ -6,6 +6,11 @@ open Riq_core
 
 type sim_result = {
   stats : Processor.stats;
+  sim_seconds : float;
+      (** CPU seconds spent inside [Processor.run] for this job — host
+          throughput telemetry (insns/s derives from it), not part of the
+          deterministic measurement contract. A cache hit reports the
+          seconds of the run that populated the cache. *)
   icache_power : float; (** per-cycle, Figure 6 grouping *)
   bpred_power : float;
   iq_power : float;
@@ -34,5 +39,11 @@ val error_is_deterministic : error -> bool
     the host it ran on (retry next time). *)
 
 val cacheable : t -> bool
+
+val zero_timing : t -> t
+(** Erase the host-timing telemetry ([sim_seconds] := 0). The
+    bit-identity contract between independently executed runs of the same
+    job covers everything {e except} [sim_seconds]; structural equality
+    checks must normalize both sides through this first. *)
 
 val error_to_string : error -> string

@@ -8,7 +8,12 @@ open Riq_analysis
    the worker pool both delegate here. *)
 let execute (job : Job.t) : Outcome.t =
   let p = Processor.create job.Job.cfg job.Job.program in
-  match Processor.run ~cycle_limit:job.Job.cycle_limit p with
+  (* CPU time, not wall time: the worker may share the host with siblings,
+     and throughput telemetry should measure the simulator, not the load. *)
+  let t0 = (Unix.times ()).Unix.tms_utime in
+  let stop = Processor.run ~cycle_limit:job.Job.cycle_limit p in
+  let sim_seconds = (Unix.times ()).Unix.tms_utime -. t0 in
+  match stop with
   | Processor.Cycle_limit -> Error (Outcome.Cycle_limit_exceeded job.Job.cycle_limit)
   | Processor.Halted -> (
       let checked =
@@ -66,6 +71,7 @@ let execute (job : Job.t) : Outcome.t =
           Ok
             {
               Outcome.stats = Processor.stats p;
+              sim_seconds;
               icache_power = Account.group_power acct Component.G_icache;
               bpred_power = Account.group_power acct Component.G_bpred;
               iq_power = Account.group_power acct Component.G_iq;

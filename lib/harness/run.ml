@@ -2,6 +2,7 @@ open Riq_exp
 
 type result = Outcome.sim_result = {
   stats : Riq_core.Processor.stats;
+  sim_seconds : float;
   icache_power : float;
   bpred_power : float;
   iq_power : float;

@@ -9,6 +9,7 @@ open Riq_core
 
 type result = Riq_exp.Outcome.sim_result = {
   stats : Processor.stats;
+  sim_seconds : float; (** CPU seconds inside [Processor.run]; telemetry *)
   icache_power : float; (** per-cycle, Figure 6 grouping *)
   bpred_power : float;
   iq_power : float;

@@ -81,10 +81,17 @@ let cell t ~bench ~size =
    exports stay field-compatible. *)
 let stats_json = Report.stats_json
 
+let insns_per_sec (r : Run.result) =
+  if r.Run.sim_seconds > 0. then
+    float_of_int r.Run.stats.Processor.committed /. r.Run.sim_seconds
+  else 0.
+
 let result_json (r : Run.result) =
   Json.Obj
     [
       ("stats", stats_json r.Run.stats);
+      ("sim_seconds", Json.Float r.Run.sim_seconds);
+      ("sim_insns_per_sec", Json.Float (insns_per_sec r));
       ( "power",
         Json.Obj
           [
@@ -166,12 +173,36 @@ let to_json ?engine t =
           per_size)
       t.cells
   in
+  (* Aggregate simulator throughput over every run in the sweep — the
+     headline number the perf gate tracks across PRs. *)
+  let committed, seconds =
+    List.fold_left
+      (fun acc (_, per_size) ->
+        List.fold_left
+          (fun (i, s) (_, c) ->
+            ( i + c.baseline.Run.stats.Processor.committed
+              + c.reuse.Run.stats.Processor.committed,
+              s +. c.baseline.Run.sim_seconds +. c.reuse.Run.sim_seconds ))
+          acc per_size)
+      (0, 0.) t.cells
+  in
+  let throughput =
+    Json.Obj
+      [
+        ("committed_insns", Json.Int committed);
+        ("sim_seconds", Json.Float seconds);
+        ( "sim_insns_per_sec",
+          Json.Float (if seconds > 0. then float_of_int committed /. seconds else 0.)
+        );
+      ]
+  in
   Json.Obj
-    (("schema", Json.String "riq-sweep/1")
+    (("schema", Json.String "riq-sweep/2")
     :: ("revision", Json.String Revision.stamp)
     :: ("sizes", Json.List (List.map (fun s -> Json.Int s) t.sizes))
     :: ( "benchmarks",
          Json.List (List.map (fun w -> Json.String w.Workloads.name) t.benchmarks) )
+    :: ("throughput", throughput)
     :: ("cells", Json.List cells)
     ::
     (match engine with

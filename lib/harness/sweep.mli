@@ -46,4 +46,4 @@ val to_json : ?engine:Riq_exp.Engine.t -> t -> Riq_util.Json.t
     groups plus derived percentages, and — when [engine] is given — its
     cache/execution statistics plus any backend telemetry (for a remote
     backend, the service's hit/miss, queue-depth, batching and store
-    counters) ([schema = "riq-sweep/1"]). *)
+    counters) ([schema = "riq-sweep/2"]). *)

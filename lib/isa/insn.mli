@@ -97,6 +97,29 @@ type kind =
   | K_nop
   | K_halt
 
+val code_count : int
+(** Number of dense execution codes. *)
+
+val code : t -> int
+(** Dense execution code in [0, code_count): one value per
+    (constructor, operation) pair, with [Jr r31] (return) and other [Jr]
+    (indirect jump) split so every per-code property is exact. This is
+    what makes the property tables below and the {!Packed} side tables
+    single array loads. *)
+
+val of_code : int -> t
+(** Representative instruction for a code (registers/immediates zeroed);
+    [code (of_code c) = c]. Raises [Invalid_argument] out of range. *)
+
+val kind_table : kind array
+val fu_table : fu_class array
+val latency_table : int array
+val pipelined_table : bool array
+
+val access_bytes_table : int array
+(** Indexed by {!code}; [access_bytes_table.(c)] is 0 for non-memory
+    codes (where {!access_bytes} raises). *)
+
 val kind : t -> kind
 val fu : t -> fu_class
 

@@ -1,0 +1,149 @@
+(* One instruction in one OCaml int, plus code-indexed property tables.
+
+   Word layout (low to high):
+
+     bits  0..5   execution code (Insn.code, < 59)
+     bits  6..12  register field a, biased by +1 (0 = none)
+     bits 13..19  register field b, biased by +1
+     bits 20..26  register field c, biased by +1
+     bits 27..    raw immediate, signed (recovered with [asr 27])
+
+   Register fields hold the constructor arguments verbatim (including
+   r0); semantic filtering such as "r0 is never a dependence" belongs to
+   the consumers building their own side tables. The immediate is the
+   raw constructor argument too — shift amount, 16-bit immediate, branch
+   offset or jump word target — so [unpack (pack i) = i] exactly.
+
+   Field assignment per constructor (a, b, c):
+     Alu/Mul/Div/Shiftv rd rs rt     -> rd, rs, rt   (Shiftv: rd rt rs)
+     Alui rt rs imm / Shift rd rt sh -> rt/rd, rs/rt, imm
+     Fpu fd fs ft / Fcmp rd fs ft    -> fd/rd, fs, ft
+     Cvtsw fd rs / Cvtws rd fs       -> fd/rd, rs/fs
+     loads/stores rt base off        -> rt, base, imm=off
+     Br rs rt off                    -> rs, rt, imm=off
+     J/Jal tgt                       -> imm=tgt
+     Jr rs / Jalr rd rs              -> rs / rd, rs
+     Lui rt imm                      -> rt, imm *)
+
+type word = int
+
+let a_shift = 6
+let b_shift = 13
+let c_shift = 20
+let imm_shift = 27
+
+let make ?(a = -1) ?(b = -1) ?(c = -1) ?(imm = 0) code =
+  code
+  lor ((a + 1) lsl a_shift)
+  lor ((b + 1) lsl b_shift)
+  lor ((c + 1) lsl c_shift)
+  lor (imm lsl imm_shift)
+
+let code w = w land 0x3F
+let ra w = ((w lsr a_shift) land 0x7F) - 1
+let rb w = ((w lsr b_shift) land 0x7F) - 1
+let rc w = ((w lsr c_shift) land 0x7F) - 1
+let imm w = w asr imm_shift
+
+let pack insn =
+  let cd = Insn.code insn in
+  match insn with
+  | Insn.Alu (_, rd, rs, rt) | Mul (rd, rs, rt) | Div (rd, rs, rt)
+  | Fpu (_, rd, rs, rt)
+  | Fcmp (_, rd, rs, rt) ->
+      make cd ~a:rd ~b:rs ~c:rt
+  | Shiftv (_, rd, rt, rs) -> make cd ~a:rd ~b:rt ~c:rs
+  | Alui (_, rt, rs, imm) -> make cd ~a:rt ~b:rs ~imm
+  | Shift (_, rd, rt, sh) -> make cd ~a:rd ~b:rt ~imm:sh
+  | Lui (rt, imm) -> make cd ~a:rt ~imm
+  | Cvtsw (fd, rs) -> make cd ~a:fd ~b:rs
+  | Cvtws (rd, fs) -> make cd ~a:rd ~b:fs
+  | Lw (rt, base, off)
+  | Lb (rt, base, off)
+  | Lbu (rt, base, off)
+  | Lh (rt, base, off)
+  | Lhu (rt, base, off)
+  | Lwf (rt, base, off)
+  | Sw (rt, base, off)
+  | Sb (rt, base, off)
+  | Sh (rt, base, off)
+  | Swf (rt, base, off) ->
+      make cd ~a:rt ~b:base ~imm:off
+  | Br (_, rs, rt, off) -> make cd ~a:rs ~b:rt ~imm:off
+  | J tgt | Jal tgt -> make cd ~imm:tgt
+  | Jr rs -> make cd ~a:rs
+  | Jalr (rd, rs) -> make cd ~a:rd ~b:rs
+  | Nop | Halt -> make cd
+
+let unpack w =
+  let a = ra w and b = rb w and c = rc w and imm = imm w in
+  match code w with
+  | 0 -> Insn.Alu (Insn.Add, a, b, c)
+  | 1 -> Alu (Sub, a, b, c)
+  | 2 -> Alu (And, a, b, c)
+  | 3 -> Alu (Or, a, b, c)
+  | 4 -> Alu (Xor, a, b, c)
+  | 5 -> Alu (Nor, a, b, c)
+  | 6 -> Alu (Slt, a, b, c)
+  | 7 -> Alu (Sltu, a, b, c)
+  | 8 -> Alui (Add, a, b, imm)
+  | 9 -> Alui (And, a, b, imm)
+  | 10 -> Alui (Or, a, b, imm)
+  | 11 -> Alui (Xor, a, b, imm)
+  | 12 -> Alui (Slt, a, b, imm)
+  | 13 -> Alui (Sltu, a, b, imm)
+  | 14 -> Shift (Sll, a, b, imm)
+  | 15 -> Shift (Srl, a, b, imm)
+  | 16 -> Shift (Sra, a, b, imm)
+  | 17 -> Shiftv (Sll, a, b, c)
+  | 18 -> Shiftv (Srl, a, b, c)
+  | 19 -> Shiftv (Sra, a, b, c)
+  | 20 -> Lui (a, imm)
+  | 21 -> Mul (a, b, c)
+  | 22 -> Div (a, b, c)
+  | 23 -> Fpu (Fadd, a, b, c)
+  | 24 -> Fpu (Fsub, a, b, c)
+  | 25 -> Fpu (Fmul, a, b, c)
+  | 26 -> Fpu (Fdiv, a, b, c)
+  | 27 -> Fpu (Fsqrt, a, b, c)
+  | 28 -> Fpu (Fneg, a, b, c)
+  | 29 -> Fpu (Fabs, a, b, c)
+  | 30 -> Fpu (Fmov, a, b, c)
+  | 31 -> Fcmp (Feq, a, b, c)
+  | 32 -> Fcmp (Flt, a, b, c)
+  | 33 -> Fcmp (Fle, a, b, c)
+  | 34 -> Cvtsw (a, b)
+  | 35 -> Cvtws (a, b)
+  | 36 -> Lw (a, b, imm)
+  | 37 -> Lb (a, b, imm)
+  | 38 -> Lbu (a, b, imm)
+  | 39 -> Lh (a, b, imm)
+  | 40 -> Lhu (a, b, imm)
+  | 41 -> Lwf (a, b, imm)
+  | 42 -> Sw (a, b, imm)
+  | 43 -> Sb (a, b, imm)
+  | 44 -> Sh (a, b, imm)
+  | 45 -> Swf (a, b, imm)
+  | 46 -> Br (Beq, a, b, imm)
+  | 47 -> Br (Bne, a, b, imm)
+  | 48 -> Br (Blez, a, b, imm)
+  | 49 -> Br (Bgtz, a, b, imm)
+  | 50 -> Br (Bltz, a, b, imm)
+  | 51 -> Br (Bgez, a, b, imm)
+  | 52 -> J imm
+  | 53 -> Jal imm
+  | 54 | 55 -> Jr a
+  | 56 -> Jalr (a, b)
+  | 57 -> Nop
+  | 58 -> Halt
+  | _ -> invalid_arg "Packed.unpack"
+
+(* Property lookups on words: code extraction + one array load. *)
+
+let kind w = Insn.kind_table.(code w)
+let fu w = Insn.fu_table.(code w)
+let latency w = Insn.latency_table.(code w)
+let pipelined w = Insn.pipelined_table.(code w)
+let access_bytes w = Insn.access_bytes_table.(code w)
+
+let of_code_array insns = Array.map pack insns

@@ -1,0 +1,45 @@
+(** Packed instruction words: one {!Insn.t} encoded losslessly in one
+    OCaml [int], plus property lookups that are a code extraction and a
+    single array load.
+
+    This is the foundation of the flat-array execution core: the whole
+    program is packed once, the pipeline then indexes [int array]s for
+    fetch/decode/dispatch/issue instead of matching constructors, and the
+    decoded side tables (operand registers, precomputed immediates,
+    static targets) are built from these words at [Processor.create]
+    time.
+
+    Layout: bits 0–5 execution code ({!Insn.code}), three 7-bit register
+    fields biased by +1 (0 = none), then the raw signed immediate in the
+    remaining high bits. Register fields carry the constructor arguments
+    verbatim (including [r0]); [unpack (pack i) = i] exactly. *)
+
+type word = int
+
+val pack : Insn.t -> word
+val unpack : word -> Insn.t
+
+val code : word -> int
+(** The {!Insn.code} of the packed instruction. *)
+
+val ra : word -> int
+val rb : word -> int
+
+val rc : word -> int
+(** Raw register fields (constructor argument order); [-1] when the
+    constructor has no such field. *)
+
+val imm : word -> int
+(** Raw immediate field: shift amount, 16-bit ALU immediate, branch word
+    offset, jump word target, or memory byte offset. *)
+
+val kind : word -> Insn.kind
+val fu : word -> Insn.fu_class
+val latency : word -> int
+val pipelined : word -> bool
+
+val access_bytes : word -> int
+(** 0 for non-memory codes (unlike {!Insn.access_bytes}, never raises). *)
+
+val of_code_array : Insn.t array -> word array
+(** Pack a whole text segment. *)

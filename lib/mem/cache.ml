@@ -23,6 +23,11 @@ type line = { mutable tag : int; mutable valid : bool; mutable dirty : bool; mut
 type t = {
   config : config;
   lines : line array; (* sets * ways, row-major by set *)
+  (* Shift/mask forms of the (power-of-two) geometry: integer division by
+     a runtime divisor is ~25 cycles on this core; a shift is one. *)
+  line_shift : int;
+  set_mask : int;
+  set_shift : int;
   mutable clock : int; (* monotonic, for LRU ordering *)
   mutable n_access : int;
   mutable n_hit : int;
@@ -36,6 +41,9 @@ let create config =
   {
     config;
     lines = Array.init n (fun _ -> { tag = 0; valid = false; dirty = false; lru = 0 });
+    line_shift = Bits.log2 config.line_bytes;
+    set_mask = config.sets - 1;
+    set_shift = Bits.log2 config.sets;
     clock = 0;
     n_access = 0;
     n_hit = 0;
@@ -44,44 +52,61 @@ let create config =
 
 let cfg t = t.config
 
+(* Wrong-path address arithmetic can go negative; [lsr] and [/] disagree
+   there, so fall back to the division (the branch predicts perfectly). *)
+let line_index t ~addr =
+  if addr >= 0 then addr lsr t.line_shift else addr / t.config.line_bytes
+
+let tag_of t line_idx =
+  if line_idx >= 0 then line_idx lsr t.set_shift else line_idx / t.config.sets
+
 let set_and_tag t addr =
-  let line_idx = addr / t.config.line_bytes in
-  (line_idx land (t.config.sets - 1), line_idx / t.config.sets)
+  let line_idx = line_index t ~addr in
+  (line_idx land t.set_mask, tag_of t line_idx)
 
 let access t ~addr ~write =
   t.n_access <- t.n_access + 1;
   t.clock <- t.clock + 1;
-  let set, tag = set_and_tag t addr in
-  let base = set * t.config.ways in
-  let found = ref None in
-  for w = 0 to t.config.ways - 1 do
-    let line = t.lines.(base + w) in
-    if line.valid && line.tag = tag then found := Some line
+  let line_idx = line_index t ~addr in
+  let set = line_idx land t.set_mask in
+  let tag = tag_of t line_idx in
+  let ways = t.config.ways in
+  let base = set * ways in
+  (* Imperative scans: local refs compile to stack mutables, so a hit
+     allocates nothing. Tags are unique within a set, so the first match
+     is the match. *)
+  let hit = ref (-1) in
+  let w = ref 0 in
+  while !hit < 0 && !w < ways do
+    let line = Array.unsafe_get t.lines (base + !w) in
+    if line.valid && line.tag = tag then hit := base + !w else incr w
   done;
-  match !found with
-  | Some line ->
-      t.n_hit <- t.n_hit + 1;
-      line.lru <- t.clock;
-      if write then line.dirty <- true;
-      Hit
-  | None ->
-      (* Choose the eviction victim: an invalid way if any, else true LRU. *)
-      let victim = ref t.lines.(base) in
-      for w = 1 to t.config.ways - 1 do
-        let line = t.lines.(base + w) in
-        let v = !victim in
-        if (not line.valid) && v.valid then victim := line
-        else if (not v.valid) || not line.valid then ()
-        else if line.lru < v.lru then victim := line
-      done;
-      let v = !victim in
-      let dirty_evict = v.valid && v.dirty in
-      if dirty_evict then t.n_dirty_evict <- t.n_dirty_evict + 1;
-      v.tag <- tag;
-      v.valid <- true;
-      v.dirty <- write;
-      v.lru <- t.clock;
-      Miss { dirty_evict }
+  if !hit >= 0 then begin
+    let line = t.lines.(!hit) in
+    t.n_hit <- t.n_hit + 1;
+    line.lru <- t.clock;
+    if write then line.dirty <- true;
+    Hit
+  end
+  else begin
+    (* Choose the eviction victim: an invalid way if any, else true LRU. *)
+    let v = ref t.lines.(base) in
+    for w = 1 to ways - 1 do
+      let line = Array.unsafe_get t.lines (base + w) in
+      let cur = !v in
+      if (not line.valid) && cur.valid then v := line
+      else if (not cur.valid) || not line.valid then ()
+      else if line.lru < cur.lru then v := line
+    done;
+    let v = !v in
+    let dirty_evict = v.valid && v.dirty in
+    if dirty_evict then t.n_dirty_evict <- t.n_dirty_evict + 1;
+    v.tag <- tag;
+    v.valid <- true;
+    v.dirty <- write;
+    v.lru <- t.clock;
+    Miss { dirty_evict }
+  end
 
 let probe t ~addr =
   let set, tag = set_and_tag t addr in

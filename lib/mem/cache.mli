@@ -27,6 +27,10 @@ type result = Hit | Miss of { dirty_evict : bool }
 val create : config -> t
 val cfg : t -> config
 
+val line_index : t -> addr:int -> int
+(** The line index containing [addr] (i.e. [addr / line_bytes], computed
+    with a shift for the common non-negative case). *)
+
 val access : t -> addr:int -> write:bool -> result
 (** Look up the line containing [addr]; on a miss the line is filled
     (allocated) and the LRU way of the set is evicted. [write] marks the

@@ -38,9 +38,13 @@ type t = {
   dtlb : Cache.t;
   mutable n_mem : int;
   (* In-flight line fills, per L1: line index -> cycle the fill completes.
-     Entries are pruned lazily on lookup. *)
+     Entries are pruned lazily on lookup. [pmax_*] holds the latest fill
+     completion cycle ever registered: once [now] passes it every entry is
+     stale, so the per-hit table lookup can be skipped entirely. *)
   pending_i : (int, int) Hashtbl.t;
   pending_d : (int, int) Hashtbl.t;
+  pmax_i : int ref;
+  pmax_d : int ref;
 }
 
 let create config =
@@ -55,6 +59,8 @@ let create config =
     n_mem = 0;
     pending_i = Hashtbl.create 64;
     pending_d = Hashtbl.create 64;
+    pmax_i = ref 0;
+    pmax_d = ref 0;
   }
 
 let cfg t = t.config
@@ -88,46 +94,62 @@ let tlb_latency t ~addr ~tlb =
 
 (* MSHR-style pending-fill adjustment: a miss registers the fill
    completion time; a subsequent access to the same line before completion
-   waits for the remaining time rather than hitting instantly. *)
-let with_pending ~pending ~l1 ~now ~addr raw_latency =
-  match now with
-  | None -> raw_latency
-  | Some now ->
-      let line = addr / (Cache.cfg l1).Cache.line_bytes in
-      let hit_lat = (Cache.cfg l1).Cache.hit_latency in
-      if raw_latency > hit_lat then begin
-        Hashtbl.replace pending line (now + raw_latency);
-        raw_latency
-      end
-      else begin
-        match Hashtbl.find_opt pending line with
-        | Some ready when ready > now -> ready - now
-        | Some _ ->
-            Hashtbl.remove pending line;
-            raw_latency
-        | None -> raw_latency
-      end
+   waits for the remaining time rather than hitting instantly. [now] is a
+   plain int, -1 meaning "no timing context" (no adjustment), so the
+   per-access hot path allocates no option. *)
+let with_pending_at ~pending ~pmax ~l1 ~now ~addr raw_latency =
+  if now < 0 then raw_latency
+  else begin
+    let hit_lat = (Cache.cfg l1).Cache.hit_latency in
+    if raw_latency > hit_lat then begin
+      let line = Cache.line_index l1 ~addr in
+      Hashtbl.replace pending line (now + raw_latency);
+      if now + raw_latency > !pmax then pmax := now + raw_latency;
+      raw_latency
+    end
+    else if now >= !pmax then begin
+      (* Every registered fill has completed: all entries are stale, so
+         skip the lookup. Empty the table once so it stays small. *)
+      if Hashtbl.length pending > 0 then Hashtbl.reset pending;
+      raw_latency
+    end
+    else begin
+      let line = Cache.line_index l1 ~addr in
+      match Hashtbl.find_opt pending line with
+      | Some ready when ready > now -> ready - now
+      | Some _ ->
+          Hashtbl.remove pending line;
+          raw_latency
+      | None -> raw_latency
+    end
+  end
 
-let fetch t ?now ~addr () =
+let l1i_path t ~now ~addr =
+  let raw = through_l2 t ~addr ~write:false ~l1:t.l1i in
+  with_pending_at ~pending:t.pending_i ~pmax:t.pmax_i ~l1:t.l1i ~now ~addr raw
+
+let fetch_at t ~now ~addr =
   (* With a filter cache, an L0 hit never touches the L1I; an L0 miss
      costs the L0 probe cycle and then the normal L1I path. *)
-  let l1_path () =
-    let raw = through_l2 t ~addr ~write:false ~l1:t.l1i in
-    with_pending ~pending:t.pending_i ~l1:t.l1i ~now ~addr raw
-  in
   let tlb = tlb_latency t ~addr ~tlb:t.itlb in
   match t.l0i with
-  | None -> tlb + l1_path ()
+  | None -> tlb + l1i_path t ~now ~addr
   | Some l0 -> (
       match Cache.access l0 ~addr ~write:false with
       | Cache.Hit -> tlb + (Cache.cfg l0).Cache.hit_latency
-      | Cache.Miss _ -> tlb + (Cache.cfg l0).Cache.hit_latency + l1_path ())
+      | Cache.Miss _ -> tlb + (Cache.cfg l0).Cache.hit_latency + l1i_path t ~now ~addr)
 
-let data t ?now ~addr ~write () =
+let data_at t ~now ~addr ~write =
   let tlb = tlb_latency t ~addr ~tlb:t.dtlb in
   let raw = through_l2 t ~addr ~write ~l1:t.l1d in
-  let access = with_pending ~pending:t.pending_d ~l1:t.l1d ~now ~addr raw in
+  let access = with_pending_at ~pending:t.pending_d ~pmax:t.pmax_d ~l1:t.l1d ~now ~addr raw in
   if write then 1 + tlb else tlb + access
+
+let fetch t ?now ~addr () =
+  fetch_at t ~now:(match now with None -> -1 | Some n -> n) ~addr
+
+let data t ?now ~addr ~write () =
+  data_at t ~now:(match now with None -> -1 | Some n -> n) ~addr ~write
 
 let l0i t = t.l0i
 let l1i t = t.l1i

@@ -34,6 +34,13 @@ type t
 val create : config -> t
 val cfg : t -> config
 
+val fetch_at : t -> now:int -> addr:int -> int
+(** Allocation-free {!fetch}: [now] is a plain cycle number, -1 meaning
+    "no timing context" (pending-fill adjustment disabled). *)
+
+val data_at : t -> now:int -> addr:int -> write:bool -> int
+(** Allocation-free {!data}; [now] as in {!fetch_at}. *)
+
 val fetch : t -> ?now:int -> addr:int -> unit -> int
 (** Latency in cycles of an instruction fetch at [addr] (ITLB + L1I + L2 +
     DRAM as needed). When [now] is supplied, in-flight line fills are

@@ -1,8 +1,26 @@
 let page_words = 1024 (* 4 KiB pages *)
 
-type t = (int, int array) Hashtbl.t
+type t = {
+  pages : (int, int array) Hashtbl.t;
+  (* One-entry page cache: accesses are strongly page-local, so the
+     common case skips the hashtable entirely. *)
+  mutable lp_idx : int;
+  mutable lp_page : int array;
+}
 
-let create () : t = Hashtbl.create 256
+let no_page : int array = [||]
+
+let create () = { pages = Hashtbl.create 256; lp_idx = -1; lp_page = no_page }
+
+let find_page t page_idx =
+  if t.lp_idx = page_idx then t.lp_page
+  else
+    match Hashtbl.find_opt t.pages page_idx with
+    | None -> no_page
+    | Some page ->
+        t.lp_idx <- page_idx;
+        t.lp_page <- page;
+        page
 
 let check_addr addr =
   if addr < 0 then invalid_arg "Store: negative address";
@@ -11,21 +29,23 @@ let check_addr addr =
 let read_word t addr =
   check_addr addr;
   let word_idx = addr lsr 2 in
-  match Hashtbl.find_opt t (word_idx / page_words) with
-  | None -> 0
-  | Some page -> page.(word_idx mod page_words)
+  let page = find_page t (word_idx / page_words) in
+  if page == no_page then 0 else page.(word_idx mod page_words)
 
 let write_word t addr v =
   check_addr addr;
   let word_idx = addr lsr 2 in
   let page_idx = word_idx / page_words in
   let page =
-    match Hashtbl.find_opt t page_idx with
-    | Some page -> page
-    | None ->
-        let page = Array.make page_words 0 in
-        Hashtbl.replace t page_idx page;
-        page
+    let page = find_page t page_idx in
+    if page != no_page then page
+    else begin
+      let page = Array.make page_words 0 in
+      Hashtbl.replace t.pages page_idx page;
+      t.lp_idx <- page_idx;
+      t.lp_page <- page;
+      page
+    end
   in
   page.(word_idx mod page_words) <- v land 0xFFFFFFFF
 
@@ -61,15 +81,15 @@ let write_float t addr v = write_word t addr (Int32.to_int (Int32.bits_of_float 
 
 let copy t =
   let t' = create () in
-  Hashtbl.iter (fun k page -> Hashtbl.replace t' k (Array.copy page)) t;
+  Hashtbl.iter (fun k page -> Hashtbl.replace t'.pages k (Array.copy page)) t.pages;
   t'
 
 let fold_nonzero t ~init ~f =
-  let pages = Hashtbl.fold (fun k _ acc -> k :: acc) t [] in
+  let pages = Hashtbl.fold (fun k _ acc -> k :: acc) t.pages [] in
   let pages = List.sort compare pages in
   List.fold_left
     (fun acc page_idx ->
-      let page = Hashtbl.find t page_idx in
+      let page = Hashtbl.find t.pages page_idx in
       let acc = ref acc in
       Array.iteri
         (fun i v ->

@@ -23,20 +23,29 @@ let pool_of t = function
   | FU_mem -> Some t.mem
   | FU_none -> None
 
+(* Imperative scan: local refs compile to stack mutables, so the hot
+   path allocates nothing. *)
+let acquire_pool pool ~now ~latency ~pipelined =
+  let n = Array.length pool.busy_until in
+  let i = ref 0 in
+  let got = ref false in
+  while (not !got) && !i < n do
+    if pool.busy_until.(!i) <= now then begin
+      pool.busy_until.(!i) <- now + (if pipelined then 1 else latency);
+      pool.n_issued <- pool.n_issued + 1;
+      got := true
+    end
+    else incr i
+  done;
+  !got
+
 let acquire t cls ~now ~latency ~pipelined =
-  match pool_of t cls with
-  | None -> true
-  | Some pool ->
-      let n = Array.length pool.busy_until in
-      let rec go i =
-        if i >= n then false
-        else if pool.busy_until.(i) <= now then begin
-          pool.busy_until.(i) <- now + (if pipelined then 1 else latency);
-          pool.n_issued <- pool.n_issued + 1;
-          true
-        end
-        else go (i + 1)
-      in
-      go 0
+  match cls with
+  | Insn.FU_none -> true
+  | FU_ialu -> acquire_pool t.ialu ~now ~latency ~pipelined
+  | FU_imult -> acquire_pool t.imult ~now ~latency ~pipelined
+  | FU_fpalu -> acquire_pool t.fpalu ~now ~latency ~pipelined
+  | FU_fpmult -> acquire_pool t.fpmult ~now ~latency ~pipelined
+  | FU_mem -> acquire_pool t.mem ~now ~latency ~pipelined
 
 let issued_of t cls = match pool_of t cls with None -> 0 | Some pool -> pool.n_issued

@@ -4,8 +4,12 @@ type slot = {
   mutable seq : int;
   mutable rob_idx : int;
   mutable pc : int;
-  mutable insn : Insn.t;
+  mutable wi : int;
   mutable fu : Insn.fu_class;
+  mutable lat : int;
+  mutable pipe : bool;
+  mutable is_mem : bool;
+  mutable is_store : bool;
   mutable src1_tag : int;
   mutable src1_i : int;
   mutable src1_f : float;
@@ -16,38 +20,165 @@ type slot = {
   mutable reusable : bool;
   mutable dead : bool;
   mutable pred_npc : int;
+  (* Intrusive links, all self-linked when the slot is not on the
+     corresponding list. [w1_*]/[w2_*] thread the slot onto the per-tag
+     waiter list of its outstanding first/second source operand, so a
+     result broadcast touches only the slots actually waiting on that
+     tag. [r_*] thread the ready ring: unissued live slots whose
+     operands are select-ready, the set the issue stage walks. A store
+     with its address operand ready but its data still in flight sits on
+     both a waiter list and the ready ring. Membership is maintained by
+     {!enqueue}/{!mark_issued}/{!mark_renamed}/{!kill}/{!wakeup}; slot
+     records keep their links when {!compact} permutes the array. *)
+  mutable w1_next : slot;
+  mutable w1_prev : slot;
+  mutable w2_next : slot;
+  mutable w2_prev : slot;
+  mutable r_next : slot;
+  mutable r_prev : slot;
 }
 
-type t = { arr : slot array; size : int; mutable count : int; mutable rptr : int }
+type t = {
+  arr : slot array;
+  size : int;
+  mutable count : int;
+  mutable rptr : int;
+  rq : slot; (* sentinel of the ready ring *)
+  mutable wait1 : slot array; (* per-tag waiter-list sentinels, src1 *)
+  mutable wait2 : slot array; (* per-tag waiter-list sentinels, src2 *)
+  mutable n_wait : int array;
+  (* waiters per tag, both lists combined: a broadcast for a tag nobody
+     waits on (the common case) checks one int in a compact array instead
+     of dereferencing two sentinel records *)
+  mutable n_dead : int; (* dead slots within [0, count): compact's work *)
+}
 
 let fresh_slot () =
-  {
-    seq = -1;
-    rob_idx = -1;
-    pc = 0;
-    insn = Insn.Nop;
-    fu = Insn.FU_none;
-    src1_tag = -1;
-    src1_i = 0;
-    src1_f = 0.;
-    src2_tag = -1;
-    src2_i = 0;
-    src2_f = 0.;
-    issued = false;
-    reusable = false;
-    dead = false;
-    pred_npc = 0;
-  }
+  let rec s =
+    {
+      seq = -1;
+      rob_idx = -1;
+      pc = 0;
+      wi = -1;
+      fu = Insn.FU_none;
+      lat = 1;
+      pipe = true;
+      is_mem = false;
+      is_store = false;
+      src1_tag = -1;
+      src1_i = 0;
+      src1_f = 0.;
+      src2_tag = -1;
+      src2_i = 0;
+      src2_f = 0.;
+      issued = false;
+      reusable = false;
+      dead = false;
+      pred_npc = 0;
+      w1_next = s;
+      w1_prev = s;
+      w2_next = s;
+      w2_prev = s;
+      r_next = s;
+      r_prev = s;
+    }
+  in
+  s
 
 let create size =
   if size < 1 then invalid_arg "Iq.create";
-  { arr = Array.init size (fun _ -> fresh_slot ()); size; count = 0; rptr = 0 }
+  {
+    arr = Array.init size (fun _ -> fresh_slot ());
+    size;
+    count = 0;
+    rptr = 0;
+    rq = fresh_slot ();
+    wait1 = Array.init 64 (fun _ -> fresh_slot ());
+    wait2 = Array.init 64 (fun _ -> fresh_slot ());
+    n_wait = Array.make 64 0;
+    n_dead = 0;
+  }
 
 let size t = t.size
 let count t = t.count
 let free t = t.size - t.count
 let is_full t = t.count = t.size
 let slots t = t.arr
+let ready t = t.rq
+
+(* Tags are ROB indices; the sentinel tables grow to cover whatever tag
+   range the client uses. *)
+let ensure_tag t tag =
+  let n = Array.length t.wait1 in
+  if tag >= n then begin
+    let n' =
+      let m = ref n in
+      while tag >= !m do
+        m := !m * 2
+      done;
+      !m
+    in
+    let grow old = Array.init n' (fun i -> if i < n then old.(i) else fresh_slot ()) in
+    t.wait1 <- grow t.wait1;
+    t.wait2 <- grow t.wait2;
+    let counts = Array.make n' 0 in
+    Array.blit t.n_wait 0 counts 0 n;
+    t.n_wait <- counts
+  end
+
+let w1_link t s =
+  ensure_tag t s.src1_tag;
+  let h = t.wait1.(s.src1_tag) in
+  let p = h.w1_prev in
+  s.w1_prev <- p;
+  s.w1_next <- h;
+  p.w1_next <- s;
+  h.w1_prev <- s;
+  t.n_wait.(s.src1_tag) <- t.n_wait.(s.src1_tag) + 1
+
+(* Only ever called while [s] is linked, so [src1_tag] is still the tag
+   whose list [s] is on (tags change only while a slot is off the lists). *)
+let w1_remove t s =
+  t.n_wait.(s.src1_tag) <- t.n_wait.(s.src1_tag) - 1;
+  s.w1_prev.w1_next <- s.w1_next;
+  s.w1_next.w1_prev <- s.w1_prev;
+  s.w1_next <- s;
+  s.w1_prev <- s
+
+let w2_link t s =
+  ensure_tag t s.src2_tag;
+  let h = t.wait2.(s.src2_tag) in
+  let p = h.w2_prev in
+  s.w2_prev <- p;
+  s.w2_next <- h;
+  p.w2_next <- s;
+  h.w2_prev <- s;
+  t.n_wait.(s.src2_tag) <- t.n_wait.(s.src2_tag) + 1
+
+let w2_remove t s =
+  t.n_wait.(s.src2_tag) <- t.n_wait.(s.src2_tag) - 1;
+  s.w2_prev.w2_next <- s.w2_next;
+  s.w2_next.w2_prev <- s.w2_prev;
+  s.w2_next <- s;
+  s.w2_prev <- s
+
+let rq_append t s =
+  let p = t.rq.r_prev in
+  s.r_prev <- p;
+  s.r_next <- t.rq;
+  p.r_next <- s;
+  t.rq.r_prev <- s
+
+let rq_remove s =
+  s.r_prev.r_next <- s.r_next;
+  s.r_next.r_prev <- s.r_prev;
+  s.r_next <- s;
+  s.r_prev <- s
+
+let unlink t s =
+  if s.w1_next != s then w1_remove t s;
+  if s.w2_next != s then w2_remove t s;
+  if s.r_next != s then rq_remove s
 
 let dispatch t =
   if is_full t then failwith "Iq.dispatch: full";
@@ -58,48 +189,96 @@ let dispatch t =
   s.reusable <- false;
   s
 
+(* Classify a slot onto the waiter lists and/or ready ring once its
+   source tags are known. A store is select-ready as soon as its address
+   operand resolves: the data operand rides along as a tag on the
+   address-generation event. *)
+let enqueue t s =
+  if s.src1_tag >= 0 then w1_link t s;
+  if s.src2_tag >= 0 then w2_link t s;
+  if s.src1_tag < 0 && (s.src2_tag < 0 || s.is_store) then rq_append t s
+
+let mark_issued t s =
+  s.issued <- true;
+  unlink t s
+
+(* Reuse-path partial update: an issued buffered slot is renamed back to
+   a fresh in-flight instance; the caller has already refreshed the
+   source tags. *)
+let mark_renamed t s =
+  s.issued <- false;
+  enqueue t s
+
+let kill t s =
+  if not s.dead then begin
+    s.dead <- true;
+    t.n_dead <- t.n_dead + 1
+  end;
+  unlink t s
+
+(* Top-level (closure-free) waiter-list walks for {!wakeup}. *)
+let rec wake1 t h value_i value_f (s : slot) =
+  if s != h then begin
+    let next = s.w1_next in
+    w1_remove t s;
+    s.src1_tag <- -1;
+    s.src1_i <- value_i;
+    s.src1_f <- value_f;
+    if (s.src2_tag < 0 || s.is_store) && s.r_next == s then rq_append t s;
+    wake1 t h value_i value_f next
+  end
+
+let rec wake2 t h value_i value_f (s : slot) =
+  if s != h then begin
+    let next = s.w2_next in
+    w2_remove t s;
+    s.src2_tag <- -1;
+    s.src2_i <- value_i;
+    s.src2_f <- value_f;
+    if s.src1_tag < 0 && s.r_next == s then rq_append t s;
+    wake2 t h value_i value_f next
+  end
+
 let wakeup t ~tag ~value_i ~value_f =
-  for i = 0 to t.count - 1 do
-    let s = t.arr.(i) in
-    if (not s.issued) && not s.dead then begin
-      if s.src1_tag = tag then begin
-        s.src1_tag <- -1;
-        s.src1_i <- value_i;
-        s.src1_f <- value_f
-      end;
-      if s.src2_tag = tag then begin
-        s.src2_tag <- -1;
-        s.src2_i <- value_i;
-        s.src2_f <- value_f
-      end
-    end
-  done
+  (* Tags only change while a slot is off the lists, so membership in
+     [wait1.(tag)] implies [src1_tag = tag] (resp. src2). Issued slots'
+     sources are re-read at their next rename and are never linked. *)
+  if tag < Array.length t.wait1 && t.n_wait.(tag) > 0 then begin
+    let h1 = t.wait1.(tag) in
+    wake1 t h1 value_i value_f h1.w1_next;
+    let h2 = t.wait2.(tag) in
+    wake2 t h2 value_i value_f h2.w2_next
+  end
 
 let compact t =
-  let orig_rptr = t.rptr in
-  let dead_before = ref 0 in
-  let w = ref 0 in
-  let removed = ref 0 in
-  for r = 0 to t.count - 1 do
-    let s = t.arr.(r) in
-    if s.dead then begin
-      incr removed;
-      if r < orig_rptr then incr dead_before
-    end
-    else begin
-      if !w <> r then begin
-        (* Swap the record references to keep slot objects unique. *)
-        let tmp = t.arr.(!w) in
-        t.arr.(!w) <- s;
-        t.arr.(r) <- tmp
-      end;
-      incr w
-    end
-  done;
-  t.count <- !w;
-  t.rptr <- orig_rptr - !dead_before;
-  if t.rptr > t.count || t.rptr < 0 then t.rptr <- 0;
-  !removed
+  if t.n_dead = 0 then 0
+  else begin
+    let orig_rptr = t.rptr in
+    let dead_before = ref 0 in
+    let w = ref 0 in
+    let removed = ref 0 in
+    for r = 0 to t.count - 1 do
+      let s = t.arr.(r) in
+      if s.dead then begin
+        incr removed;
+        if r < orig_rptr then incr dead_before
+      end
+      else begin
+        if !w <> r then begin
+          (* Swap the record references to keep slot objects unique. *)
+          let tmp = t.arr.(!w) in
+          t.arr.(!w) <- s;
+          t.arr.(r) <- tmp
+        end;
+        incr w
+      end
+    done;
+    t.count <- !w;
+    t.n_dead <- 0;
+    t.rptr <- orig_rptr - !dead_before;
+    if t.rptr > t.count || t.rptr < 0 then t.rptr <- 0;
+    !removed
+  end
 
 let reuse_ptr t = t.rptr
 let set_reuse_ptr t i = t.rptr <- i
@@ -113,13 +292,18 @@ let clear_classification t =
     let s = t.arr.(i) in
     if s.reusable then begin
       s.reusable <- false;
-      if s.issued then s.dead <- true
+      if s.issued then kill t s
     end
   done
 
 let clear t =
+  (* Unlink everything before dropping the slots. *)
+  for i = 0 to t.count - 1 do
+    unlink t t.arr.(i)
+  done;
   t.count <- 0;
-  t.rptr <- 0
+  t.rptr <- 0;
+  t.n_dead <- 0
 
 let squash_after t ~seq =
   for i = 0 to t.count - 1 do
@@ -128,8 +312,8 @@ let squash_after t ~seq =
       if s.reusable then begin
         (* The in-flight instance dies but the buffered instruction
            remains; it is as if its last instance had already issued. *)
-        if not s.issued then s.issued <- true
+        if not s.issued then mark_issued t s
       end
-      else s.dead <- true
+      else kill t s
     end
   done

@@ -23,8 +23,14 @@ type slot = {
   mutable seq : int; (** current dynamic instance *)
   mutable rob_idx : int;
   mutable pc : int;
-  mutable insn : Insn.t;
+  mutable wi : int;
+      (** decoded word index ([(pc - text_base) / 4]); the slot's pointer
+          into the packed side tables *)
   mutable fu : Insn.fu_class;
+  mutable lat : int; (** execution latency, cached at rename *)
+  mutable pipe : bool; (** functional unit pipelined for this op *)
+  mutable is_mem : bool;
+  mutable is_store : bool;
   mutable src1_tag : int; (** ROB index the operand waits on; -1 = ready *)
   mutable src1_i : int;
   mutable src1_f : float;
@@ -35,6 +41,22 @@ type slot = {
   mutable reusable : bool; (** classification bit *)
   mutable dead : bool; (** removed at the next {!compact} *)
   mutable pred_npc : int;
+  mutable w1_next : slot;
+      (** intrusive per-tag waiter-list link for the first source operand
+          (the set {!wakeup} walks for that tag); self-linked = not on a
+          list. Maintained by the queue operations — callers change issue
+          state through {!enqueue}/{!mark_issued}/{!mark_renamed}/{!kill},
+          never by writing [issued]/[dead] directly. *)
+  mutable w1_prev : slot;
+  mutable w2_next : slot;  (** waiter-list link, second source operand *)
+  mutable w2_prev : slot;
+  mutable r_next : slot;
+      (** intrusive ready-ring link (unissued live slots whose operands
+          are select-ready — the set the issue stage walks); self-linked =
+          not in the ring. A store whose address operand is ready but
+          whose data is still in flight sits on both a waiter list and
+          the ready ring. *)
+  mutable r_prev : slot;
 }
 
 type t
@@ -50,7 +72,32 @@ val slots : t -> slot array
 
 val dispatch : t -> slot
 (** Claim the next slot (appended at the tail, preserving age order) and
-    return it for the caller to fill. Raises [Failure] when full. *)
+    return it for the caller to fill. The slot joins no ring yet: call
+    {!enqueue} once the source tags are resolved. Raises [Failure] when
+    full. *)
+
+val enqueue : t -> slot -> unit
+(** Classify a freshly filled slot into the wait and/or ready rings based
+    on its current source tags. Must be called exactly once after
+    {!dispatch} (once the tags are known); {!mark_renamed} performs it
+    implicitly. *)
+
+val ready : t -> slot
+(** Sentinel of the ready ring: the select-ready unissued slots are
+    [r_next .. ] until the sentinel recurs. The issue stage walks this
+    ring instead of scanning the whole array. *)
+
+val mark_issued : t -> slot -> unit
+(** Set the issue-state bit and leave both rings. *)
+
+val mark_renamed : t -> slot -> unit
+(** Reuse-mode partial update: an issued buffered slot becomes a fresh
+    unissued in-flight instance and rejoins the rings according to the
+    source tags the caller just refreshed. *)
+
+val kill : t -> slot -> unit
+(** Mark a slot dead (removed by the next {!compact}) and drop it from
+    both rings. *)
 
 val wakeup : t -> tag:int -> value_i:int -> value_f:float -> unit
 (** Result broadcast: every un-issued slot waiting on [tag] captures the

@@ -13,7 +13,14 @@ type entry = {
   mutable live : bool;
 }
 
-type t = { arr : entry array; size : int; mutable head : int; mutable tail : int; mutable count : int }
+type t = {
+  arr : entry array;
+  size : int;
+  mutable head : int;
+  mutable tail : int;
+  mutable count : int;
+  mutable n_tagged : int; (* live stores with an outstanding data tag *)
+}
 
 let fresh () =
   {
@@ -33,7 +40,7 @@ let fresh () =
 
 let create size =
   if size < 1 then invalid_arg "Lsq.create";
-  { arr = Array.init size (fun _ -> fresh ()); size; head = 0; tail = 0; count = 0 }
+  { arr = Array.init size (fun _ -> fresh ()); size; head = 0; tail = 0; count = 0; n_tagged = 0 }
 
 let size t = t.size
 let count t = t.count
@@ -53,6 +60,18 @@ let alloc t =
   idx
 
 let entry t idx = t.arr.(idx)
+
+(* Tag writes go through here so {!capture_data} can skip its walk when
+   no store is waiting on a broadcast at all (the common case). *)
+let wait_data t e ~tag =
+  e.data_tag <- tag;
+  t.n_tagged <- t.n_tagged + 1
+
+let untag t e =
+  if e.data_tag >= 0 then begin
+    e.data_tag <- -1;
+    t.n_tagged <- t.n_tagged - 1
+  end
 
 type load_check = Forward of entry | Wait | Access
 
@@ -89,23 +108,33 @@ let check_load t ~idx ~addr ~width =
   !result
 
 let capture_data t ~tag ~value_i ~value_f =
-  let captured = ref [] in
-  for i = 0 to t.size - 1 do
-    let e = t.arr.(i) in
-    if e.live && e.is_store && e.data_tag = tag then begin
-      e.data_tag <- -1;
-      e.data_ready <- true;
-      e.data_i <- value_i;
-      e.data_f <- value_f;
-      captured := (e.rob_idx, e.seq) :: !captured
-    end
-  done;
-  !captured
+  (* Only live entries can wait on a tag, so walk the occupied window;
+     capture order is irrelevant downstream (distinct sequence numbers). *)
+  if t.n_tagged = 0 then []
+  else begin
+    let captured = ref [] in
+    let pos = ref t.head in
+    for _ = 1 to t.count do
+      let e = t.arr.(!pos) in
+      if e.is_store && e.data_tag = tag then begin
+        e.data_tag <- -1;
+        t.n_tagged <- t.n_tagged - 1;
+        e.data_ready <- true;
+        e.data_i <- value_i;
+        e.data_f <- value_f;
+        captured := (e.rob_idx, e.seq) :: !captured
+      end;
+      pos := !pos + 1;
+      if !pos = t.size then pos := 0
+    done;
+    !captured
+  end
 
 let head_is t idx = t.count > 0 && idx = t.head
 
 let pop_head t =
   if t.count = 0 then failwith "Lsq.pop_head: empty";
+  untag t t.arr.(t.head);
   t.arr.(t.head).live <- false;
   t.arr.(t.head).seq <- -1;
   t.head <- (t.head + 1) mod t.size;
@@ -117,6 +146,7 @@ let squash_after t ~seq =
     let last = (t.tail + t.size - 1) mod t.size in
     let e = t.arr.(last) in
     if e.live && e.seq > seq then begin
+      untag t e;
       e.live <- false;
       e.seq <- -1;
       t.tail <- last;

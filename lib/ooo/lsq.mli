@@ -37,6 +37,11 @@ val alloc : t -> int
 
 val entry : t -> int -> entry
 
+val wait_data : t -> entry -> tag:int -> unit
+(** Record that [entry]'s store data waits on ROB index [tag]. Tag writes
+    go through here (not the field) so {!capture_data} can skip its walk
+    when no store in the queue is waiting on any broadcast. *)
+
 type load_check =
   | Forward of entry (** youngest older matching store, data ready *)
   | Wait (** an older store's address or matching data is unresolved *)

@@ -1,9 +1,8 @@
-open Riq_isa
 
 type entry = {
   mutable seq : int;
   mutable pc : int;
-  mutable insn : Insn.t;
+  mutable wi : int;
   mutable completed : bool;
   mutable value_i : int;
   mutable value_f : float;
@@ -30,7 +29,7 @@ let fresh_entry () =
   {
     seq = -1;
     pc = 0;
-    insn = Insn.Nop;
+    wi = -1;
     completed = false;
     value_i = 0;
     value_f = 0.;

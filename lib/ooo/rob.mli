@@ -1,4 +1,3 @@
-open Riq_isa
 
 (** Reorder buffer.
 
@@ -18,7 +17,7 @@ open Riq_isa
 type entry = {
   mutable seq : int; (** global dynamic sequence number *)
   mutable pc : int;
-  mutable insn : Insn.t;
+  mutable wi : int; (** decoded word index into the packed side tables *)
   mutable completed : bool;
   mutable value_i : int; (** integer result *)
   mutable value_f : float; (** FP result *)

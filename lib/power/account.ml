@@ -2,6 +2,10 @@ type t = {
   model : Model.t;
   act : float array;
   acc : float array; (* cumulative energy per component *)
+  (* Per-access / per-idle energies indexed by [Component.index], copied
+     out of the model so [tick] is a straight-line array loop. *)
+  ea : float array;
+  ia : float array;
   mutable n_cycles : int;
 }
 
@@ -10,6 +14,8 @@ let create model =
     model;
     act = Array.make Component.count 0.;
     acc = Array.make Component.count 0.;
+    ea = Array.init Component.count (fun i -> Model.energy model (Component.of_index i));
+    ia = Array.init Component.count (fun i -> Model.idle model (Component.of_index i));
     n_cycles = 0;
   }
 
@@ -21,13 +27,14 @@ let clock_idx = Component.index Component.Clock
 
 let tick t =
   t.n_cycles <- t.n_cycles + 1;
+  let act = t.act and acc = t.acc and ea = t.ea and ia = t.ia in
   for i = 0 to Component.count - 1 do
-    let a = t.act.(i) in
+    let a = Array.unsafe_get act i in
     if a > 0. then begin
-      t.acc.(i) <- t.acc.(i) +. (a *. Model.energy t.model (Component.of_index i));
-      t.act.(i) <- 0.
+      Array.unsafe_set acc i (Array.unsafe_get acc i +. (a *. Array.unsafe_get ea i));
+      Array.unsafe_set act i 0.
     end
-    else t.acc.(i) <- t.acc.(i) +. Model.idle t.model (Component.of_index i)
+    else Array.unsafe_set acc i (Array.unsafe_get acc i +. Array.unsafe_get ia i)
   done;
   t.acc.(clock_idx) <- t.acc.(clock_idx) +. Model.clock_per_cycle t.model
 

@@ -1,0 +1,164 @@
+open Riq_ooo
+open Riq_core
+open Riq_workloads
+open Riq_fuzz
+
+(* Differential suite for the packed fast path: every fixed-corpus program
+   and every kernel runs through both [Slowpath] (the seed-equivalent
+   reference pipeline, Insn.t matches + Queue/Hashtbl structures) and
+   [Processor] (the flat-array packed core) inside this binary, asserting
+   bit-equal architectural state, equal stat counters (including the
+   power average down to the float bits) and equal per-loop decision
+   logs. Any divergence in charge ordering, event drain order or decode
+   behavior shows up here before it can skew a figure. *)
+
+let base_seed = 42
+let corpus_size = 50
+
+let corpus =
+  lazy
+    (List.init corpus_size (fun i ->
+         let prog = Gen.program ~seed:(Gen.derive_seed base_seed i) () in
+         match Prog.to_program prog with
+         | Ok p -> (Printf.sprintf "seed-%d" prog.Prog.seed, p)
+         | Error msg ->
+             Alcotest.failf "corpus program (seed %d) does not assemble: %s"
+               prog.Prog.seed msg))
+
+let configs = [ ("baseline", Config.baseline); ("reuse", Config.reuse) ]
+
+let check_stats name (slow : Processor.stats) (fast : Processor.stats) =
+  let chk_i what a b = Alcotest.(check int) (name ^ ": " ^ what) a b in
+  chk_i "cycles" slow.Processor.cycles fast.Processor.cycles;
+  chk_i "committed" slow.Processor.committed fast.Processor.committed;
+  chk_i "gated_cycles" slow.Processor.gated_cycles fast.Processor.gated_cycles;
+  chk_i "branches" slow.Processor.branches fast.Processor.branches;
+  chk_i "mispredicts" slow.Processor.mispredicts fast.Processor.mispredicts;
+  chk_i "loads" slow.Processor.loads fast.Processor.loads;
+  chk_i "stores" slow.Processor.stores fast.Processor.stores;
+  chk_i "reuse_dispatches" slow.Processor.reuse_dispatches
+    fast.Processor.reuse_dispatches;
+  chk_i "reuse_committed" slow.Processor.reuse_committed
+    fast.Processor.reuse_committed;
+  chk_i "buffer_attempts" slow.Processor.buffer_attempts
+    fast.Processor.buffer_attempts;
+  chk_i "revokes" slow.Processor.revokes fast.Processor.revokes;
+  chk_i "promotions" slow.Processor.promotions fast.Processor.promotions;
+  chk_i "reuse_exits" slow.Processor.reuse_exits fast.Processor.reuse_exits;
+  chk_i "icache_accesses" slow.Processor.icache_accesses
+    fast.Processor.icache_accesses;
+  chk_i "icache_misses" slow.Processor.icache_misses fast.Processor.icache_misses;
+  chk_i "dcache_accesses" slow.Processor.dcache_accesses
+    fast.Processor.dcache_accesses;
+  chk_i "dcache_misses" slow.Processor.dcache_misses fast.Processor.dcache_misses;
+  (* Power must agree to the bit: the fast path is required to issue every
+     charge in the seed order. *)
+  Alcotest.(check int64)
+    (name ^ ": avg_power bits")
+    (Int64.bits_of_float slow.Processor.avg_power)
+    (Int64.bits_of_float fast.Processor.avg_power);
+  Alcotest.(check (float 1e-12)) (name ^ ": ipc") slow.Processor.ipc
+    fast.Processor.ipc
+
+let check_decisions name slow fast =
+  let pp (d : Processor.loop_decision) =
+    Printf.sprintf
+      "{head=%#x tail=%#x span=%d det=%d filt=%d att=%d rev=%d \
+       inner=%d left=%d ovf=%d misp=%d reg=%d prom=%d reused=%d}"
+      d.Processor.ld_head d.Processor.ld_tail d.Processor.ld_span
+      d.Processor.ld_detections d.Processor.ld_nblt_filtered
+      d.Processor.ld_attempts d.Processor.ld_revokes d.Processor.ld_rv_inner
+      d.Processor.ld_rv_left d.Processor.ld_rv_overflow
+      d.Processor.ld_rv_mispredict d.Processor.ld_nblt_registered
+      d.Processor.ld_promotions d.Processor.ld_reuse_committed
+  in
+  let show l = String.concat "; " (List.map pp l) in
+  if slow <> fast then
+    Alcotest.failf "%s: loop_decisions diverge\nslow: %s\nfast: %s" name
+      (show slow) (show fast)
+
+let run_both name program cfg =
+  let slow = Slowpath.create cfg program in
+  (match Slowpath.run slow with
+  | Slowpath.Halted -> ()
+  | Slowpath.Cycle_limit -> Alcotest.failf "%s: slow path hit cycle limit" name);
+  let fast = Processor.create cfg program in
+  (match Processor.run fast with
+  | Processor.Halted -> ()
+  | Processor.Cycle_limit -> Alcotest.failf "%s: fast path hit cycle limit" name);
+  let a_slow = Slowpath.arch_state slow and a_fast = Processor.arch_state fast in
+  if not (Riq_interp.Machine.equal_arch a_slow a_fast) then
+    Alcotest.failf "%s: arch state diverges\n%s" name
+      (Riq_interp.Machine.diff_string a_slow a_fast);
+  check_stats name (Slowpath.stats slow) (Processor.stats fast);
+  check_decisions name (Slowpath.loop_decisions slow) (Processor.loop_decisions fast)
+
+let test_kernels () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun (cname, cfg) ->
+          run_both (w.Workloads.name ^ "/" ^ cname) (Workloads.program w) cfg)
+        configs)
+    Workloads.all
+
+let test_corpus () =
+  List.iter
+    (fun (pname, program) ->
+      List.iter
+        (fun (cname, cfg) -> run_both (pname ^ "/" ^ cname) program cfg)
+        configs)
+    (Lazy.force corpus)
+
+(* A constrained machine shakes out the structural-stall and revoke paths
+   (IQ overflow while buffering, LSQ-full dispatch stalls, event-wheel
+   wrap) that the default geometry rarely exercises. *)
+let test_small_iq () =
+  let cfg = Config.with_iq_size Config.reuse 16 in
+  List.iter
+    (fun w -> run_both (w.Workloads.name ^ "/small-iq") (Workloads.program w) cfg)
+    Workloads.all
+
+(* The interpreter has the same split: [Machine.run] executes packed
+   words, [Machine.step] matches constructors. Every kernel and corpus
+   program must reach the same architectural state through both. *)
+let interp_both name program =
+  let module M = Riq_interp.Machine in
+  let fast = M.create program in
+  (match M.run fast with
+  | M.Halted -> ()
+  | M.Insn_limit -> Alcotest.failf "%s: packed interp hit insn limit" name
+  | M.Bad_pc pc -> Alcotest.failf "%s: packed interp bad pc %#x" name pc);
+  let slow = M.create program in
+  let rec step_all () =
+    match M.step slow with
+    | None -> step_all ()
+    | Some M.Halted -> ()
+    | Some M.Insn_limit -> Alcotest.failf "%s: step interp hit insn limit" name
+    | Some (M.Bad_pc pc) -> Alcotest.failf "%s: step interp bad pc %#x" name pc
+  in
+  step_all ();
+  let a_fast = M.arch_state fast and a_slow = M.arch_state slow in
+  if not (M.equal_arch a_slow a_fast) then
+    Alcotest.failf "%s: interp packed/step state diverges\n%s" name
+      (M.diff_string a_slow a_fast)
+
+let test_interp_packed () =
+  List.iter
+    (fun w -> interp_both w.Workloads.name (Workloads.program w))
+    Workloads.all;
+  List.iter (fun (pname, program) -> interp_both pname program) (Lazy.force corpus)
+
+let suites =
+  [
+    ( "fastpath.differential",
+      [
+        Alcotest.test_case "kernels: slow = fast (arch, stats, decisions)" `Slow
+          test_kernels;
+        Alcotest.test_case "fuzz corpus x 2 configs: slow = fast" `Slow
+          test_corpus;
+        Alcotest.test_case "small-iq kernels: slow = fast" `Slow test_small_iq;
+        Alcotest.test_case "interpreter: packed run = step loop" `Quick
+          test_interp_packed;
+      ] );
+  ]

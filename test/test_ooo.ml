@@ -90,11 +90,12 @@ let test_rob_iteration () =
 let dispatch_simple iq ~seq ~reusable ~ready =
   let s = Iq.dispatch iq in
   s.Iq.seq <- seq;
-  s.Iq.insn <- Insn.Nop;
+  s.Iq.wi <- -1;
   s.Iq.src1_tag <- (if ready then -1 else seq + 100);
   s.Iq.src2_tag <- -1;
   s.Iq.reusable <- reusable;
   s.Iq.pred_npc <- 0;
+  Iq.enqueue iq s;
   s
 
 let test_iq_dispatch_compact () =
@@ -102,7 +103,7 @@ let test_iq_dispatch_compact () =
   let s1 = dispatch_simple iq ~seq:1 ~reusable:false ~ready:true in
   let _s2 = dispatch_simple iq ~seq:2 ~reusable:false ~ready:true in
   Alcotest.(check int) "count" 2 (Iq.count iq);
-  s1.Iq.dead <- true;
+  Iq.kill iq s1;
   let removed = Iq.compact iq in
   Alcotest.(check int) "removed" 1 removed;
   Alcotest.(check int) "count after" 1 (Iq.count iq);
@@ -110,22 +111,22 @@ let test_iq_dispatch_compact () =
 
 let test_iq_wakeup () =
   let iq = Iq.create 4 in
+  (* dispatch_simple with ~ready:false leaves the slot waiting on tag
+     [seq + 100]; tags must be final before enqueue links the slot. *)
   let s = dispatch_simple iq ~seq:1 ~reusable:false ~ready:false in
-  s.Iq.src1_tag <- 7;
-  Iq.wakeup iq ~tag:7 ~value_i:42 ~value_f:1.5;
+  Iq.wakeup iq ~tag:101 ~value_i:42 ~value_f:1.5;
   Alcotest.(check int) "tag cleared" (-1) s.Iq.src1_tag;
   Alcotest.(check int) "value captured" 42 s.Iq.src1_i;
-  (* issued entries are not woken *)
+  (* issued entries are unlinked and are not woken *)
   let s2 = dispatch_simple iq ~seq:2 ~reusable:true ~ready:false in
-  s2.Iq.src1_tag <- 9;
-  s2.Iq.issued <- true;
-  Iq.wakeup iq ~tag:9 ~value_i:1 ~value_f:0.;
-  Alcotest.(check int) "issued untouched" 9 s2.Iq.src1_tag
+  Iq.mark_issued iq s2;
+  Iq.wakeup iq ~tag:102 ~value_i:1 ~value_f:0.;
+  Alcotest.(check int) "issued untouched" 102 s2.Iq.src1_tag
 
 let test_iq_classification () =
   let iq = Iq.create 8 in
   let s1 = dispatch_simple iq ~seq:1 ~reusable:true ~ready:true in
-  s1.Iq.issued <- true;
+  Iq.mark_issued iq s1;
   let s2 = dispatch_simple iq ~seq:2 ~reusable:true ~ready:true in
   s2.Iq.issued <- false;
   Iq.clear_classification iq;
@@ -151,7 +152,7 @@ let test_iq_reuse_ptr_compact () =
   let _s2 = dispatch_simple iq ~seq:2 ~reusable:true ~ready:true in
   let _s3 = dispatch_simple iq ~seq:3 ~reusable:true ~ready:true in
   Iq.set_reuse_ptr iq 2;
-  s1.Iq.dead <- true;
+  Iq.kill iq s1;
   ignore (Iq.compact iq);
   (* the pointer must still reference the same slot (now index 1) *)
   Alcotest.(check int) "pointer adjusted" 1 (Iq.reuse_ptr iq);
@@ -228,7 +229,7 @@ let test_lsq_capture_data () =
   let lsq = Lsq.create 4 in
   let _, st = alloc_mem lsq ~seq:1 ~store:true in
   st.Lsq.rob_idx <- 9;
-  st.Lsq.data_tag <- 5;
+  Lsq.wait_data lsq st ~tag:5;
   let captured = Lsq.capture_data lsq ~tag:5 ~value_i:33 ~value_f:0. in
   Alcotest.(check (list (pair int int))) "captured" [ (9, 1) ] captured;
   Alcotest.(check bool) "ready" true st.Lsq.data_ready;
@@ -298,7 +299,7 @@ let prop_iq_compact_order =
       List.iteri
         (fun i kill ->
           let s = dispatch_simple iq ~seq:(i + 1) ~reusable:false ~ready:true in
-          s.Iq.dead <- kill)
+          if kill then Iq.kill iq s)
         kills;
       ignore (Iq.compact iq);
       let seqs = List.init (Iq.count iq) (fun i -> (Iq.slots iq).(i).Iq.seq) in

@@ -432,7 +432,9 @@ let test_daemon_end_to_end () =
         (fun i o ->
           Alcotest.(check bool)
             (Printf.sprintf "job %d matches local execution" i)
-            true (o = expected.(i)))
+            true
+            (Riq_exp.Outcome.zero_timing o
+            = Riq_exp.Outcome.zero_timing expected.(i)))
         got;
       let svc1 = Client.service_json c1 in
       Alcotest.(check int) "cold run executed everything" (Array.length jobs)
@@ -444,7 +446,9 @@ let test_daemon_end_to_end () =
       let c2 = Client.connect ~request_timeout:30. (Protocol.Unix_socket sock) in
       let engine2 = Riq_exp.Engine.create ~backend:(Client.backend c2) () in
       let again = Riq_exp.Engine.run engine2 jobs in
-      Alcotest.(check bool) "warm results identical" true (again = expected);
+      Alcotest.(check bool) "warm results identical" true
+        (Array.map Riq_exp.Outcome.zero_timing again
+        = Array.map Riq_exp.Outcome.zero_timing expected);
       let svc2 = Client.service_json c2 in
       Alcotest.(check int) "warm run is 100% hits" (Array.length jobs)
         (member_int [ "client"; "remote_hits" ] svc2);
@@ -538,7 +542,9 @@ let test_daemon_batch_class () =
       let engine = Riq_exp.Engine.create ~backend:(Client.backend client) () in
       let got = Riq_exp.Engine.run engine jobs in
       let expected = Array.map Runner.execute jobs in
-      Alcotest.(check bool) "batch-class results identical" true (got = expected);
+      let norm = Array.map Riq_exp.Outcome.zero_timing in
+      Alcotest.(check bool) "batch-class results identical" true
+        (norm got = norm expected);
       Client.close client)
 
 (* ------------------------------------------------------------------ *)
@@ -557,7 +563,7 @@ let test_sweep_json_parses () =
   Alcotest.(check string) "emit/parse/emit fixpoint" text
     (Json.to_string ~indent:true parsed);
   Alcotest.(check bool) "schema field readable" true
-    (Json.member "schema" parsed = Some (Json.String "riq-sweep/1"));
+    (Json.member "schema" parsed = Some (Json.String "riq-sweep/2"));
   Alcotest.(check int) "engine jobs counter readable" 2
     (member_int [ "engine"; "jobs" ] parsed)
 
