@@ -153,6 +153,13 @@ type stats = {
   icache_misses : int;
   dcache_accesses : int;
   dcache_misses : int;
+  skipped_cycles : int;
+      (** cycles run through the quiescent-stretch lean loop (0 with
+          [Config.skip_ahead] off; purely diagnostic — identical
+          behaviour either way) *)
+  ffwd_iterations : int;
+      (** reused loop iterations replayed analytically (0 with
+          [Config.loop_ffwd] off; likewise behaviour-neutral) *)
 }
 
 val stats : t -> stats

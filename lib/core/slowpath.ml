@@ -1246,4 +1246,6 @@ let stats t =
     icache_misses = Cache.misses (Hierarchy.l1i t.hier);
     dcache_accesses = Cache.accesses (Hierarchy.l1d t.hier);
     dcache_misses = Cache.misses (Hierarchy.l1d t.hier);
+    skipped_cycles = 0;
+    ffwd_iterations = 0;
   }

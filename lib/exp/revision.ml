@@ -6,8 +6,8 @@
    Bumping it orphans the old cache tree (a warm run simply repopulates a
    fresh subdirectory); it never corrupts it. *)
 
-let stamp = "riq-sim-2026-08-09.1"
+let stamp = "riq-sim-2026-08-09.2"
 
 (* On-disk format of cache entries, independent of the simulator revision:
    bump when the marshalled [Outcome.t] layout changes. *)
-let format_version = 3
+let format_version = 4

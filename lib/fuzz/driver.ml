@@ -96,6 +96,13 @@ let run ?engine ?(shrink_checks = 400) ~config:name ~seed ~count () =
                     Job.make ~check:true ~cycle_limit
                       { cfg with Config.reuse_enabled = false }
                       program;
+                    (* Fourth oracle leg: the same reuse configuration with
+                       the algorithmic fast paths off. Its stats must match
+                       the first job's bit-for-bit (fast-path diagnostics
+                       aside). *)
+                    Job.make ~check:true ~cycle_limit
+                      { cfg with Config.skip_ahead = false; loop_ffwd = false }
+                      program;
                   |])
                 programs))
       in
@@ -120,7 +127,9 @@ let run ?engine ?(shrink_checks = 400) ~config:name ~seed ~count () =
             { a with
               static_insns = a.static_insns + Array.length program.Riq_asm.Program.code
             };
-          let on = outcomes.(2 * i) and off = outcomes.((2 * i) + 1) in
+          let on = outcomes.(3 * i)
+          and off = outcomes.((3 * i) + 1)
+          and slow = outcomes.((3 * i) + 2) in
           (match on with
           | Ok r ->
               let st = r.Outcome.stats in
@@ -138,9 +147,17 @@ let run ?engine ?(shrink_checks = 400) ~config:name ~seed ~count () =
                 }
           | Error _ -> ());
           let engine_error =
-            match (on, off) with
-            | Ok _, Ok _ -> None
-            | Error e, _ | _, Error e -> Some (Outcome.error_to_string e)
+            match (on, off, slow) with
+            | Ok r_on, Ok _, Ok r_slow ->
+                if
+                  Oracle.scrub_fast r_on.Outcome.stats
+                  <> Oracle.scrub_fast r_slow.Outcome.stats
+                then
+                  Some
+                    "fast-path stats diverge from the cycle-accurate leg"
+                else None
+            | Error e, _, _ | _, Error e, _ | _, _, Error e ->
+                Some (Outcome.error_to_string e)
           in
           match engine_error with
           | None -> ()

@@ -7,6 +7,7 @@ type params = {
   max_top : int;
   dynamic_budget : int;
   allow_ijump_in_loop : bool;
+  miss_bias : float;
 }
 
 let default =
@@ -17,6 +18,7 @@ let default =
     max_top = 7;
     dynamic_budget = 40_000;
     allow_ijump_in_loop = false;
+    miss_bias = 0.12;
   }
 
 let small_iq = { default with iq_size = 16 }
@@ -100,6 +102,36 @@ let op_mem_indexed rng ~counters =
       Printf.sprintf "andi r14, %s, 62\nadd r14, r14, r24\nsh %s, 0(r14)" idx
         (isrc rng ~counters)
 
+(* The integer data window the strided stress pattern roams over: 8 KiB
+   is 256 L1 lines, so a line-per-iteration loop burns through its first
+   touches cold and keeps the L2/DRAM path busy. The [andi] mask below
+   must stay [4 * stress_words - 4]. *)
+let stress_words = 2048
+
+(* Counter-scaled strided access over the stress window (the first 8 KiB
+   of [buf], see [stress_words]): with a loop counter as the index each
+   iteration lands on a fresh cache line, so steady-state iterations
+   carry long-latency (L2 / DRAM) loads whose fills straddle the
+   following iteration — exactly the timing irregularity the loop
+   fast-forward's memory log must refuse to replay through. The mask
+   keeps the address inside the window whatever the index holds, so an
+   unwrapped loop (shrinker) or a stale counter stays architecturally
+   valid. *)
+let op_mem_strided rng ~counters =
+  let idx =
+    if counters <> [] && Rng.int rng 4 > 0 then
+      List.nth counters (Rng.int rng (List.length counters))
+    else isrc rng ~counters
+  in
+  let shift = Rng.int_in rng 5 7 (* 32..128 B: one to four lines per step *) in
+  let addr =
+    Printf.sprintf "sll r14, %s, %d\nandi r14, r14, 8188\nadd r14, r14, r24" idx
+      shift
+  in
+  if Rng.int rng 4 = 0 then
+    Printf.sprintf "%s\nsw %s, 0(r14)" addr (isrc rng ~counters)
+  else Printf.sprintf "%s\nlw %s, 0(r14)" addr (iscratch rng)
+
 let op_fp rng ~counters =
   let f3 op = Printf.sprintf "%s %s, %s, %s" op (fscratch rng) (fscratch rng) (fscratch rng) in
   let f2 op = Printf.sprintf "%s %s, %s" op (fscratch rng) (fscratch rng) in
@@ -119,16 +151,20 @@ let op_fp rng ~counters =
   | _ -> Printf.sprintf "cvtws %s, %s" (iscratch rng) (fscratch rng)
 
 (* One random straight-line pattern; [lines] is how many instructions it
-   contributes (indexed memory patterns cost 3). *)
-let straight_op rng ~counters =
-  match Rng.int rng 16 with
-  | 0 | 1 | 2 -> (Prog.Op (op_int3 rng ~counters), 1)
-  | 3 | 4 | 5 -> (Prog.Op (op_imm rng ~counters), 1)
-  | 6 | 7 -> (Prog.Op (op_shift rng ~counters), 1)
-  | 8 -> (Prog.Op (op_muldiv rng ~counters), 1)
-  | 9 | 10 | 11 -> (Prog.Op (op_mem_direct rng ~counters), 1)
-  | 12 | 13 -> (Prog.Op (op_mem_indexed rng ~counters), 3)
-  | _ -> (Prog.Op (op_fp rng ~counters), 1)
+   contributes (indexed memory patterns cost 3, strided ones 4).
+   [miss_bias] skews the draw toward the strided long-latency pattern. *)
+let straight_op rng (p : params) ~counters =
+  if Rng.float rng 1.0 < p.miss_bias then
+    (Prog.Op (op_mem_strided rng ~counters), 4)
+  else
+    match Rng.int rng 16 with
+    | 0 | 1 | 2 -> (Prog.Op (op_int3 rng ~counters), 1)
+    | 3 | 4 | 5 -> (Prog.Op (op_imm rng ~counters), 1)
+    | 6 | 7 -> (Prog.Op (op_shift rng ~counters), 1)
+    | 8 -> (Prog.Op (op_muldiv rng ~counters), 1)
+    | 9 | 10 | 11 -> (Prog.Op (op_mem_direct rng ~counters), 1)
+    | 12 | 13 -> (Prog.Op (op_mem_indexed rng ~counters), 3)
+    | _ -> (Prog.Op (op_fp rng ~counters), 1)
 
 let cond rng ~counters =
   match Rng.int rng 6 with
@@ -145,7 +181,7 @@ let cond rng ~counters =
 
 (* [n_insns] straight-line instructions (counted, not items), with an
    optional guard thrown in. Guards wrap only straight-line ops. *)
-let straight_body rng ~counters ~n_insns ~allow_guard =
+let straight_body rng (p : params) ~counters ~n_insns ~allow_guard =
   let items = ref [] in
   let left = ref n_insns in
   while !left > 0 do
@@ -154,7 +190,7 @@ let straight_body rng ~counters ~n_insns ~allow_guard =
       let body = ref [] in
       let used = ref 1 (* the branch itself *) in
       for _ = 1 to inner do
-        let op, n = straight_op rng ~counters in
+        let op, n = straight_op rng p ~counters in
         body := op :: !body;
         used := !used + n
       done;
@@ -162,7 +198,7 @@ let straight_body rng ~counters ~n_insns ~allow_guard =
       left := !left - !used
     end
     else begin
-      let op, n = straight_op rng ~counters in
+      let op, n = straight_op rng p ~counters in
       items := op :: !items;
       left := !left - n
     end
@@ -202,7 +238,7 @@ let rec gen_loop rng (p : params) ~procs ~depth ~budget shape =
       (* Innermost, span below the queue size; trips sized so the queue
          fills with buffered iterations and the loop promotes. *)
       let span = Rng.int_in rng 3 (max 4 ((p.iq_size / 2) - 2)) in
-      let body = straight_body rng ~counters:(inner_counters 1) ~n_insns:span ~allow_guard:true in
+      let body = straight_body rng p ~counters:(inner_counters 1) ~n_insns:span ~allow_guard:true in
       let per_iter = est_items procs body + 2 in
       (* Enough iterations to fill the queue with buffered copies, so the
          loop actually promotes to Code Reuse. *)
@@ -214,7 +250,7 @@ let rec gen_loop rng (p : params) ~procs ~depth ~budget shape =
          half are Too_large, and buffered ones promote after very few
          iterations. *)
       let span = Rng.int_in rng (max 3 (p.iq_size * 3 / 4)) (p.iq_size * 5 / 4) in
-      let body = straight_body rng ~counters:(inner_counters 1) ~n_insns:span ~allow_guard:true in
+      let body = straight_body rng p ~counters:(inner_counters 1) ~n_insns:span ~allow_guard:true in
       let per_iter = est_items procs body + 2 in
       let trip = fit_trip ~budget ~per_iter (Rng.int_in rng 4 12) in
       Prog.Loop { trip; body }
@@ -223,7 +259,7 @@ let rec gen_loop rng (p : params) ~procs ~depth ~budget shape =
          NBLT; trip >= 3 so a later detection gets NBLT-filtered. *)
       let inner_span = Rng.int_in rng 3 10 in
       let inner_body =
-        straight_body rng ~counters:(inner_counters 2) ~n_insns:inner_span ~allow_guard:true
+        straight_body rng p ~counters:(inner_counters 2) ~n_insns:inner_span ~allow_guard:true
       in
       let inner_per = est_items procs inner_body + 2 in
       let outer_trip = Rng.int_in rng 3 6 in
@@ -232,8 +268,8 @@ let rec gen_loop rng (p : params) ~procs ~depth ~budget shape =
         fit_trip ~budget:(budget / outer_trip) ~per_iter:inner_per
           (Rng.int_in rng inner_lo 32)
       in
-      let pre = straight_body rng ~counters:(inner_counters 1) ~n_insns:(Rng.int_in rng 1 4) ~allow_guard:false in
-      let post = straight_body rng ~counters:(inner_counters 1) ~n_insns:(Rng.int_in rng 1 3) ~allow_guard:false in
+      let pre = straight_body rng p ~counters:(inner_counters 1) ~n_insns:(Rng.int_in rng 1 4) ~allow_guard:false in
+      let post = straight_body rng p ~counters:(inner_counters 1) ~n_insns:(Rng.int_in rng 1 3) ~allow_guard:false in
       Prog.Loop
         { trip = outer_trip; body = pre @ [ Prog.Loop { trip = inner_trip; body = inner_body } ] @ post }
   | With_call ->
@@ -243,7 +279,7 @@ let rec gen_loop rng (p : params) ~procs ~depth ~budget shape =
       else begin
         let callee = Rng.int rng n_procs in
         let span = Rng.int_in rng 2 8 in
-        let body = straight_body rng ~counters:(inner_counters 1) ~n_insns:span ~allow_guard:false in
+        let body = straight_body rng p ~counters:(inner_counters 1) ~n_insns:span ~allow_guard:false in
         let body = body @ [ Prog.Call callee ] in
         let per_iter = est_items procs body + 2 in
         let trip = fit_trip ~budget ~per_iter (Rng.int_in rng 3 16) in
@@ -251,7 +287,7 @@ let rec gen_loop rng (p : params) ~procs ~depth ~budget shape =
       end
   | Early_exit ->
       let span = Rng.int_in rng 3 12 in
-      let body = straight_body rng ~counters:(inner_counters 1) ~n_insns:span ~allow_guard:false in
+      let body = straight_body rng p ~counters:(inner_counters 1) ~n_insns:span ~allow_guard:false in
       let per_iter = est_items procs body + 4 in
       let trip = fit_trip ~budget ~per_iter (Rng.int_in rng 6 32) in
       (* Break when the countdown reaches a value inside [1, trip]: the
@@ -266,7 +302,7 @@ let rec gen_loop rng (p : params) ~procs ~depth ~budget shape =
       Prog.Loop { trip; body = insert cut body }
   | With_ijump ->
       let span = Rng.int_in rng 2 8 in
-      let body = straight_body rng ~counters:(inner_counters 1) ~n_insns:span ~allow_guard:false in
+      let body = straight_body rng p ~counters:(inner_counters 1) ~n_insns:span ~allow_guard:false in
       let body = body @ [ Prog.Ijump ] in
       let per_iter = est_items procs body + 2 in
       let trip = fit_trip ~budget ~per_iter (Rng.int_in rng 3 16) in
@@ -287,12 +323,12 @@ let pick_shape rng (p : params) ~have_procs =
 (* Whole programs                                                    *)
 (* ---------------------------------------------------------------- *)
 
-let gen_proc rng ~with_loop =
+let gen_proc rng (p : params) ~with_loop =
   (* Leaf procedures: straight-line ops (scratch only, no calls), loop
      counter r20 when [with_loop]. *)
-  let body = straight_body rng ~counters:[] ~n_insns:(Rng.int_in rng 3 10) ~allow_guard:true in
+  let body = straight_body rng p ~counters:[] ~n_insns:(Rng.int_in rng 3 10) ~allow_guard:true in
   if with_loop then
-    let lbody = straight_body rng ~counters:[ "r20" ] ~n_insns:(Rng.int_in rng 2 5) ~allow_guard:false in
+    let lbody = straight_body rng p ~counters:[ "r20" ] ~n_insns:(Rng.int_in rng 2 5) ~allow_guard:false in
     body @ [ Prog.Loop { trip = Rng.int_in rng 2 6; body = lbody } ]
   else body
 
@@ -301,7 +337,7 @@ let program ?(params = default) ~seed () =
   let n_procs = Rng.int rng 3 in
   let procs =
     List.init n_procs (fun i ->
-        { Prog.p_name = Printf.sprintf "p%d" i; p_body = gen_proc rng ~with_loop:(Rng.int rng 4 = 0) })
+        { Prog.p_name = Printf.sprintf "p%d" i; p_body = gen_proc rng params ~with_loop:(Rng.int rng 4 = 0) })
   in
   let n_top = Rng.int_in rng params.min_top params.max_top in
   let budget_per = params.dynamic_budget / max 1 n_top in
@@ -312,7 +348,7 @@ let program ?(params = default) ~seed () =
         (* a little inter-loop straight-line glue *)
         items :=
           List.rev_append
-            (List.rev (straight_body rng ~counters:[] ~n_insns:(Rng.int_in rng 1 5) ~allow_guard:true))
+            (List.rev (straight_body rng params ~counters:[] ~n_insns:(Rng.int_in rng 1 5) ~allow_guard:true))
             !items
     | 1 when n_procs > 0 -> items := Prog.Call (Rng.int rng n_procs) :: !items
     | 2 -> items := Prog.Ijump :: !items
@@ -320,6 +356,7 @@ let program ?(params = default) ~seed () =
         let shape = pick_shape rng params ~have_procs:(n_procs > 0) in
         items := gen_loop rng params ~procs ~depth:0 ~budget:budget_per shape :: !items
   done;
-  let data_i = Array.init 64 (fun _ -> Rng.int_in rng (-1000) 1000) in
+  let data_words = if params.miss_bias > 0. then stress_words else 64 in
+  let data_i = Array.init data_words (fun _ -> Rng.int_in rng (-1000) 1000) in
   let data_f = Array.init 32 (fun _ -> 0.25 *. float_of_int (Rng.int_in rng (-40) 40)) in
   { Prog.seed; main = List.rev !items; procs; data_i; data_f }

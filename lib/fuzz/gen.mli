@@ -26,11 +26,19 @@ type params = {
       (** permit indirect jumps inside loop bodies (stresses a corner the
           static analysis flags {!Riq_analysis.Bufferability.Indirect};
           off by default) *)
+  miss_bias : float;
+      (** probability that a straight-line slot draws the counter-scaled
+          strided memory pattern: long-latency loads walking one cache
+          line per loop iteration, whose miss fills straddle iteration
+          boundaries and break the timing repeatability the loop
+          fast-forward relies on. Nonzero keeps the four-leg oracle's
+          ffwd-off leg honest; [> 0.] also widens the program's integer
+          data window to 8 KiB. *)
 }
 
 val default : params
 (** [iq_size = 64], [bufferable_bias = 0.6], 3..7 top-level items, 40k
-    dynamic instructions, no in-loop indirect jumps. *)
+    dynamic instructions, no in-loop indirect jumps, [miss_bias = 0.12]. *)
 
 val small_iq : params
 (** [default] resized for a 16-entry queue. *)

@@ -4,8 +4,11 @@ open Riq_ooo
 open Riq_core
 open Riq_obs
 
-(* /2: loop decisions gained the per-cause revoke split. *)
-let schema = "riq-report/2"
+(* /2: loop decisions gained the per-cause revoke split.
+   /3: stats gained skipped_cycles and ffwd_iterations (fast-path
+   diagnostics; both are zero when the corresponding Config flag is
+   off and never affect any other reported number). *)
+let schema = "riq-report/3"
 
 let stats_json (s : Processor.stats) =
   Json.Obj
@@ -30,6 +33,8 @@ let stats_json (s : Processor.stats) =
       ("icache_misses", Json.Int s.Processor.icache_misses);
       ("dcache_accesses", Json.Int s.Processor.dcache_accesses);
       ("dcache_misses", Json.Int s.Processor.dcache_misses);
+      ("skipped_cycles", Json.Int s.Processor.skipped_cycles);
+      ("ffwd_iterations", Json.Int s.Processor.ffwd_iterations);
     ]
 
 let config_json (cfg : Config.t) =

@@ -21,6 +21,9 @@ type t = {
   nblt_entries : int;
   buffer_multiple_iterations : bool;
   loop_cache_entries : int;
+  skip_ahead : bool;
+  loop_ffwd : bool;
+  ffwd_verify_periods : int;
 }
 
 let baseline =
@@ -44,6 +47,9 @@ let baseline =
     nblt_entries = 8;
     buffer_multiple_iterations = true;
     loop_cache_entries = 0;
+    skip_ahead = true;
+    loop_ffwd = true;
+    ffwd_verify_periods = 3;
   }
 
 let reuse = { baseline with reuse_enabled = true }
@@ -98,7 +104,9 @@ let validate t =
   if t.reuse_enabled && t.loop_cache_entries > 0 then
     invalid_arg "Config: the reuse issue queue and the loop cache are alternatives";
   if t.rob_entries < t.iq_entries then
-    invalid_arg "Config: ROB must be at least as large as the issue queue"
+    invalid_arg "Config: ROB must be at least as large as the issue queue";
+  if t.ffwd_verify_periods < 2 then
+    invalid_arg "Config: ffwd_verify_periods must be >= 2 (two period deltas are needed)"
 
 let pp ppf t =
   let cache_line name (c : Cache.config) =

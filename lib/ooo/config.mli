@@ -35,6 +35,21 @@ type t = {
           supplies instructions instead of the L1I — but, unlike the
           paper's issue-queue reuse, leaves branch prediction and decode
           running. *)
+  skip_ahead : bool;
+      (** Simulator-only fast path (no timing/power effect): when the
+          pipeline is provably quiescent and the writeback event wheel
+          knows the next wakeup, advance the cycle counter with a lean
+          per-cycle loop instead of running the full stage machinery. *)
+  loop_ffwd : bool;
+      (** Simulator-only fast path (no timing/power effect): once a
+          buffered loop's per-iteration timing signature has repeated for
+          {!field-ffwd_verify_periods} consecutive iterations, replay
+          further iterations analytically and drop back to cycle-accurate
+          mode on any deviation. Disabled automatically while a tracer is
+          attached. *)
+  ffwd_verify_periods : int;
+      (** Consecutive identical iteration periods required before the
+          fast-forward replay may engage (>= 2; default 3). *)
 }
 
 val baseline : t

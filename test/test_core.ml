@@ -655,8 +655,103 @@ let test_reuse_state_illegal_transitions () =
   Alcotest.(check bool) "revoke from Reusing" true
     (asserts (fun () -> Reuse_state.revoke (reusing ())))
 
+(* ---- packed-core edge cases ---- *)
+
+(* A dependency chain of long-latency loads: every iteration's address
+   depends on the previous load's (zero) value, each access lands on a
+   fresh L1 line, and every other line misses the L2 out to DRAM. With
+   per-load latencies around 8..170 cycles and nothing else in flight,
+   writeback events constantly land on wheel slots numerically below the
+   current one (cycle land 255 wraps), and the quiescent stretches between
+   them are exactly what the skip-ahead lean loop has to cross without
+   disturbing a single counter. *)
+let chase_src =
+  let zeros = String.concat " " (List.init 1024 (fun _ -> "0")) in
+  Printf.sprintf {|
+    la r2, buf
+    li r6, 120
+chase:
+    lw r5, 0(r2)
+    add r2, r2, r5
+    addi r2, r2, 32
+    addi r6, r6, -1
+    bgtz r6, chase
+    halt
+.word buf %s
+|} zeros
+
+let test_event_wheel_wraparound () =
+  let _, proc = run_both chase_src in
+  let st = Processor.stats proc in
+  (* The chain must actually be long-latency and serialized, or the wheel
+     never sees distant events: >100 L1 misses and a cycle count that can
+     only come from stalling on them. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "every iteration misses L1 (%d)" st.Processor.dcache_misses)
+    true
+    (st.Processor.dcache_misses > 100);
+  Alcotest.(check bool)
+    (Printf.sprintf "latency-bound (%d cycles)" st.Processor.cycles)
+    true
+    (st.Processor.cycles > 120 * 30);
+  (* ...which wraps the 256-slot wheel dozens of times. *)
+  Alcotest.(check bool) "wheel wrapped many times" true
+    (st.Processor.cycles > 256 * 10);
+  Alcotest.(check bool) "skip-ahead crossed the stalls" true
+    (st.Processor.skipped_cycles > 0);
+  (* The lean loop must be invisible next to the cycle-by-cycle core. *)
+  let off =
+    Processor.create
+      { Config.reuse with Config.skip_ahead = false; loop_ffwd = false }
+      (Parse.program_exn chase_src)
+  in
+  (match Processor.run ~cycle_limit:10_000_000 off with
+  | Processor.Halted -> ()
+  | Processor.Cycle_limit -> Alcotest.fail "fast-off run hit cycle limit");
+  let scrub (s : Processor.stats) =
+    { s with Processor.skipped_cycles = 0; ffwd_iterations = 0 }
+  in
+  Alcotest.(check bool) "stats bit-identical to fast-off" true
+    (scrub (Processor.stats off) = scrub st)
+
+let test_decode_cache_way_conflict () =
+  (* 17 distinct loop tails over a 16-way decode cache: tails sit 5 words
+     apart, so (gcd(5,16)=1) the 17th tail is the first to revisit a way
+     and evicts its resident. Re-entering the evicted loop on the next
+     outer iteration must reinstall — and stay architecturally exact. *)
+  let inner i =
+    Printf.sprintf
+      "    li r3, 20\nl%d:\n    addi r4, r4, %d\n    xori r5, r4, %d\n    addi r3, r3, -1\n    bgtz r3, l%d\n"
+      i (i + 1) i i
+  in
+  let src =
+    "    li r2, 3\nouter:\n"
+    ^ String.concat "" (List.init 17 inner)
+    ^ "    addi r2, r2, -1\n    bgtz r2, outer\n    halt\n"
+  in
+  let _, proc = run_both src in
+  let st = Processor.stats proc in
+  Alcotest.(check bool)
+    (Printf.sprintf "all 17 loops promote (%d)" st.Processor.promotions)
+    true
+    (st.Processor.promotions >= 17);
+  Alcotest.(check bool) "decode cache supplies descriptors" true
+    (Processor.decode_cache_hits proc > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "way conflict forces reinstalls (%d)"
+       (Processor.decode_cache_installs proc))
+    true
+    (Processor.decode_cache_installs proc > 17)
+
 let misc_suites =
   [
+    ( "packed-core-edges",
+      [
+        Alcotest.test_case "event-wheel wraparound under long-latency chains"
+          `Quick test_event_wheel_wraparound;
+        Alcotest.test_case "decode-cache eviction across 17 loop tails" `Quick
+          test_decode_cache_way_conflict;
+      ] );
     ( "pipeline-misc",
       [
         Alcotest.test_case "indirect jump resolution" `Quick test_indirect_jump_resolution;

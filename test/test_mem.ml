@@ -123,6 +123,36 @@ let test_cache_config_validation () =
   Alcotest.(check int) "size" 32768
     (Cache.size_bytes (Cache.config ~name:"x" ~sets:512 ~ways:2 ~line_bytes:32 ~hit_latency:1))
 
+(* Wrong-path address arithmetic produces negative addresses, which the
+   index computation must route through the division fallback ([lsr] on a
+   negative int would index a wild line). The fallback truncates toward
+   zero, so bytes -15..15 share line index 0 with 16-byte lines; distinct
+   negative lines must still be distinct and stably cacheable. *)
+let test_cache_negative_addr_fallback () =
+  let c = mk ~sets:4 ~ways:2 ~line:16 () in
+  Alcotest.(check int) "toward-zero: -1 shares line 0" 0
+    (Cache.line_index c ~addr:(-1));
+  Alcotest.(check int) "toward-zero: -15 shares line 0" 0
+    (Cache.line_index c ~addr:(-15));
+  Alcotest.(check int) "-16 is line -1" (-1) (Cache.line_index c ~addr:(-16));
+  Alcotest.(check int) "-32 is line -2" (-2) (Cache.line_index c ~addr:(-32));
+  (match Cache.access c ~addr:(-64) ~write:false with
+  | Cache.Miss _ -> ()
+  | Cache.Hit -> Alcotest.fail "cold negative access must miss");
+  (match Cache.access c ~addr:(-64) ~write:false with
+  | Cache.Hit -> ()
+  | Cache.Miss _ -> Alcotest.fail "negative line must be cacheable");
+  (match Cache.access c ~addr:(-52) ~write:false with
+  | Cache.Miss _ -> ()
+  | Cache.Hit -> Alcotest.fail "-52 (line -3) must not alias -64 (line -4)");
+  Alcotest.(check bool) "negative line probes back" true
+    (Cache.probe c ~addr:(-64));
+  (* The shared line 0: a negative access warms it for positive peers. *)
+  ignore (Cache.access c ~addr:(-3) ~write:false);
+  (match Cache.access c ~addr:8 ~write:false with
+  | Cache.Hit -> ()
+  | Cache.Miss _ -> Alcotest.fail "-3 and 8 both live on line 0")
+
 (* qcheck: the cache hit/miss sequence matches a naive model with the same
    geometry (per-set LRU lists). *)
 let naive_model ~sets ~ways ~line =
@@ -209,6 +239,8 @@ let suites =
         Alcotest.test_case "cache dirty eviction" `Quick test_cache_dirty_eviction;
         Alcotest.test_case "cache flush" `Quick test_cache_flush;
         Alcotest.test_case "cache config validation" `Quick test_cache_config_validation;
+        Alcotest.test_case "cache negative-address fallback" `Quick
+          test_cache_negative_addr_fallback;
         Alcotest.test_case "hierarchy latencies" `Quick test_hierarchy_latencies;
         Alcotest.test_case "hierarchy write buffer" `Quick test_hierarchy_write_buffer;
         Alcotest.test_case "hierarchy pending fill" `Quick test_hierarchy_pending_fill;
